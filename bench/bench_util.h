@@ -1,0 +1,80 @@
+// Shared helpers for the paper-figure bench binaries: a tiny flag parser and table
+// printers. Every binary runs with sensible defaults (so `for b in build/bench/*; do
+// $b; done` regenerates everything) and accepts --duration_ms / --runs / --quick.
+#ifndef CLOF_BENCH_BENCH_UTIL_H_
+#define CLOF_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace clof::bench {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "true";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+  int GetInt(const std::string& name, int fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::stoi(it->second);
+  }
+
+  std::string GetString(const std::string& name, const std::string& fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  bool GetBool(const std::string& name) const {
+    auto it = values_.find(name);
+    return it != values_.end() && it->second != "false";
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+// Prints a "series" table like the paper's figures: one row per lock, one column per
+// thread count.
+inline void PrintCurveTable(const std::string& title, const std::vector<int>& thread_counts,
+                            const std::vector<std::pair<std::string, std::vector<double>>>& rows,
+                            const char* unit = "iter/us") {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%-22s", ("lock \\ threads (" + std::string(unit) + ")").c_str());
+  for (int t : thread_counts) {
+    std::printf("%9d", t);
+  }
+  std::printf("\n");
+  for (const auto& [name, values] : rows) {
+    std::printf("%-22s", name.c_str());
+    for (double v : values) {
+      std::printf("%9.3f", v);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace clof::bench
+
+#endif  // CLOF_BENCH_BENCH_UTIL_H_

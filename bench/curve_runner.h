@@ -1,0 +1,54 @@
+// Helper for figure benches: run labelled (lock, hierarchy) rows across thread counts.
+#ifndef CLOF_BENCH_CURVE_RUNNER_H_
+#define CLOF_BENCH_CURVE_RUNNER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/harness/lock_bench.h"
+
+namespace clof::bench {
+
+struct CurveSpec {
+  std::string label;          // row label, e.g. "HMCS<4>"
+  std::string lock_name;      // registry name
+  topo::Hierarchy hierarchy;  // hierarchy this lock is built with
+  ClofParams params;
+};
+
+struct CurveRunOptions {
+  double duration_ms = 1.0;
+  int runs = 1;
+  uint64_t seed = 42;
+  const Registry* registry = nullptr;  // default per machine arch
+};
+
+inline std::vector<std::pair<std::string, std::vector<double>>> RunCurves(
+    const sim::Machine& machine, const std::vector<CurveSpec>& specs,
+    const std::vector<int>& thread_counts, const workload::Profile& profile,
+    const CurveRunOptions& options) {
+  std::vector<std::pair<std::string, std::vector<double>>> rows;
+  for (const auto& spec : specs) {
+    std::vector<double> values;
+    for (int threads : thread_counts) {
+      harness::BenchConfig config;
+      config.machine = &machine;
+      config.hierarchy = spec.hierarchy;
+      config.lock_name = spec.lock_name;
+      config.registry = options.registry;
+      config.profile = profile;
+      config.num_threads = threads;
+      config.duration_ms = options.duration_ms;
+      config.seed = options.seed;
+      config.params = spec.params;
+      values.push_back(harness::RunLockBenchMedian(config, options.runs).throughput_per_us);
+    }
+    rows.emplace_back(spec.label, std::move(values));
+  }
+  return rows;
+}
+
+}  // namespace clof::bench
+
+#endif  // CLOF_BENCH_CURVE_RUNNER_H_

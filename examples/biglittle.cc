@@ -1,0 +1,65 @@
+// big.LITTLE (paper §7, future work): "The non-uniform access latencies observed in
+// large NUMA systems can also be observed in modern big.LITTLE architectures ... These
+// two groups of cores form cohorts with different communication trade-offs."
+//
+// This example runs the full CLoF workflow on a simulated 8-core handheld SoC — one
+// cluster of big cores, one of LITTLE cores, expensive cross-cluster communication:
+// discover the cluster structure from the ping-pong heatmap, then let the scripted
+// benchmark pick the best 2-level composition for the SoC.
+//
+// Build & run:  ./build/examples/biglittle
+#include <cstdio>
+
+#include "src/discover/heatmap.h"
+#include "src/select/scripted_bench.h"
+
+using namespace clof;
+
+int main() {
+  // 2 clusters x 4 cores; intra-cluster snoops are fast, the cluster interconnect
+  // (e.g. CCI) is an order of magnitude slower.
+  topo::Topology topology = topo::Topology::FromSpec("biglittle:8;cluster=4");
+  sim::PlatformModel platform = sim::PlatformModel::Arm();
+  platform.name = "biglittle-sim";
+  platform.level_latency_ns = {4.0, 55.0};  // cluster, system
+  platform.cold_miss_ns = 80.0;
+  sim::Machine machine{topology, platform};
+
+  // 1. Discover the hierarchy experimentally (§3.1).
+  discover::HeatmapOptions options;
+  options.rounds_per_pair = 80;
+  discover::Heatmap heatmap = discover::RunPingPongHeatmap(machine, options);
+  std::printf("%s\n", discover::HeatmapToAscii(heatmap, 8).c_str());
+  topo::Topology inferred = discover::InferTopology(heatmap, "discovered");
+  std::printf("discovered: %s\n", inferred.ToSpec().c_str());
+  auto speedups = discover::CohortSpeedups(inferred, heatmap);
+  std::printf("intra-cluster speedup over cross-cluster: %.2fx\n\n", speedups[0]);
+
+  // 2. Sweep all 2-level compositions and select (§4.3).
+  auto hierarchy = topo::Hierarchy::Select(topology, {"cluster", "system"});
+  select::SweepConfig sweep;
+  sweep.machine = &machine;
+  sweep.hierarchy = hierarchy;
+  sweep.registry = &SimRegistry(false);  // LL/SC architecture: Hemlock without CTR
+  sweep.thread_counts = {1, 2, 4, 8};
+  sweep.duration_ms = 0.4;
+  auto result = select::RunScriptedBenchmark(sweep);
+
+  std::printf("2-level sweep over %zu compositions:\n", result.curves.size());
+  std::printf("  HC-best: %-12s (score %.3f)\n", result.selection.hc_best.c_str(),
+              result.selection.hc_best_score);
+  std::printf("  LC-best: %-12s (score %.3f)\n", result.selection.lc_best.c_str(),
+              result.selection.lc_best_score);
+  std::printf("  worst:   %-12s (score %.3f)\n", result.selection.worst.c_str(),
+              result.selection.worst_score);
+  for (const auto& curve : result.curves) {
+    if (curve.name == result.selection.hc_best || curve.name == "mcs-mcs") {
+      std::printf("  %-12s:", curve.name.c_str());
+      for (size_t i = 0; i < curve.throughput.size(); ++i) {
+        std::printf(" %dT=%.2f", result.thread_counts[i], curve.throughput[i]);
+      }
+      std::printf(" iter/us\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Hierarchy discovery (paper §3.1 + the automated level inference): run the two-thread
+// ping-pong microbenchmark over every CPU pair of a machine, cluster the heatmap into
+// levels, and print a hierarchy configuration ready for CLoF.
+//
+// On real hardware the same benchmark runs with pinned threads and wall-clock time; here
+// it runs on the simulated Armv8 server, which is also how the repository regenerates
+// Figure 1 and Table 2 (see bench/).
+//
+// Build & run:  ./build/examples/discover_topology [--stride=2]
+#include <cstdio>
+#include <string>
+
+#include "src/discover/heatmap.h"
+
+using namespace clof;
+
+int main(int argc, char** argv) {
+  int stride = 2;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--stride=", 0) == 0) {
+      stride = std::stoi(arg.substr(9));
+    }
+  }
+
+  sim::Machine machine = sim::Machine::PaperArm();
+  std::printf("measuring %d CPU pairs (stride %d) on %s...\n",
+              machine.topology.num_cpus() / stride, stride,
+              machine.platform.name.c_str());
+
+  discover::HeatmapOptions options;
+  options.rounds_per_pair = 60;
+  options.cpu_stride = stride;
+  discover::Heatmap heatmap = discover::RunPingPongHeatmap(machine, options);
+  std::printf("%s\n", discover::HeatmapToAscii(heatmap).c_str());
+
+  topo::Topology inferred = discover::InferTopology(heatmap, "discovered");
+  std::printf("discovered hierarchy (low to high):\n");
+  for (int l = 0; l < inferred.num_levels(); ++l) {
+    std::printf("  level %d: %-8s %3d cohorts of %d CPUs\n", l,
+                inferred.level(l).name.c_str(), inferred.level(l).num_cohorts,
+                inferred.num_cpus() / inferred.level(l).num_cohorts);
+  }
+  std::printf("hierarchy spec: %s\n", inferred.ToSpec().c_str());
+
+  auto speedups = discover::CohortSpeedups(inferred, heatmap);
+  std::printf("cohort speedups over system cohort:\n");
+  for (int l = inferred.num_levels() - 1; l >= 0; --l) {
+    if (speedups[l] > 0.0) {
+      std::printf("  %-8s %.2fx\n", inferred.level(l).name.c_str(), speedups[l]);
+    }
+  }
+  return 0;
+}

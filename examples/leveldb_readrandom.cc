@@ -1,0 +1,88 @@
+// MiniLevelDB "readrandom" (the paper's §5.1.2 benchmark workload, natively): load a
+// keyspace, then hammer random Gets from several threads, swapping the DB's internal
+// mutex between a NUMA-oblivious MCS and a composed CLoF lock by name.
+//
+// Host wall-clock numbers depend on the machine you run this on (the paper-shape
+// reproduction lives in bench/, on the simulator); this example shows the *library*
+// wiring: registry -> type-erased lock -> application.
+//
+// Build & run:  ./build/examples/leveldb_readrandom [--threads=4] [--ops=50000]
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/apps/mini_leveldb.h"
+#include "src/clof/registry.h"
+#include "src/mem/native.h"
+#include "src/runtime/rng.h"
+#include "src/topo/topology.h"
+
+using namespace clof;
+
+namespace {
+
+double RunReadRandom(const std::string& lock_name, const topo::Hierarchy& hierarchy,
+                     int threads, int ops_per_thread) {
+  std::shared_ptr<Lock> lock = NativeRegistry(false).Make(lock_name, hierarchy);
+  apps::MiniLevelDb db(lock);
+
+  constexpr uint64_t kKeys = 10000;
+  {
+    apps::MiniLevelDb::Session session(db);
+    for (uint64_t k = 0; k < kKeys; ++k) {
+      db.Put(session, apps::MiniLevelDb::KeyFor(k), "value-" + std::to_string(k));
+    }
+  }
+
+  long found = 0;
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      mem::NativeMemory::ScopedCpu cpu((t * 32) % 128);  // spread over virtual NUMA nodes
+      apps::MiniLevelDb::Session session(db);
+      runtime::Xoshiro256 rng(99 + t);
+      long hits = 0;
+      for (int i = 0; i < ops_per_thread; ++i) {
+        auto value = db.Get(session, apps::MiniLevelDb::KeyFor(rng.NextBounded(kKeys)));
+        hits += value.has_value() ? 1 : 0;
+      }
+      __atomic_fetch_add(&found, hits, __ATOMIC_RELAXED);
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  double seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  if (found != static_cast<long>(threads) * ops_per_thread) {
+    std::fprintf(stderr, "lost reads! %ld\n", found);
+    std::exit(1);
+  }
+  return static_cast<double>(threads) * ops_per_thread / seconds / 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int threads = 4;
+  int ops = 50000;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::stoi(arg.substr(10));
+    } else if (arg.rfind("--ops=", 0) == 0) {
+      ops = std::stoi(arg.substr(6));
+    }
+  }
+  topo::Topology topology = topo::Topology::PaperArm();
+  auto h1 = topo::Hierarchy::Select(topology, {"system"});
+  auto h4 = topo::Hierarchy::Select(topology, {"cache", "numa", "package", "system"});
+
+  std::printf("MiniLevelDB readrandom, %d threads x %d ops\n", threads, ops);
+  std::printf("  %-18s %8.3f Mops/s\n", "mcs", RunReadRandom("mcs", h1, threads, ops));
+  std::printf("  %-18s %8.3f Mops/s\n", "tkt-clh-tkt-tkt",
+              RunReadRandom("tkt-clh-tkt-tkt", h4, threads, ops));
+  return 0;
+}

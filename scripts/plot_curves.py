@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Plot a bench CSV (fig9a.csv etc.) as an SVG, paper-style: thread count on the x axis,
+throughput on the y axis, one line per lock. No third-party dependencies.
+
+Usage:
+  scripts/plot_curves.py fig9b.csv [-o fig9b.svg] [--highlight lock1,lock2,...]
+                                   [--title "Figure 9b"] [--top N]
+
+Rows not highlighted are drawn as the gray "Others" beam, like the paper's Figure 9.
+Default highlights: the best/worst rows by high-contention weighted average.
+"""
+
+import argparse
+import csv
+import sys
+
+PALETTE = ["#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#e377c2"]
+WIDTH, HEIGHT = 760, 480
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 64, 200, 40, 48
+
+
+def read_csv(path):
+    with open(path) as f:
+        rows = list(csv.reader(f))
+    header = rows[0]
+    threads = [int(x) for x in header[1:]]
+    curves = {row[0]: [float(v) for v in row[1:]] for row in rows[1:] if row}
+    return threads, curves
+
+
+def hc_score(threads, values):
+    weights = [float(t) for t in threads]
+    return sum(w * v for w, v in zip(weights, values)) / sum(weights)
+
+
+def svg_plot(threads, curves, highlights, title):
+    xs = threads
+    max_y = max(max(v) for v in curves.values()) * 1.08
+    plot_w = WIDTH - MARGIN_L - MARGIN_R
+    plot_h = HEIGHT - MARGIN_T - MARGIN_B
+
+    def px(t):
+        # log-ish x scale: index-based, like the paper's discrete thread counts
+        i = xs.index(t)
+        return MARGIN_L + plot_w * i / (len(xs) - 1)
+
+    def py(v):
+        return MARGIN_T + plot_h * (1.0 - v / max_y)
+
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>',
+        f'<text x="{MARGIN_L}" y="24" font-size="15" font-weight="bold">{title}</text>',
+    ]
+    # Axes and ticks.
+    out.append(
+        f'<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" '
+        f'y2="{HEIGHT - MARGIN_B}" stroke="black"/>'
+    )
+    out.append(
+        f'<line x1="{MARGIN_L}" y1="{HEIGHT - MARGIN_B}" x2="{WIDTH - MARGIN_R}" '
+        f'y2="{HEIGHT - MARGIN_B}" stroke="black"/>'
+    )
+    for t in xs:
+        out.append(
+            f'<text x="{px(t)}" y="{HEIGHT - MARGIN_B + 16}" text-anchor="middle">{t}</text>'
+        )
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        v = max_y * frac
+        out.append(
+            f'<text x="{MARGIN_L - 6}" y="{py(v) + 4}" text-anchor="end">{v:.2f}</text>'
+        )
+        out.append(
+            f'<line x1="{MARGIN_L}" y1="{py(v)}" x2="{WIDTH - MARGIN_R}" y2="{py(v)}" '
+            f'stroke="#dddddd"/>'
+        )
+    out.append(
+        f'<text x="{(MARGIN_L + WIDTH - MARGIN_R) / 2}" y="{HEIGHT - 8}" '
+        f'text-anchor="middle">threads</text>'
+    )
+    out.append(
+        f'<text x="14" y="{(MARGIN_T + HEIGHT - MARGIN_B) / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 14 {(MARGIN_T + HEIGHT - MARGIN_B) / 2})">iter/us</text>'
+    )
+
+    def polyline(values, color, width, opacity=1.0):
+        points = " ".join(f"{px(t):.1f},{py(v):.1f}" for t, v in zip(xs, values))
+        return (
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="{width}" stroke-opacity="{opacity}"/>'
+        )
+
+    # Others first (gray beam), highlights on top.
+    for name, values in curves.items():
+        if name not in highlights:
+            out.append(polyline(values, "#999999", 1, 0.35))
+    legend_y = MARGIN_T + 8
+    for i, name in enumerate(highlights):
+        if name not in curves:
+            print(f"warning: highlight '{name}' not in CSV", file=sys.stderr)
+            continue
+        color = PALETTE[i % len(PALETTE)]
+        out.append(polyline(curves[name], color, 2.5))
+        out.append(
+            f'<line x1="{WIDTH - MARGIN_R + 10}" y1="{legend_y}" '
+            f'x2="{WIDTH - MARGIN_R + 34}" y2="{legend_y}" stroke="{color}" stroke-width="2.5"/>'
+        )
+        out.append(f'<text x="{WIDTH - MARGIN_R + 40}" y="{legend_y + 4}">{name}</text>')
+        legend_y += 18
+    if len(curves) > len(highlights):
+        out.append(
+            f'<line x1="{WIDTH - MARGIN_R + 10}" y1="{legend_y}" '
+            f'x2="{WIDTH - MARGIN_R + 34}" y2="{legend_y}" stroke="#999999" stroke-opacity="0.5"/>'
+        )
+        out.append(
+            f'<text x="{WIDTH - MARGIN_R + 40}" y="{legend_y + 4}">'
+            f"Others ({len(curves) - len(highlights)} locks)</text>"
+        )
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csv_path")
+    parser.add_argument("-o", "--output")
+    parser.add_argument("--highlight", help="comma-separated lock names")
+    parser.add_argument("--title")
+    parser.add_argument("--top", type=int, default=2,
+                        help="auto-highlight the N best (and 1 worst) by HC score")
+    args = parser.parse_args()
+
+    threads, curves = read_csv(args.csv_path)
+    if args.highlight:
+        highlights = args.highlight.split(",")
+    else:
+        ranked = sorted(curves, key=lambda n: hc_score(threads, curves[n]), reverse=True)
+        highlights = ranked[: args.top] + [ranked[-1]]
+    title = args.title or args.csv_path
+    svg = svg_plot(threads, curves, highlights, title)
+    out_path = args.output or args.csv_path.rsplit(".", 1)[0] + ".svg"
+    with open(out_path, "w") as f:
+        f.write(svg)
+    print(f"wrote {out_path} ({len(curves)} curves, highlighted: {', '.join(highlights)})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,157 @@
+#include "src/apps/mini_kyoto.h"
+
+#include <charconv>
+#include <functional>
+#include <utility>
+
+namespace clof::apps {
+
+struct MiniKyoto::Record {
+  std::string key;
+  std::string value;
+  Record* chain = nullptr;     // bucket chain
+  Record* lru_prev = nullptr;  // towards head (more recent)
+  Record* lru_next = nullptr;  // towards tail (less recent)
+};
+
+MiniKyoto::MiniKyoto(std::shared_ptr<Lock> lock, size_t buckets, size_t capacity)
+    : lock_(std::move(lock)), buckets_(buckets, nullptr), capacity_(capacity) {}
+
+MiniKyoto::~MiniKyoto() {
+  for (Record* record : buckets_) {
+    while (record != nullptr) {
+      Record* next = record->chain;
+      delete record;
+      record = next;
+    }
+  }
+}
+
+MiniKyoto::Record** MiniKyoto::BucketFor(const std::string& key) {
+  size_t h = std::hash<std::string>{}(key);
+  return &buckets_[h % buckets_.size()];
+}
+
+void MiniKyoto::TouchLru(Record* record) {
+  if (lru_head_ == record) {
+    return;
+  }
+  UnlinkLru(record);
+  record->lru_next = lru_head_;
+  record->lru_prev = nullptr;
+  if (lru_head_ != nullptr) {
+    lru_head_->lru_prev = record;
+  }
+  lru_head_ = record;
+  if (lru_tail_ == nullptr) {
+    lru_tail_ = record;
+  }
+}
+
+void MiniKyoto::UnlinkLru(Record* record) {
+  if (record->lru_prev != nullptr) {
+    record->lru_prev->lru_next = record->lru_next;
+  } else if (lru_head_ == record) {
+    lru_head_ = record->lru_next;
+  }
+  if (record->lru_next != nullptr) {
+    record->lru_next->lru_prev = record->lru_prev;
+  } else if (lru_tail_ == record) {
+    lru_tail_ = record->lru_prev;
+  }
+  record->lru_prev = nullptr;
+  record->lru_next = nullptr;
+}
+
+void MiniKyoto::EvictIfNeeded() {
+  while (capacity_ != 0 && size_ > capacity_ && lru_tail_ != nullptr) {
+    Record* victim = lru_tail_;
+    UnlinkLru(victim);
+    Record** cursor = BucketFor(victim->key);
+    while (*cursor != victim) {
+      cursor = &(*cursor)->chain;
+    }
+    *cursor = victim->chain;
+    delete victim;
+    --size_;
+    ++evictions_;
+  }
+}
+
+void MiniKyoto::Set(Session& session, const std::string& key, const std::string& value) {
+  Lock::Guard guard(*lock_, *session.ctx_);
+  for (Record* record = *BucketFor(key); record != nullptr; record = record->chain) {
+    if (record->key == key) {
+      record->value = value;
+      TouchLru(record);
+      return;
+    }
+  }
+  auto* record = new Record{key, value, nullptr, nullptr, nullptr};
+  Record** bucket = BucketFor(key);
+  record->chain = *bucket;
+  *bucket = record;
+  ++size_;
+  TouchLru(record);
+  EvictIfNeeded();
+}
+
+std::optional<std::string> MiniKyoto::Get(Session& session, const std::string& key) {
+  Lock::Guard guard(*lock_, *session.ctx_);
+  for (Record* record = *BucketFor(key); record != nullptr; record = record->chain) {
+    if (record->key == key) {
+      TouchLru(record);
+      return record->value;
+    }
+  }
+  return std::nullopt;
+}
+
+bool MiniKyoto::Remove(Session& session, const std::string& key) {
+  Lock::Guard guard(*lock_, *session.ctx_);
+  Record** cursor = BucketFor(key);
+  while (*cursor != nullptr) {
+    if ((*cursor)->key == key) {
+      Record* victim = *cursor;
+      *cursor = victim->chain;
+      UnlinkLru(victim);
+      delete victim;
+      --size_;
+      return true;
+    }
+    cursor = &(*cursor)->chain;
+  }
+  return false;
+}
+
+int64_t MiniKyoto::Increment(Session& session, const std::string& key, int64_t delta) {
+  Lock::Guard guard(*lock_, *session.ctx_);
+  Record* found = nullptr;
+  for (Record* record = *BucketFor(key); record != nullptr; record = record->chain) {
+    if (record->key == key) {
+      found = record;
+      break;
+    }
+  }
+  int64_t current = 0;
+  if (found != nullptr) {
+    std::from_chars(found->value.data(), found->value.data() + found->value.size(), current);
+  }
+  current += delta;
+  std::string next = std::to_string(current);
+  if (found != nullptr) {
+    found->value = std::move(next);
+    TouchLru(found);
+  } else {
+    auto* record = new Record{key, std::move(next), nullptr, nullptr, nullptr};
+    Record** bucket = BucketFor(key);
+    record->chain = *bucket;
+    *bucket = record;
+    ++size_;
+    TouchLru(record);
+    EvictIfNeeded();
+  }
+  return current;
+}
+
+}  // namespace clof::apps

@@ -1,0 +1,68 @@
+// MiniKyoto: a Kyoto-Cabinet-flavoured cache hash DB with a pluggable lock.
+//
+// Kyoto Cabinet's CacheDB is a bucketed hash table with LRU eviction whose operations
+// serialize on coarse locking; the lock papers use it as a second, longer-critical-
+// section contention generator (paper §5.1.2 uses it to cross-validate the LevelDB
+// selection). This native store mirrors that structure: open-chained buckets plus an
+// intrusive global LRU list, all guarded by one type-erased clof::Lock.
+#ifndef CLOF_SRC_APPS_MINI_KYOTO_H_
+#define CLOF_SRC_APPS_MINI_KYOTO_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/clof/lock.h"
+
+namespace clof::apps {
+
+class MiniKyoto {
+ public:
+  // `capacity`: maximum record count before LRU eviction (0 = unbounded).
+  MiniKyoto(std::shared_ptr<Lock> lock, size_t buckets = 1024, size_t capacity = 0);
+  ~MiniKyoto();
+
+  MiniKyoto(const MiniKyoto&) = delete;
+  MiniKyoto& operator=(const MiniKyoto&) = delete;
+
+  class Session {
+   public:
+    explicit Session(MiniKyoto& db) : db_(&db), ctx_(db.lock_->MakeContext()) {}
+
+   private:
+    friend class MiniKyoto;
+    MiniKyoto* db_;
+    std::unique_ptr<Lock::Context> ctx_;
+  };
+
+  void Set(Session& session, const std::string& key, const std::string& value);
+  std::optional<std::string> Get(Session& session, const std::string& key);
+  bool Remove(Session& session, const std::string& key);
+  // Atomic read-modify-write of a record (Kyoto's increment-style workhorse).
+  int64_t Increment(Session& session, const std::string& key, int64_t delta);
+
+  size_t size() const { return size_; }
+  size_t evictions() const { return evictions_; }
+
+ private:
+  struct Record;
+
+  Record** BucketFor(const std::string& key);
+  void TouchLru(Record* record);
+  void UnlinkLru(Record* record);
+  void EvictIfNeeded();
+
+  std::shared_ptr<Lock> lock_;
+  std::vector<Record*> buckets_;
+  Record* lru_head_ = nullptr;  // most recently used
+  Record* lru_tail_ = nullptr;  // eviction candidate
+  size_t capacity_;
+  size_t size_ = 0;
+  size_t evictions_ = 0;
+};
+
+}  // namespace clof::apps
+
+#endif  // CLOF_SRC_APPS_MINI_KYOTO_H_

@@ -1,0 +1,169 @@
+// CNA — Compact NUMA-Aware lock (Dice & Kogan, EuroSys'19; paper §2.2).
+//
+// An MCS variant: on release, the owner scans the main queue for the first waiter from
+// its own NUMA socket and passes to it, moving the skipped remote waiters to a secondary
+// queue; the secondary queue is spliced back periodically (and whenever no local waiter
+// exists) to preserve long-term fairness. Only 2 hierarchy levels exist (socket/system),
+// which is exactly the limitation the paper's Figures 4 and 10 exhibit.
+//
+// The secondary queue lives in owner-only fields of the lock; they are handed over under
+// the lock's own release->acquire ordering.
+#ifndef CLOF_SRC_BASELINES_CNA_H_
+#define CLOF_SRC_BASELINES_CNA_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/memory_policy.h"
+#include "src/topo/topology.h"
+
+namespace clof::baselines {
+
+template <class M>
+  requires mem::MemoryPolicy<M>
+class CnaLock {
+ public:
+  static constexpr const char* kName = "cna";
+  static constexpr bool kIsFair = true;  // long-term, via periodic secondary-queue flush
+  static constexpr uint32_t kFlushThreshold = 256;  // the original flushes w.p. 1/256
+
+  struct alignas(64) QNode {
+    typename M::template Atomic<QNode*> next{nullptr};
+    typename M::template Atomic<uint32_t> spin{0};  // 0 = wait, 1 = granted
+    int socket = -1;
+  };
+
+  struct Context {
+    QNode node;
+  };
+
+  // `socket_level`: index of the NUMA-node level within `hierarchy.topology()`; pass -1
+  // to auto-detect (level named "numa", else the level just below system).
+  explicit CnaLock(const topo::Hierarchy& hierarchy, int socket_level = -1) {
+    const topo::Topology& topo = hierarchy.topology();
+    if (socket_level < 0) {
+      socket_level = topo.LevelIndexByName("numa");
+    }
+    if (socket_level < 0) {
+      socket_level = topo.num_levels() >= 2 ? topo.num_levels() - 2 : 0;
+    }
+    cpu_socket_.resize(topo.num_cpus());
+    for (int cpu = 0; cpu < topo.num_cpus(); ++cpu) {
+      cpu_socket_[cpu] = topo.CohortOf(cpu, socket_level);
+    }
+  }
+
+  void Acquire(Context& ctx) {
+    QNode* me = &ctx.node;
+    me->next.Store(nullptr, std::memory_order_relaxed);
+    me->spin.Store(0, std::memory_order_relaxed);
+    me->socket = cpu_socket_[M::CpuId()];
+    QNode* pred = tail_.Exchange(me, std::memory_order_acq_rel);
+    if (pred == nullptr) {
+      return;
+    }
+    pred->next.Store(me, std::memory_order_release);
+    M::SpinUntil(me->spin, [](uint32_t s) { return s != 0; });
+  }
+
+  void Release(Context& ctx) {
+    QNode* me = &ctx.node;
+    bool flush = ++handovers_ >= kFlushThreshold;
+    if (flush) {
+      handovers_ = 0;
+    }
+
+    QNode* succ = me->next.Load(std::memory_order_acquire);
+    if (succ == nullptr) {
+      // No linked successor: splice the secondary queue back as the new main queue, or
+      // leave the lock free.
+      QNode* sec_head = sec_head_;
+      if (sec_head != nullptr) {
+        QNode* expected = me;
+        if (tail_.CompareExchange(expected, sec_tail_, std::memory_order_acq_rel)) {
+          sec_head_ = nullptr;
+          sec_tail_ = nullptr;
+          Grant(sec_head);
+          return;
+        }
+        // A waiter is swinging in; wait for the link and fall through.
+      } else {
+        QNode* expected = me;
+        if (tail_.CompareExchange(expected, nullptr, std::memory_order_acq_rel)) {
+          return;
+        }
+      }
+      succ = M::SpinUntil(me->next, [](QNode* n) { return n != nullptr; });
+    }
+
+    if (!flush) {
+      QNode* local = FindLocalSuccessor(me, succ);
+      if (local != nullptr) {
+        Grant(local);
+        return;
+      }
+    }
+    // Fairness flush (or no local waiter): put the skipped remote waiters back in front.
+    if (sec_head_ != nullptr) {
+      sec_tail_->next.Store(succ, std::memory_order_release);
+      QNode* head = sec_head_;
+      sec_head_ = nullptr;
+      sec_tail_ = nullptr;
+      Grant(head);
+      return;
+    }
+    Grant(succ);
+  }
+
+  bool HasWaiters(const Context& ctx) const {
+    return ctx.node.next.Load(std::memory_order_acquire) != nullptr ||
+           tail_.Load(std::memory_order_acquire) != &ctx.node || sec_head_ != nullptr;
+  }
+
+ private:
+  static void Grant(QNode* node) { node->spin.Store(1, std::memory_order_release); }
+
+  // Scans the linked prefix of the main queue for the first waiter on our socket; the
+  // skipped prefix moves to the secondary queue. Returns nullptr if none found (the
+  // scan stops at the first unlinked next pointer, like the original).
+  QNode* FindLocalSuccessor(QNode* me, QNode* first) {
+    if (first->socket == me->socket) {
+      return first;
+    }
+    QNode* skipped_head = first;
+    QNode* cur = first;
+    for (;;) {
+      QNode* next = cur->next.Load(std::memory_order_acquire);
+      if (next == nullptr) {
+        return nullptr;  // cannot safely skip the (possibly tail) node `cur`
+      }
+      if (next->socket == me->socket) {
+        AppendSecondary(skipped_head, cur);
+        return next;
+      }
+      cur = next;
+    }
+  }
+
+  void AppendSecondary(QNode* head, QNode* last) {
+    last->next.Store(nullptr, std::memory_order_relaxed);
+    if (sec_head_ == nullptr) {
+      sec_head_ = head;
+    } else {
+      sec_tail_->next.Store(head, std::memory_order_relaxed);
+    }
+    sec_tail_ = last;
+  }
+
+  typename M::template Atomic<QNode*> tail_{nullptr};
+  // Owner-only state, protected by lock ownership itself.
+  QNode* sec_head_ = nullptr;
+  QNode* sec_tail_ = nullptr;
+  uint32_t handovers_ = 0;
+  std::vector<int> cpu_socket_;
+};
+
+}  // namespace clof::baselines
+
+#endif  // CLOF_SRC_BASELINES_CNA_H_

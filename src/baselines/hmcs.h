@@ -1,0 +1,150 @@
+// HMCS lock (Chabbi, Fagan & Mellor-Crummey, PPoPP'15; paper §2.2): the multi-level,
+// level-homogeneous NUMA-aware baseline. A tree of MCS locks mirrors the hierarchy; a
+// thread enqueues at its leaf and climbs to the root; releases prefer passing within the
+// cohort until a per-level threshold is reached.
+//
+// This follows the original status-word protocol: a waiter's status encodes WAIT,
+// ACQUIRE_PARENT (wake up and climb), or the inherited local pass count. The root level
+// is a plain MCS queue (globally FIFO, hence fair). Depth is a runtime property — the
+// same class implements HMCS<2>, HMCS<3>, HMCS<4> by taking the hierarchy to mirror.
+#ifndef CLOF_SRC_BASELINES_HMCS_H_
+#define CLOF_SRC_BASELINES_HMCS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/mem/memory_policy.h"
+#include "src/topo/topology.h"
+
+namespace clof::baselines {
+
+template <class M>
+  requires mem::MemoryPolicy<M>
+class HmcsLock {
+ public:
+  static constexpr const char* kName = "hmcs";
+  static constexpr bool kIsFair = true;
+  static constexpr uint64_t kDefaultThreshold = 128;  // matches CLoF's keep_local H
+
+  struct alignas(64) QNode {
+    typename M::template Atomic<QNode*> next{nullptr};
+    typename M::template Atomic<uint64_t> status{0};
+  };
+
+  struct Context {
+    QNode node;
+  };
+
+  explicit HmcsLock(const topo::Hierarchy& hierarchy, uint64_t threshold = kDefaultThreshold)
+      : hierarchy_(hierarchy), threshold_(threshold) {
+    // Build HNodes bottom-up; nodes_[d][c] = the MCS lock of cohort c at depth d.
+    levels_.resize(hierarchy_.depth());
+    for (int d = hierarchy_.depth() - 1; d >= 0; --d) {
+      levels_[d].reserve(hierarchy_.NumCohorts(d));
+      for (int c = 0; c < hierarchy_.NumCohorts(d); ++c) {
+        auto hnode = std::make_unique<HNode>();
+        if (d + 1 < hierarchy_.depth()) {
+          // Parent: the cohort at the next level that contains any CPU of this cohort.
+          int cpu = FirstCpuOfCohort(d, c);
+          hnode->parent = levels_[d + 1][hierarchy_.CohortOf(cpu, d + 1)].get();
+        }
+        levels_[d].push_back(std::move(hnode));
+      }
+    }
+  }
+
+  void Acquire(Context& ctx) {
+    HNode* leaf = levels_[0][hierarchy_.CohortOf(M::CpuId(), 0)].get();
+    AcquireAt(leaf, &ctx.node);
+  }
+
+  void Release(Context& ctx) {
+    HNode* leaf = levels_[0][hierarchy_.CohortOf(M::CpuId(), 0)].get();
+    ReleaseAt(leaf, &ctx.node);
+  }
+
+  int levels() const { return hierarchy_.depth(); }
+
+ private:
+  static constexpr uint64_t kWait = ~uint64_t{0};
+  static constexpr uint64_t kAcquireParent = ~uint64_t{0} - 1;
+  static constexpr uint64_t kCohortStart = 1;
+
+  struct alignas(64) HNode {
+    HNode* parent = nullptr;
+    typename M::template Atomic<QNode*> tail{nullptr};
+    QNode qnode;  // enqueued into the parent's queue on behalf of this cohort
+  };
+
+  int FirstCpuOfCohort(int depth, int cohort) const {
+    for (int cpu = 0; cpu < hierarchy_.num_cpus(); ++cpu) {
+      if (hierarchy_.CohortOf(cpu, depth) == cohort) {
+        return cpu;
+      }
+    }
+    return 0;
+  }
+
+  void AcquireAt(HNode* h, QNode* me) {
+    me->next.Store(nullptr, std::memory_order_relaxed);
+    me->status.Store(kWait, std::memory_order_relaxed);
+    QNode* pred = h->tail.Exchange(me, std::memory_order_acq_rel);
+    if (pred != nullptr) {
+      pred->next.Store(me, std::memory_order_release);
+      uint64_t status =
+          M::SpinUntil(me->status, [](uint64_t s) { return s != kWait; });
+      if (status != kAcquireParent) {
+        return;  // lock passed within the cohort; status carries the pass count
+      }
+    }
+    // Queue head of this cohort: climb to (or start at) the parent level.
+    if (h->parent != nullptr) {
+      AcquireAt(h->parent, &h->qnode);
+    }
+    me->status.Store(kCohortStart, std::memory_order_relaxed);
+  }
+
+  void ReleaseAt(HNode* h, QNode* me) {
+    if (h->parent == nullptr) {
+      // Root: plain MCS handover (global FIFO).
+      PassOrLeave(h, me, kCohortStart, /*release_parent_first=*/nullptr);
+      return;
+    }
+    uint64_t count = me->status.Load(std::memory_order_relaxed);
+    if (count < threshold_) {
+      QNode* succ = me->next.Load(std::memory_order_acquire);
+      if (succ != nullptr) {
+        succ->status.Store(count + 1, std::memory_order_release);  // pass locally
+        return;
+      }
+    }
+    // Threshold reached or no local successor: release the parent level first, then
+    // hand the cohort queue head the duty to re-acquire the parent.
+    ReleaseAt(h->parent, &h->qnode);
+    PassOrLeave(h, me, kAcquireParent, h);
+  }
+
+  // MCS-style epilogue: pass `grant_status` to the successor, or detach from the queue
+  // if none. `h` is only used for the tail CAS.
+  void PassOrLeave(HNode* h, QNode* me, uint64_t grant_status, HNode* /*unused*/ = nullptr) {
+    QNode* succ = me->next.Load(std::memory_order_acquire);
+    if (succ == nullptr) {
+      QNode* expected = me;
+      if (h->tail.CompareExchange(expected, nullptr, std::memory_order_acq_rel)) {
+        return;
+      }
+      succ = M::SpinUntil(me->next, [](QNode* n) { return n != nullptr; });
+    }
+    succ->status.Store(grant_status, std::memory_order_release);
+  }
+
+  topo::Hierarchy hierarchy_;
+  uint64_t threshold_;
+  std::vector<std::vector<std::unique_ptr<HNode>>> levels_;
+};
+
+}  // namespace clof::baselines
+
+#endif  // CLOF_SRC_BASELINES_HMCS_H_

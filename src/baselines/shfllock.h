@@ -1,0 +1,140 @@
+// ShflLock (Kashyap et al., SOSP'19; paper §2.2): a qspinlock-style lock with shuffled
+// waiters. A test-and-set word guards the critical section; waiters queue MCS-style, and
+// the queue head acts as the "shuffler", reordering the linked portion of the queue so
+// waiters from its own socket move ahead (bounded per round to preserve long-term
+// fairness). Like CNA it only understands one locality level — the NUMA socket.
+#ifndef CLOF_SRC_BASELINES_SHFLLOCK_H_
+#define CLOF_SRC_BASELINES_SHFLLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/memory_policy.h"
+#include "src/topo/topology.h"
+
+namespace clof::baselines {
+
+template <class M>
+  requires mem::MemoryPolicy<M>
+class ShflLock {
+ public:
+  static constexpr const char* kName = "shfl";
+  // The TAS word admits barging; ShflLock argues long-term fairness, but strict
+  // starvation freedom is not guaranteed.
+  static constexpr bool kIsFair = false;
+  static constexpr int kMaxShufflesPerRound = 16;
+
+  struct alignas(64) QNode {
+    typename M::template Atomic<QNode*> next{nullptr};
+    typename M::template Atomic<uint32_t> is_head{0};
+    int socket = -1;
+  };
+
+  struct Context {
+    QNode node;
+  };
+
+  explicit ShflLock(const topo::Hierarchy& hierarchy, int socket_level = -1) {
+    const topo::Topology& topo = hierarchy.topology();
+    if (socket_level < 0) {
+      socket_level = topo.LevelIndexByName("numa");
+    }
+    if (socket_level < 0) {
+      socket_level = topo.num_levels() >= 2 ? topo.num_levels() - 2 : 0;
+    }
+    cpu_socket_.resize(topo.num_cpus());
+    for (int cpu = 0; cpu < topo.num_cpus(); ++cpu) {
+      cpu_socket_[cpu] = topo.CohortOf(cpu, socket_level);
+    }
+  }
+
+  void Acquire(Context& ctx) {
+    // Fast path: uncontended test-and-set.
+    if (TryLock()) {
+      return;
+    }
+    QNode* me = &ctx.node;
+    me->next.Store(nullptr, std::memory_order_relaxed);
+    me->is_head.Store(0, std::memory_order_relaxed);
+    me->socket = cpu_socket_[M::CpuId()];
+    QNode* pred = tail_.Exchange(me, std::memory_order_acq_rel);
+    if (pred != nullptr) {
+      pred->next.Store(me, std::memory_order_release);
+      M::SpinUntil(me->is_head, [](uint32_t v) { return v != 0; });
+    }
+    // Queue head: shuffle same-socket waiters towards the front, then wait for the TAS
+    // word and pass the head role on.
+    Shuffle(me);
+    for (;;) {
+      M::SpinUntil(locked_, [](uint32_t v) { return v == 0; });
+      if (TryLock()) {
+        break;
+      }
+    }
+    LeaveQueue(me);
+  }
+
+  void Release(Context& /*ctx*/) { locked_.Store(0, std::memory_order_release); }
+
+ private:
+  bool TryLock() {
+    uint32_t expected = 0;
+    return locked_.CompareExchange(expected, 1, std::memory_order_acq_rel);
+  }
+
+  // Splices waiters whose socket matches ours directly behind us. Only the queue head
+  // mutates the linked prefix, so plain list surgery on `next` pointers is safe as long
+  // as we never touch a node whose link is not yet published and never move the node the
+  // tail points to.
+  void Shuffle(QNode* me) {
+    int moved = 0;
+    QNode* anchor = me;  // nodes after `anchor` are already same-socket
+    QNode* prev = me;
+    QNode* cur = me->next.Load(std::memory_order_acquire);
+    while (cur != nullptr && moved < kMaxShufflesPerRound) {
+      QNode* next = cur->next.Load(std::memory_order_acquire);
+      if (cur->socket == me->socket) {
+        if (prev == anchor) {
+          anchor = cur;  // already in position
+        } else if (next != nullptr) {
+          // Unlink cur and splice it right after anchor.
+          prev->next.Store(next, std::memory_order_relaxed);
+          QNode* after_anchor = anchor->next.Load(std::memory_order_relaxed);
+          cur->next.Store(after_anchor, std::memory_order_relaxed);
+          anchor->next.Store(cur, std::memory_order_release);
+          anchor = cur;
+          ++moved;
+          cur = next;
+          continue;
+        }
+      }
+      if (next == nullptr) {
+        break;  // cur may be the tail; stop before any unsafe move
+      }
+      prev = cur;
+      cur = next;
+    }
+  }
+
+  // Passes the head role to our successor (MCS epilogue).
+  void LeaveQueue(QNode* me) {
+    QNode* succ = me->next.Load(std::memory_order_acquire);
+    if (succ == nullptr) {
+      QNode* expected = me;
+      if (tail_.CompareExchange(expected, nullptr, std::memory_order_acq_rel)) {
+        return;
+      }
+      succ = M::SpinUntil(me->next, [](QNode* n) { return n != nullptr; });
+    }
+    succ->is_head.Store(1, std::memory_order_release);
+  }
+
+  typename M::template Atomic<uint32_t> locked_{0};
+  typename M::template Atomic<QNode*> tail_{nullptr};
+  std::vector<int> cpu_socket_;
+};
+
+}  // namespace clof::baselines
+
+#endif  // CLOF_SRC_BASELINES_SHFLLOCK_H_

@@ -1,0 +1,280 @@
+// The CLoF lock generator (paper §4.1): compile-time syntactic recursion that composes
+// NUMA-oblivious basic locks, one per hierarchy level, into a multi-level NUMA-aware
+// lock that is correct by construction.
+//
+// Type structure (mirroring the grammar of Figure 6):
+//
+//   ClofRoot<M, L>            — base case: the single system-level lock l0.
+//   ClofTree<M, Low, High>    — inductive case CLoF(l, L): one `Low` instance per cohort
+//                               of this tree's hierarchy level, sharing one `High` tree.
+//   Compose<M, A, B, C, ...>  — convenience alias expanding to the nested type, locks
+//                               listed from the lowest level to the system level.
+//
+// Acquire/Release implement lockgen (Figure 8) exactly:
+//
+//   acquire: inc_waiters; acq(low); dec_waiters;
+//            if (!has_high_lock) acq(high, high_ctx)
+//   release: if (has_waiters && keep_local) { pass_high_lock; rel(low) }
+//            else { clear_high_lock; rel(high, high_ctx); rel(low) }   // order matters!
+//
+// The release order — high before low in the climb path — is what preserves the context
+// invariant (§4.1.3): the high context lives in the low lock's node metadata and is only
+// ever touched by the current owner of the low lock. Releasing low first would let the
+// next owner grab the context while we still use it (mck mutation tests exercise this).
+//
+// All composition-added accesses (waiter counter, has_high flag) use relaxed orderings;
+// the paper's VSync analysis (§4.2.3) shows they need no additional barriers because the
+// basic locks' own acquire/release barriers order them.
+#ifndef CLOF_SRC_CLOF_CLOF_TREE_H_
+#define CLOF_SRC_CLOF_CLOF_TREE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/locks/traits.h"
+#include "src/mem/memory_policy.h"
+#include "src/topo/topology.h"
+
+namespace clof {
+
+// Per-hierarchy-level usage counters (lowest level first). Maintained owner-side with
+// plain increments (no atomics — each field is only written under the level's low
+// lock), so collection is racy-but-monotonic like /proc counters: call it quiesced for
+// exact numbers.
+struct LevelStats {
+  uint64_t acquisitions = 0;  // times a low lock of this level was acquired
+  uint64_t inherited = 0;     // ...of which found the high lock already held (a pass)
+  uint64_t local_passes = 0;  // releases that passed the high lock within the cohort
+  uint64_t climbs = 0;        // releases that released the level above
+
+  double LocalPassRatio() const {
+    uint64_t releases = local_passes + climbs;
+    return releases == 0 ? 0.0 : static_cast<double>(local_passes) / releases;
+  }
+};
+
+struct ClofParams {
+  // keep_local threshold H (§4.1.2): after H consecutive local handovers at a level, the
+  // high lock is released to another cohort so remote cohorts cannot starve. The paper
+  // follows HMCS and uses 128 per level.
+  uint32_t keep_local_threshold = 128;
+  // When false, the waiter-counter path (inc/dec/has_waiters) is used even for locks
+  // that provide the owner-side HasWaiters hook — useful for A/B tests.
+  bool use_has_waiters_hook = true;
+};
+
+// Base case: the single system-level lock.
+template <class M, class L>
+class ClofRoot {
+ public:
+  using Context = typename L::Context;
+  using LowLock = L;
+  static constexpr bool kIsFair = L::kIsFair;
+  static constexpr int kLevels = 1;
+
+  ClofRoot(const topo::Hierarchy& hierarchy, int depth_index, const ClofParams& params) {
+    (void)params;
+    if (depth_index != hierarchy.depth() - 1 || hierarchy.NumCohorts(depth_index) != 1) {
+      throw std::invalid_argument(
+          "CLoF composition depth does not match the hierarchy depth (lock '" + Name() +
+          "' vs hierarchy '" + hierarchy.Describe() + "')");
+    }
+  }
+
+  void Acquire(Context& ctx) {
+    lock_.Acquire(ctx);
+    ++acquisitions_;
+  }
+  void Release(Context& ctx) { lock_.Release(ctx); }
+
+  static std::string Name() { return L::kName; }
+
+  // Appends this level's counters (the root lock never passes or climbs).
+  void CollectStats(std::vector<LevelStats>* out) const {
+    LevelStats stats;
+    stats.acquisitions = acquisitions_;
+    out->push_back(stats);
+  }
+
+  std::vector<LevelStats> Stats() const {
+    std::vector<LevelStats> out;
+    CollectStats(&out);
+    return out;
+  }
+
+ private:
+  L lock_;
+  uint64_t acquisitions_ = 0;  // owner-side, guarded by the lock itself
+};
+
+// Inductive case: CLoF(l, L) with `Low` = l protecting each cohort at this level and
+// `High` = L, the composed lock of all levels above.
+template <class M, class Low, class High>
+  requires mem::MemoryPolicy<M>
+class ClofTree {
+ public:
+  // A thread supplies a context only for its lowest-level lock; contexts for all higher
+  // levels live inside node metadata and are handed over with lock ownership (§4.1.3).
+  using Context = typename Low::Context;
+  using LowLock = Low;
+  using HighTree = High;
+  static constexpr bool kIsFair = Low::kIsFair && High::kIsFair;
+  static constexpr int kLevels = 1 + High::kLevels;
+
+  ClofTree(const topo::Hierarchy& hierarchy, int depth_index, const ClofParams& params)
+      : hierarchy_(hierarchy),
+        depth_index_(depth_index),
+        params_(params),
+        high_(hierarchy, depth_index + 1, params) {
+    int cohorts = hierarchy.NumCohorts(depth_index);
+    nodes_.reserve(cohorts);
+    for (int i = 0; i < cohorts; ++i) {
+      nodes_.push_back(std::make_unique<Node>());
+    }
+  }
+
+  void Acquire(Context& ctx) {
+    Node& node = NodeForCpu();
+    if (!UseHook()) {
+      node.waiters.FetchAdd(1, std::memory_order_relaxed);
+    }
+    node.low.Acquire(ctx);
+    if (!UseHook()) {
+      node.waiters.FetchAdd(static_cast<uint32_t>(-1), std::memory_order_relaxed);
+    }
+    ++node.stats.acquisitions;
+    // has_high is protected by the low lock's release->acquire ordering.
+    if (node.has_high.Load(std::memory_order_relaxed) == 0) {
+      high_.Acquire(node.high_ctx);
+    } else {
+      ++node.stats.inherited;
+    }
+  }
+
+  void Release(Context& ctx) {
+    Node& node = NodeForCpu();
+    if (HasLocalWaiters(node, ctx) && KeepLocal(node)) {
+      // Pass: the high lock stays acquired and is inherited by the next local owner.
+      // Only write the flag on the transition: during a passing streak it is already
+      // set and a redundant store would cost an invalidation round every handover.
+      if (node.has_high.Load(std::memory_order_relaxed) == 0) {
+        node.has_high.Store(1, std::memory_order_relaxed);
+      }
+      ++node.stats.local_passes;
+      node.low.Release(ctx);
+    } else {
+      node.keep_local_count = 0;
+      if (node.has_high.Load(std::memory_order_relaxed) != 0) {
+        node.has_high.Store(0, std::memory_order_relaxed);
+      }
+      ++node.stats.climbs;
+      high_.Release(node.high_ctx);  // must precede the low release (context invariant)
+      node.low.Release(ctx);
+    }
+  }
+
+  // Counters per level, lowest first (aggregated over this level's cohort nodes).
+  void CollectStats(std::vector<LevelStats>* out) const {
+    LevelStats total;
+    for (const auto& node : nodes_) {
+      total.acquisitions += node->stats.acquisitions;
+      total.inherited += node->stats.inherited;
+      total.local_passes += node->stats.local_passes;
+      total.climbs += node->stats.climbs;
+    }
+    out->push_back(total);
+    high_.CollectStats(out);
+  }
+
+  std::vector<LevelStats> Stats() const {
+    std::vector<LevelStats> out;
+    CollectStats(&out);
+    return out;
+  }
+
+  static std::string Name() { return std::string(Low::kName) + "-" + High::Name(); }
+
+ private:
+  struct alignas(64) Node {
+    Low low;
+    // The composition metadata lives on its own cache line, away from the low lock
+    // word: the lock word is written on every handover, while has_high only changes on
+    // pass/climb *transitions* — kept separate, the flag line stays in shared state and
+    // the per-CS has_high reads are cache hits instead of line transfers.
+    alignas(64) typename M::template Atomic<uint32_t> waiters{0};
+    typename M::template Atomic<uint32_t> has_high{0};
+    uint32_t keep_local_count = 0;  // owner-only, guarded by `low`
+    LevelStats stats;               // owner-only, guarded by `low`
+    typename High::Context high_ctx;
+  };
+
+  static constexpr bool kLowHasHook = locks::HasWaitersHook<Low>;
+
+  bool UseHook() const {
+    if constexpr (kLowHasHook) {
+      return params_.use_has_waiters_hook;
+    } else {
+      return false;
+    }
+  }
+
+  Node& NodeForCpu() {
+    return *nodes_[hierarchy_.CohortOf(M::CpuId(), depth_index_)];
+  }
+
+  bool HasLocalWaiters(Node& node, const Context& ctx) const {
+    if constexpr (kLowHasHook) {
+      if (params_.use_has_waiters_hook) {
+        return node.low.HasWaiters(ctx);
+      }
+    }
+    return node.waiters.Load(std::memory_order_relaxed) > 0;
+  }
+
+  bool KeepLocal(Node& node) const {
+    if (++node.keep_local_count >= params_.keep_local_threshold) {
+      node.keep_local_count = 0;
+      return false;
+    }
+    return true;
+  }
+
+  // Owned copy (a Hierarchy is two words plus a small index vector); the referenced
+  // Topology must outlive the lock.
+  topo::Hierarchy hierarchy_;
+  int depth_index_;
+  ClofParams params_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  High high_;
+};
+
+namespace internal {
+
+template <class M, class... Ls>
+struct ComposeImpl;
+
+template <class M, class L>
+struct ComposeImpl<M, L> {
+  using type = ClofRoot<M, L>;
+};
+
+template <class M, class L, class... Rest>
+struct ComposeImpl<M, L, Rest...> {
+  using type = ClofTree<M, L, typename ComposeImpl<M, Rest...>::type>;
+};
+
+}  // namespace internal
+
+// Compose<M, CoreLock, CacheLock, ..., SystemLock>: locks listed low to high. The
+// resulting type is constructed as T(hierarchy, 0, params) where hierarchy.depth()
+// must equal the number of locks.
+template <class M, class... Ls>
+using Compose = typename internal::ComposeImpl<M, Ls...>::type;
+
+}  // namespace clof
+
+#endif  // CLOF_SRC_CLOF_CLOF_TREE_H_

@@ -1,0 +1,70 @@
+// Fast-path extension (paper §6): "Extending CLoF with the same TAS approach as
+// ShflLock is rather simple" — this is that extension.
+//
+// The actual lock is a single test-and-set word; the CLoF tree serves as the
+// locality-aware waiting room (exactly ShflLock's structure, with the shuffled MCS
+// queue replaced by a composed CLoF lock). An uncontended acquire is one CAS; under
+// contention, threads line up through the CLoF hierarchy, and only the tree owner spins
+// on the word, so handover locality is preserved. Like all barging fast paths this
+// trades strict fairness for latency (kIsFair = false); AHMCS-style level bypassing is
+// noted by the paper as future work.
+#ifndef CLOF_SRC_CLOF_FAST_PATH_H_
+#define CLOF_SRC_CLOF_FAST_PATH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/clof/clof_tree.h"
+
+namespace clof {
+
+template <class M, class Tree>
+class FastPathClof {
+ public:
+  using Context = typename Tree::Context;
+  static constexpr bool kIsFair = false;  // the TAS word admits barging
+  static constexpr int kLevels = Tree::kLevels;
+
+  FastPathClof(const topo::Hierarchy& hierarchy, int depth_index, const ClofParams& params)
+      : tree_(hierarchy, depth_index, params) {}
+
+  void Acquire(Context& ctx) {
+    if (TryLock()) {
+      return;  // uncontended: one CAS
+    }
+    // Contended: queue through the CLoF hierarchy. The tree owner is unique, so at most
+    // one queued thread spins on the word at any time (plus late fast-path arrivals).
+    tree_.Acquire(ctx);
+    for (;;) {
+      M::SpinUntil(word_, [](uint32_t v) { return v == 0; });
+      if (TryLock()) {
+        break;
+      }
+    }
+    // Leave the waiting room before the critical section (qspinlock-style): the next
+    // tree owner starts spinning while we work, hiding its wakeup latency.
+    tree_.Release(ctx);
+  }
+
+  void Release(Context& /*ctx*/) { word_.Store(0, std::memory_order_release); }
+
+  static std::string Name() { return "fp-" + Tree::Name(); }
+
+  // Waiting-room statistics; note fast-path acquisitions bypass the tree entirely, so
+  // the level counters only cover contended acquisitions.
+  std::vector<LevelStats> Stats() const { return tree_.Stats(); }
+
+ private:
+  bool TryLock() {
+    uint32_t expected = 0;
+    return word_.CompareExchange(expected, 1, std::memory_order_acq_rel);
+  }
+
+  typename M::template Atomic<uint32_t> word_{0};
+  Tree tree_;
+};
+
+}  // namespace clof
+
+#endif  // CLOF_SRC_CLOF_FAST_PATH_H_

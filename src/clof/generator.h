@@ -1,0 +1,75 @@
+// Exhaustive CLoF lock generation (paper §4.3): with N basic locks and M hierarchy
+// levels, instantiate all N^M compositions at compile time and register a factory for
+// each. The basic set is the paper's: Ticketlock, MCS, CLH, Hemlock.
+//
+// Instantiating the full depth-4 enumeration costs real compiler time (~340 distinct
+// composition types per memory policy); call sites live in dedicated translation units
+// (registry_sim_*.cc, registry_native.cc) so the rest of the build never pays for it.
+#ifndef CLOF_SRC_CLOF_GENERATOR_H_
+#define CLOF_SRC_CLOF_GENERATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "src/clof/clof_tree.h"
+#include "src/clof/lock.h"
+#include "src/clof/registry.h"
+#include "src/locks/clh.h"
+#include "src/locks/hemlock.h"
+#include "src/locks/mcs.h"
+#include "src/locks/ticket.h"
+
+namespace clof {
+
+namespace internal {
+
+// Stateless factory: the registry passes the lock's registered name through, so one
+// function template per composition type suffices (no per-entry closures).
+template <class Tree>
+std::unique_ptr<Lock> MakeTreeLock(const std::string& name, const topo::Hierarchy& hierarchy,
+                                   const ClofParams& params) {
+  return std::make_unique<TreeLock<Tree>>(name, hierarchy, params);
+}
+
+template <class M, bool Ctr, int Depth, class... Acc>
+struct GenerateCombos {
+  static void Run(Registry& registry, const std::string& prefix) {
+    if constexpr (Depth == 0) {
+      using Tree = Compose<M, Acc...>;
+      registry.Register(prefix, sizeof...(Acc), Tree::kIsFair, &MakeTreeLock<Tree>);
+    } else {
+      const std::string sep = prefix.empty() ? "" : "-";
+      GenerateCombos<M, Ctr, Depth - 1, Acc..., locks::TicketLock<M>>::Run(registry,
+                                                                           prefix + sep + "tkt");
+      GenerateCombos<M, Ctr, Depth - 1, Acc..., locks::McsLock<M>>::Run(registry,
+                                                                        prefix + sep + "mcs");
+      GenerateCombos<M, Ctr, Depth - 1, Acc..., locks::ClhLock<M>>::Run(registry,
+                                                                        prefix + sep + "clh");
+      GenerateCombos<M, Ctr, Depth - 1, Acc..., locks::Hemlock<M, Ctr>>::Run(registry,
+                                                                             prefix + sep + "hem");
+    }
+  }
+};
+
+}  // namespace internal
+
+// Registers all combinations of depth 1..MaxDepth (depth-1 entries double as the plain
+// NUMA-oblivious locks "tkt", "mcs", "clh", "hem").
+template <class M, bool CtrHem, int MaxDepth = 4>
+void GenerateAllClofLocks(Registry& registry) {
+  internal::GenerateCombos<M, CtrHem, 1>::Run(registry, "");
+  if constexpr (MaxDepth >= 2) {
+    internal::GenerateCombos<M, CtrHem, 2>::Run(registry, "");
+  }
+  if constexpr (MaxDepth >= 3) {
+    internal::GenerateCombos<M, CtrHem, 3>::Run(registry, "");
+  }
+  if constexpr (MaxDepth >= 4) {
+    internal::GenerateCombos<M, CtrHem, 4>::Run(registry, "");
+  }
+  static_assert(MaxDepth <= 4, "extend the ladder above for deeper enumerations");
+}
+
+}  // namespace clof
+
+#endif  // CLOF_SRC_CLOF_GENERATOR_H_

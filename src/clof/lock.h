@@ -1,0 +1,144 @@
+// Type-erased lock interface.
+//
+// The CLoF composition is fully static (templates all the way down); this interface
+// erases the concrete tree type at the outermost boundary only, so that benchmarks and
+// the scripted lock selector can iterate over hundreds of generated locks by name.
+// Native users who care about the last nanosecond can use the Compose<> types directly.
+#ifndef CLOF_SRC_CLOF_LOCK_H_
+#define CLOF_SRC_CLOF_LOCK_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/clof/clof_tree.h"
+#include "src/topo/topology.h"
+
+namespace clof {
+
+class Lock {
+ public:
+  // Per-thread acquisition state. Create one per (thread, lock) pair; never share a
+  // live context between threads or concurrent acquisitions (the context invariant).
+  class Context {
+   public:
+    virtual ~Context() = default;
+  };
+
+  virtual ~Lock() = default;
+
+  virtual std::unique_ptr<Context> MakeContext() = 0;
+  // `ctx` must have been created by this lock's MakeContext().
+  virtual void Acquire(Context& ctx) = 0;
+  virtual void Release(Context& ctx) = 0;
+
+  virtual const std::string& name() const = 0;
+  virtual int levels() const = 0;
+  virtual bool is_fair() const = 0;
+
+  // Per-level usage counters (lowest level first); empty for locks that do not track
+  // them (the baselines). See LevelStats for collection semantics.
+  virtual std::vector<LevelStats> Stats() const { return {}; }
+
+  // RAII critical section.
+  class Guard {
+   public:
+    Guard(Lock& lock, Context& ctx) : lock_(lock), ctx_(ctx) { lock_.Acquire(ctx_); }
+    ~Guard() { lock_.Release(ctx_); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    Lock& lock_;
+    Context& ctx_;
+  };
+};
+
+// Adapts a concrete composition tree (or any type with the same Context/Acquire/Release
+// shape) to the type-erased interface.
+template <class Tree>
+class TreeLock final : public Lock {
+ public:
+  TreeLock(std::string name, const topo::Hierarchy& hierarchy, const ClofParams& params)
+      : name_(std::move(name)), tree_(hierarchy, 0, params) {}
+
+  std::unique_ptr<Lock::Context> MakeContext() override {
+    return std::make_unique<ContextImpl>();
+  }
+
+  void Acquire(Lock::Context& ctx) override {
+    tree_.Acquire(static_cast<ContextImpl&>(ctx).inner);
+  }
+
+  void Release(Lock::Context& ctx) override {
+    tree_.Release(static_cast<ContextImpl&>(ctx).inner);
+  }
+
+  const std::string& name() const override { return name_; }
+  int levels() const override { return Tree::kLevels; }
+  bool is_fair() const override { return Tree::kIsFair; }
+
+  std::vector<LevelStats> Stats() const override {
+    if constexpr (requires(const Tree& t) { t.Stats(); }) {
+      return tree_.Stats();
+    } else {
+      return {};
+    }
+  }
+
+  Tree& tree() { return tree_; }
+
+ private:
+  struct ContextImpl final : Lock::Context {
+    typename Tree::Context inner;
+  };
+
+  std::string name_;
+  Tree tree_;
+};
+
+// Adapts any lock with the {Context, Acquire(Context&), Release(Context&)} shape but an
+// arbitrary constructor (the baselines: HMCS, CNA, ShflLock) to the erased interface.
+template <class L>
+class PlainLock final : public Lock {
+ public:
+  template <class... Args>
+  PlainLock(std::string name, int levels, bool fair, Args&&... args)
+      : name_(std::move(name)),
+        levels_(levels),
+        fair_(fair),
+        lock_(std::forward<Args>(args)...) {}
+
+  std::unique_ptr<Lock::Context> MakeContext() override {
+    return std::make_unique<ContextImpl>();
+  }
+
+  void Acquire(Lock::Context& ctx) override {
+    lock_.Acquire(static_cast<ContextImpl&>(ctx).inner);
+  }
+
+  void Release(Lock::Context& ctx) override {
+    lock_.Release(static_cast<ContextImpl&>(ctx).inner);
+  }
+
+  const std::string& name() const override { return name_; }
+  int levels() const override { return levels_; }
+  bool is_fair() const override { return fair_; }
+
+  L& inner() { return lock_; }
+
+ private:
+  struct ContextImpl final : Lock::Context {
+    typename L::Context inner;
+  };
+
+  std::string name_;
+  int levels_;
+  bool fair_;
+  L lock_;
+};
+
+}  // namespace clof
+
+#endif  // CLOF_SRC_CLOF_LOCK_H_

@@ -1,0 +1,54 @@
+#include "src/clof/registry.h"
+
+#include <utility>
+
+#include "src/clof/registry_internal.h"
+
+namespace clof {
+
+void Registry::Register(const std::string& name, int levels, bool fair, Factory factory,
+                        Kind kind) {
+  auto [it, inserted] = entries_.emplace(name, Entry{levels, fair, factory, kind});
+  if (!inserted) {
+    throw std::logic_error("duplicate lock registration: " + name);
+  }
+}
+
+std::unique_ptr<Lock> Registry::Make(const std::string& name, const topo::Hierarchy& hierarchy,
+                                     const ClofParams& params) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("unknown lock: " + name);
+  }
+  const Entry& entry = it->second;
+  if (entry.levels != kAnyDepth && entry.levels != hierarchy.depth()) {
+    throw std::invalid_argument("lock '" + name + "' needs " + std::to_string(entry.levels) +
+                                " hierarchy levels, got " + std::to_string(hierarchy.depth()));
+  }
+  return entry.factory(name, hierarchy, params);
+}
+
+std::vector<std::string> Registry::Names(int levels, bool generated_only) const {
+  std::vector<std::string> names;
+  for (const auto& [name, entry] : entries_) {
+    if ((levels == kAnyDepth || entry.levels == levels) &&
+        (!generated_only || entry.kind == Kind::kGenerated)) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+const Registry& SimRegistry(bool ctr_hem) {
+  static const Registry with_ctr = internal::BuildSimRegistryCtr();
+  static const Registry without_ctr = internal::BuildSimRegistryNoCtr();
+  return ctr_hem ? with_ctr : without_ctr;
+}
+
+const Registry& NativeRegistry(bool ctr_hem) {
+  static const Registry with_ctr = internal::BuildNativeRegistryCtr();
+  static const Registry without_ctr = internal::BuildNativeRegistryNoCtr();
+  return ctr_hem ? with_ctr : without_ctr;
+}
+
+}  // namespace clof

@@ -1,0 +1,68 @@
+// Lock registry: name -> factory for every generated CLoF lock plus the baselines.
+//
+// Names follow the paper's notation (§5.2.1): a dash-separated list of basic-lock
+// abbreviations from the lowest hierarchy level to the system level, e.g.
+// "hem-hem-mcs-clh" = Hemlock at core and cache levels, MCS at NUMA, CLH at system.
+// "hem" denotes Hemlock with the platform-appropriate CTR setting (on for the x86
+// registry, off for Arm — §3.2). Baseline names: "hmcs" (same hierarchy as the CLoF
+// locks), "cna", "shfl", "c-bo-mcs", "c-tkt-tkt" (2-level cohort locks).
+#ifndef CLOF_SRC_CLOF_REGISTRY_H_
+#define CLOF_SRC_CLOF_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/clof/lock.h"
+#include "src/topo/topology.h"
+
+namespace clof {
+
+class Registry {
+ public:
+  // Stateless on purpose: one function per lock type keeps the 340-type enumeration
+  // cheap to compile. The registry passes the registered name back to the factory.
+  using Factory = std::unique_ptr<Lock> (*)(const std::string& name,
+                                            const topo::Hierarchy& hierarchy,
+                                            const ClofParams& params);
+
+  // `levels`: hierarchy depth this lock requires, or kAnyDepth for depth-adaptive locks
+  // (HMCS, CNA, ...). `fair`: starvation freedom of the algorithm. `kind`: generated
+  // CLoF compositions vs baselines/extensions — the scripted sweep (Figure 9) runs over
+  // generated locks only.
+  static constexpr int kAnyDepth = -1;
+  enum class Kind { kGenerated, kBaseline };
+  void Register(const std::string& name, int levels, bool fair, Factory factory,
+                Kind kind = Kind::kGenerated);
+
+  bool Contains(const std::string& name) const { return entries_.count(name) > 0; }
+  std::unique_ptr<Lock> Make(const std::string& name, const topo::Hierarchy& hierarchy,
+                             const ClofParams& params = {}) const;
+
+  // All registered names with exactly `levels` levels, sorted. kAnyDepth returns
+  // everything; generated_only restricts to the CLoF-generated compositions.
+  std::vector<std::string> Names(int levels = kAnyDepth, bool generated_only = false) const;
+  int size() const { return static_cast<int>(entries_.size()); }
+
+ private:
+  struct Entry {
+    int levels;
+    bool fair;
+    Factory factory;
+    Kind kind;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+// Registries with all CLoF combinations of the paper's basic-lock set {tkt, mcs, clh,
+// hem} for depths 1..4, plus all baselines, per memory policy. `ctr_hem` selects the
+// Hemlock CTR optimization (true for x86 platforms, false for Arm). Built once,
+// thread-compatible (callers serialize first use).
+const Registry& SimRegistry(bool ctr_hem);
+const Registry& NativeRegistry(bool ctr_hem);
+
+}  // namespace clof
+
+#endif  // CLOF_SRC_CLOF_REGISTRY_H_

@@ -1,0 +1,23 @@
+// Internal glue between registry.cc and the per-policy enumeration translation units.
+// Each builder lives in its own .cc file because instantiating the full composition
+// enumeration dominates compile time (see generator.h).
+#ifndef CLOF_SRC_CLOF_REGISTRY_INTERNAL_H_
+#define CLOF_SRC_CLOF_REGISTRY_INTERNAL_H_
+
+#include "src/clof/registry.h"
+
+namespace clof::internal {
+
+Registry BuildSimRegistryCtr();      // registry_sim_ctr.cc
+Registry BuildSimRegistryNoCtr();    // registry_sim_noctr.cc
+Registry BuildNativeRegistryCtr();   // registry_native.cc
+Registry BuildNativeRegistryNoCtr();
+
+// Registers the baselines (HMCS, CNA, ShflLock, cohort locks, unfair locks) shared by
+// every registry. Defined in registry_baselines.h as a template over the memory policy.
+template <class M>
+void RegisterBaselines(Registry& registry);
+
+}  // namespace clof::internal
+
+#endif  // CLOF_SRC_CLOF_REGISTRY_INTERNAL_H_

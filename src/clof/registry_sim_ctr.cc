@@ -1,0 +1,15 @@
+// Full CLoF enumeration for the simulator, Hemlock-CTR enabled (x86 platforms).
+#include "src/clof/generator.h"
+#include "src/clof/registry_baselines.h"
+#include "src/mem/sim_memory.h"
+
+namespace clof::internal {
+
+Registry BuildSimRegistryCtr() {
+  Registry registry;
+  GenerateAllClofLocks<mem::SimMemory, /*CtrHem=*/true>(registry);
+  RegisterBaselines<mem::SimMemory>(registry);
+  return registry;
+}
+
+}  // namespace clof::internal

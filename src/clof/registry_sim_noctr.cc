@@ -1,0 +1,15 @@
+// Full CLoF enumeration for the simulator, Hemlock-CTR disabled (Arm platforms, §3.2).
+#include "src/clof/generator.h"
+#include "src/clof/registry_baselines.h"
+#include "src/mem/sim_memory.h"
+
+namespace clof::internal {
+
+Registry BuildSimRegistryNoCtr() {
+  Registry registry;
+  GenerateAllClofLocks<mem::SimMemory, /*CtrHem=*/false>(registry);
+  RegisterBaselines<mem::SimMemory>(registry);
+  return registry;
+}
+
+}  // namespace clof::internal

@@ -1,0 +1,211 @@
+#include "src/discover/heatmap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <sstream>
+
+#include "src/mem/sim_memory.h"
+#include "src/sim/engine.h"
+
+namespace clof::discover {
+namespace {
+
+struct alignas(64) Counter {
+  mem::SimMemory::Atomic<uint64_t> value{0};
+};
+
+// One ping-pong pair on a fresh engine; returns increments per virtual second.
+double RunPair(const sim::Machine& machine, int cpu_a, int cpu_b, int rounds) {
+  sim::Engine engine(machine.topology, machine.platform);
+  auto counter = std::make_unique<Counter>();
+  sim::Time finish_a = 0;
+  sim::Time finish_b = 0;
+
+  // Thread A increments even values, thread B odd ones; each does exactly `rounds`
+  // increments, so the counter ends at 2*rounds and neither thread can strand the other.
+  auto pinger = [&counter](int parity, int rounds_left, sim::Time* finish) {
+    auto& eng = sim::Engine::Current();
+    for (int i = 0; i < rounds_left; ++i) {
+      mem::SimMemory::SpinUntil(counter->value, [parity](uint64_t v) {
+        return (v & 1) == static_cast<uint64_t>(parity);
+      });
+      counter->value.FetchAdd(1, std::memory_order_acq_rel);
+    }
+    *finish = eng.Now();
+  };
+  engine.Spawn(cpu_a, [&] { pinger(0, rounds, &finish_a); });
+  engine.Spawn(cpu_b, [&] { pinger(1, rounds, &finish_b); });
+  engine.Run();
+
+  double seconds = sim::NsFromPs(std::max(finish_a, finish_b)) * 1e-9;
+  return seconds > 0.0 ? (2.0 * rounds) / seconds : 0.0;
+}
+
+}  // namespace
+
+Heatmap RunPingPongHeatmap(const sim::Machine& machine, const HeatmapOptions& options) {
+  Heatmap map;
+  map.num_cpus = machine.topology.num_cpus();
+  map.throughput.assign(static_cast<size_t>(map.num_cpus) * map.num_cpus, 0.0);
+  for (int a = 0; a < map.num_cpus; a += options.cpu_stride) {
+    for (int b = a + options.cpu_stride; b < map.num_cpus; b += options.cpu_stride) {
+      double tput = RunPair(machine, a, b, options.rounds_per_pair);
+      map.At(a, b) = tput;
+      map.At(b, a) = tput;
+    }
+  }
+  return map;
+}
+
+std::vector<double> CohortSpeedups(const topo::Topology& topology, const Heatmap& heatmap) {
+  std::vector<double> sum(topology.num_levels(), 0.0);
+  std::vector<int> count(topology.num_levels(), 0);
+  for (int a = 0; a < heatmap.num_cpus; ++a) {
+    for (int b = a + 1; b < heatmap.num_cpus; ++b) {
+      if (heatmap.At(a, b) <= 0.0) {
+        continue;  // not measured (stride) or diagonal
+      }
+      int level = topology.SharingLevel(a, b);
+      sum[level] += heatmap.At(a, b);
+      ++count[level];
+    }
+  }
+  int system = topology.num_levels() - 1;
+  double system_mean = count[system] > 0 ? sum[system] / count[system] : 0.0;
+  std::vector<double> speedups(topology.num_levels(), 0.0);
+  for (int l = 0; l < topology.num_levels(); ++l) {
+    if (count[l] > 0 && system_mean > 0.0) {
+      speedups[l] = (sum[l] / count[l]) / system_mean;
+    }
+  }
+  return speedups;
+}
+
+namespace {
+
+// Union-find for cohort reconstruction.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) { std::iota(parent_.begin(), parent_.end(), 0); }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+topo::Topology InferTopology(const Heatmap& heatmap, const std::string& name,
+                             double min_gap_ratio) {
+  // 1. Collect measured pair throughputs and sort them.
+  std::vector<double> values;
+  for (int a = 0; a < heatmap.num_cpus; ++a) {
+    for (int b = a + 1; b < heatmap.num_cpus; ++b) {
+      if (heatmap.At(a, b) > 0.0) {
+        values.push_back(heatmap.At(a, b));
+      }
+    }
+  }
+  if (values.empty()) {
+    throw std::invalid_argument("InferTopology: empty heatmap");
+  }
+  std::sort(values.begin(), values.end());
+
+  // 2. Split into bands at relative gaps; band_floor[i] = smallest value of band i.
+  std::vector<double> band_floor{values.front()};
+  for (size_t i = 1; i < values.size(); ++i) {
+    if (values[i] > values[i - 1] * (1.0 + min_gap_ratio)) {
+      band_floor.push_back(values[i]);
+    }
+  }
+
+  // 3. One candidate level per band, from fastest (lowest hierarchy level) to slowest:
+  //    CPUs are grouped by "some pair at least this fast connects them".
+  std::vector<topo::Level> levels;
+  for (auto it = band_floor.rbegin(); it != band_floor.rend(); ++it) {
+    double threshold = *it;
+    UnionFind uf(heatmap.num_cpus);
+    for (int a = 0; a < heatmap.num_cpus; ++a) {
+      for (int b = a + 1; b < heatmap.num_cpus; ++b) {
+        if (heatmap.At(a, b) >= threshold) {
+          uf.Union(a, b);
+        }
+      }
+    }
+    topo::Level level;
+    level.name = "l" + std::to_string(levels.size());
+    level.cpu_to_cohort.resize(heatmap.num_cpus);
+    std::map<int, int> root_to_cohort;
+    for (int cpu = 0; cpu < heatmap.num_cpus; ++cpu) {
+      int root = uf.Find(cpu);
+      auto [pos, inserted] = root_to_cohort.emplace(root, static_cast<int>(root_to_cohort.size()));
+      level.cpu_to_cohort[cpu] = pos->second;
+    }
+    level.num_cohorts = static_cast<int>(root_to_cohort.size());
+    // Skip degenerate candidates: one that groups nothing beyond the previous level.
+    if (!levels.empty() && level.cpu_to_cohort == levels.back().cpu_to_cohort) {
+      continue;
+    }
+    levels.push_back(std::move(level));
+  }
+  // The slowest band connects everything measured; if not (stride left gaps), force a
+  // system level.
+  if (levels.empty() || levels.back().num_cohorts != 1) {
+    topo::Level system;
+    system.name = "system";
+    system.cpu_to_cohort.assign(heatmap.num_cpus, 0);
+    system.num_cohorts = 1;
+    levels.push_back(std::move(system));
+  } else {
+    levels.back().name = "system";
+  }
+  return topo::Topology(name, heatmap.num_cpus, std::move(levels));
+}
+
+std::string HeatmapToCsv(const Heatmap& heatmap) {
+  std::ostringstream out;
+  out << "cpu";
+  for (int b = 0; b < heatmap.num_cpus; ++b) {
+    out << ',' << b;
+  }
+  out << '\n';
+  for (int a = 0; a < heatmap.num_cpus; ++a) {
+    out << a;
+    for (int b = 0; b < heatmap.num_cpus; ++b) {
+      out << ',' << heatmap.At(a, b);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string HeatmapToAscii(const Heatmap& heatmap, int max_width) {
+  static constexpr char kShades[] = " .:-=+*#%@";
+  int stride = (heatmap.num_cpus + max_width - 1) / max_width;
+  double max_value = *std::max_element(heatmap.throughput.begin(), heatmap.throughput.end());
+  if (max_value <= 0.0) {
+    return "";
+  }
+  std::ostringstream out;
+  for (int a = 0; a < heatmap.num_cpus; a += stride) {
+    for (int b = 0; b < heatmap.num_cpus; b += stride) {
+      double v = heatmap.At(a, b);
+      int shade = static_cast<int>(v / max_value * 9.0 + 0.5);
+      out << kShades[std::clamp(shade, 0, 9)];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace clof::discover

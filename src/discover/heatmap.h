@@ -1,0 +1,62 @@
+// Experimental hierarchy discovery (paper §3.1).
+//
+// Two threads take turns incrementing a shared counter (one waits for even, the other
+// for odd values); the pair's throughput reveals which memory-hierarchy level separates
+// their CPUs. Running every CPU pair yields the Figure-1 heatmap; averaging pairs by
+// their topology level yields the Table-2 cohort speedups; clustering the pair
+// throughputs and intersecting the resulting groups reconstructs the topology — the
+// automation the paper notes "can be easily automated" (§4).
+#ifndef CLOF_SRC_DISCOVER_HEATMAP_H_
+#define CLOF_SRC_DISCOVER_HEATMAP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/platform.h"
+#include "src/topo/topology.h"
+
+namespace clof::discover {
+
+struct Heatmap {
+  int num_cpus = 0;
+  // Row-major [cpu1][cpu2]; increments per virtual second. The diagonal is 0: a CPU
+  // paired with itself measures scheduler preemption, which the simulator (like the
+  // paper's analysis) treats as out of scope.
+  std::vector<double> throughput;
+
+  double At(int a, int b) const { return throughput[static_cast<size_t>(a) * num_cpus + b]; }
+  double& At(int a, int b) { return throughput[static_cast<size_t>(a) * num_cpus + b]; }
+};
+
+struct HeatmapOptions {
+  // Ping-pong rounds per pair. A fixed round count (instead of a duration) makes the
+  // run exactly deterministic and guarantees clean termination of both threads.
+  int rounds_per_pair = 200;
+  int cpu_stride = 1;  // measure every stride-th CPU (coarser but faster)
+};
+
+// Runs the ping-pong microbenchmark for every (ordered) CPU pair on the machine.
+Heatmap RunPingPongHeatmap(const sim::Machine& machine, const HeatmapOptions& options = {});
+
+// Table 2: mean pair throughput per sharing level, normalized to the system level
+// (speedup 1.0). Indexed like the topology's levels; levels with no cross-cohort pair
+// (e.g. "core" on a machine without SMT) report 0.
+std::vector<double> CohortSpeedups(const topo::Topology& topology, const Heatmap& heatmap);
+
+// Reconstructs a topology from a heatmap alone (no prior knowledge of the machine):
+// 1-D-clusters the pair throughputs into bands split at relative gaps larger than
+// `min_gap_ratio`, then builds one level per band from the connected components of
+// "pair is at least this fast". Bands whose grouping does not nest are discarded.
+topo::Topology InferTopology(const Heatmap& heatmap, const std::string& name = "inferred",
+                             double min_gap_ratio = 0.30);
+
+// Renders the heatmap as CSV (row/column headers are CPU ids).
+std::string HeatmapToCsv(const Heatmap& heatmap);
+
+// Coarse ASCII rendering (one character per tile, darker = faster), for terminals.
+std::string HeatmapToAscii(const Heatmap& heatmap, int max_width = 64);
+
+}  // namespace clof::discover
+
+#endif  // CLOF_SRC_DISCOVER_HEATMAP_H_

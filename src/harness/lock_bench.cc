@@ -1,0 +1,147 @@
+#include "src/harness/lock_bench.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "src/mem/sim_memory.h"
+#include "src/runtime/rng.h"
+#include "src/runtime/stats.h"
+#include "src/sim/engine.h"
+
+namespace clof::harness {
+namespace {
+
+// One simulated cache line of shared data.
+struct alignas(64) PaddedLine {
+  mem::SimMemory::Atomic<uint64_t> value{0};
+};
+
+// The shared data a critical section touches, sized per the workload profile.
+class SharedState {
+ public:
+  explicit SharedState(const workload::Profile& profile) : profile_(profile) {
+    int total = profile.cs_hot_lines + profile.cs_pool_lines;
+    lines_.reserve(total);
+    for (int i = 0; i < total; ++i) {
+      lines_.push_back(std::make_unique<PaddedLine>());
+    }
+  }
+
+  void TouchCriticalSection(runtime::Xoshiro256& rng) {
+    for (int i = 0; i < profile_.cs_hot_lines; ++i) {
+      Touch(*lines_[i], rng);
+    }
+    for (int i = 0; i < profile_.cs_random_lines; ++i) {
+      auto idx = profile_.cs_hot_lines + rng.NextBounded(profile_.cs_pool_lines);
+      Touch(*lines_[idx], rng);
+    }
+  }
+
+ private:
+  void Touch(PaddedLine& line, runtime::Xoshiro256& rng) {
+    if (rng.NextDouble() < profile_.cs_write_fraction) {
+      line.value.Store(line.value.Load(std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
+    } else {
+      (void)line.value.Load(std::memory_order_relaxed);
+    }
+  }
+
+  workload::Profile profile_;
+  std::vector<std::unique_ptr<PaddedLine>> lines_;
+};
+
+}  // namespace
+
+BenchResult RunLockBench(const BenchConfig& config) {
+  if (config.machine == nullptr) {
+    throw std::invalid_argument("BenchConfig.machine is required");
+  }
+  if (!config.hierarchy.valid()) {
+    throw std::invalid_argument("BenchConfig.hierarchy is required");
+  }
+  const sim::Machine& machine = *config.machine;
+  const Registry& registry = config.registry != nullptr
+                                 ? *config.registry
+                                 : SimRegistry(machine.platform.arch == sim::Arch::kX86);
+  if (config.num_threads < 1 || config.num_threads > machine.topology.num_cpus()) {
+    throw std::invalid_argument("num_threads out of range for machine");
+  }
+  if (!config.cpu_assignment.empty() &&
+      static_cast<int>(config.cpu_assignment.size()) < config.num_threads) {
+    throw std::invalid_argument("cpu_assignment shorter than num_threads");
+  }
+
+  sim::Engine engine(machine.topology, machine.platform);
+  auto lock = registry.Make(config.lock_name, config.hierarchy, config.params);
+  SharedState shared(config.profile);
+
+  const sim::Time end = sim::PsFromNs(config.duration_ms * 1e6);
+  std::vector<uint64_t> ops(config.num_threads, 0);
+
+  for (int t = 0; t < config.num_threads; ++t) {
+    int cpu = config.cpu_assignment.empty() ? t : config.cpu_assignment[t];
+    engine.Spawn(cpu, [&, t] {
+      runtime::Xoshiro256 rng(config.seed * 0x9e3779b97f4a7c15ull + t);
+      auto ctx = lock->MakeContext();
+      auto& eng = sim::Engine::Current();
+      const workload::Profile& p = config.profile;
+      while (eng.Now() < end) {
+        if (p.think_ns > 0.0) {
+          double jitter = 1.0 + p.think_jitter * (2.0 * rng.NextDouble() - 1.0);
+          eng.Work(p.think_ns * jitter);
+        }
+        lock->Acquire(*ctx);
+        shared.TouchCriticalSection(rng);
+        if (p.cs_work_ns > 0.0) {
+          eng.Work(p.cs_work_ns);
+        }
+        lock->Release(*ctx);
+        ++ops[t];
+      }
+    });
+  }
+  engine.Run();
+
+  BenchResult result;
+  result.lock_name = config.lock_name;
+  result.num_threads = config.num_threads;
+  result.per_thread_ops = ops;
+  for (uint64_t n : ops) {
+    result.total_ops += n;
+  }
+  result.duration_ms = config.duration_ms;
+  result.throughput_per_us =
+      static_cast<double>(result.total_ops) / (config.duration_ms * 1e3);
+  std::vector<double> per_thread(ops.begin(), ops.end());
+  result.fairness_index = runtime::JainFairnessIndex(per_thread);
+  return result;
+}
+
+BenchResult RunLockBenchMedian(const BenchConfig& config, int runs) {
+  std::vector<BenchResult> results;
+  results.reserve(runs);
+  for (int r = 0; r < runs; ++r) {
+    BenchConfig cfg = config;
+    cfg.seed = config.seed + static_cast<uint64_t>(r) * 7919;
+    results.push_back(RunLockBench(cfg));
+  }
+  std::sort(results.begin(), results.end(), [](const BenchResult& a, const BenchResult& b) {
+    return a.throughput_per_us < b.throughput_per_us;
+  });
+  return results[results.size() / 2];
+}
+
+std::vector<int> PaperThreadCounts(const topo::Topology& topology) {
+  std::vector<int> counts = {1, 4, 8, 16, 24, 32, 48, 64, 95, 127};
+  std::vector<int> out;
+  for (int c : counts) {
+    if (c < topology.num_cpus()) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace clof::harness

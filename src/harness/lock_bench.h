@@ -1,0 +1,54 @@
+// The lock benchmark harness: runs a named lock under a workload profile on a simulated
+// machine and reports virtual-time throughput. This is the engine behind every
+// paper-figure bench binary and behind the scripted lock selection (§4.3).
+#ifndef CLOF_SRC_HARNESS_LOCK_BENCH_H_
+#define CLOF_SRC_HARNESS_LOCK_BENCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/clof/registry.h"
+#include "src/sim/platform.h"
+#include "src/topo/topology.h"
+#include "src/workload/profiles.h"
+
+namespace clof::harness {
+
+struct BenchConfig {
+  const sim::Machine* machine = nullptr;   // required
+  topo::Hierarchy hierarchy;               // hierarchy for lock construction
+  std::string lock_name;                   // name in `registry`
+  const Registry* registry = nullptr;      // default: SimRegistry(arch == x86)
+  workload::Profile profile;
+  int num_threads = 1;                     // thread i runs on virtual CPU i...
+  std::vector<int> cpu_assignment;         // ...unless set: thread i -> cpu_assignment[i]
+  double duration_ms = 1.0;                // virtual milliseconds
+  uint64_t seed = 42;
+  ClofParams params;
+};
+
+struct BenchResult {
+  std::string lock_name;
+  int num_threads = 0;
+  uint64_t total_ops = 0;
+  double duration_ms = 0.0;
+  double throughput_per_us = 0.0;          // iterations per virtual microsecond
+  std::vector<uint64_t> per_thread_ops;
+  double fairness_index = 1.0;             // Jain's index over per-thread ops
+};
+
+// Runs one configuration. Deterministic: identical config => identical result.
+BenchResult RunLockBench(const BenchConfig& config);
+
+// Runs `runs` times with distinct seeds and returns the median-throughput result
+// (the paper reports medians; §5.3 uses 3 runs).
+BenchResult RunLockBenchMedian(const BenchConfig& config, int runs);
+
+// The paper's thread-count sweep points for each machine (§5: up to 95 on the 96-CPU
+// x86 box and 127 on the 128-CPU Arm box — one CPU is left to the OS).
+std::vector<int> PaperThreadCounts(const topo::Topology& topology);
+
+}  // namespace clof::harness
+
+#endif  // CLOF_SRC_HARNESS_LOCK_BENCH_H_

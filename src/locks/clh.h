@@ -1,0 +1,75 @@
+// CLH lock (Craig / Landin-Hagersten, paper §2.1): fair, local-spinning via an implicit
+// queue where each waiter spins on its *predecessor's* node.
+//
+// Node recycling follows the classic scheme: on release, the owner publishes on its own
+// node and adopts the predecessor's node for future acquisitions. Node lifetime
+// contract: the total node population is one per Context plus one per lock; a Context
+// frees whichever node it currently holds, the lock frees the node its tail points to.
+// Both must be destroyed only while the lock is free with no queued threads (the usual
+// pthread_mutex_destroy contract), which makes every node freed exactly once.
+#ifndef CLOF_SRC_LOCKS_CLH_H_
+#define CLOF_SRC_LOCKS_CLH_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/mem/memory_policy.h"
+
+namespace clof::locks {
+
+template <class M>
+  requires mem::MemoryPolicy<M>
+class ClhLock {
+ public:
+  static constexpr const char* kName = "clh";
+  static constexpr bool kIsFair = true;
+
+  struct alignas(64) QNode {
+    typename M::template Atomic<uint32_t> locked{0};
+  };
+
+  struct Context {
+    Context() : mine(new QNode) {}
+    ~Context() { delete mine; }
+    Context(const Context&) = delete;
+    Context& operator=(const Context&) = delete;
+
+    QNode* mine;            // node we will enqueue (ownership migrates on release)
+    QNode* pred = nullptr;  // predecessor's node, adopted at release
+  };
+
+  ClhLock() : dummy_(new QNode), tail_(dummy_) {}
+  ~ClhLock() { delete tail_.Load(std::memory_order_relaxed); }
+  ClhLock(const ClhLock&) = delete;
+  ClhLock& operator=(const ClhLock&) = delete;
+
+  void Acquire(Context& ctx) {
+    QNode* me = ctx.mine;
+    me->locked.Store(1, std::memory_order_relaxed);
+    QNode* pred = tail_.Exchange(me, std::memory_order_acq_rel);
+    M::SpinUntil(pred->locked, [](uint32_t v) { return v == 0; });
+    ctx.pred = pred;
+  }
+
+  void Release(Context& ctx) {
+    QNode* me = ctx.mine;
+    // Adopt the predecessor's node *before* publishing: once locked is cleared, a new
+    // owner may release and recycle, and `me` no longer belongs to us.
+    ctx.mine = ctx.pred;
+    ctx.pred = nullptr;
+    me->locked.Store(0, std::memory_order_release);
+  }
+
+  // Owner-side probe: if anyone enqueued after us, the tail moved past our node.
+  bool HasWaiters(const Context& ctx) const {
+    return tail_.Load(std::memory_order_acquire) != ctx.mine;
+  }
+
+ private:
+  QNode* dummy_;  // initial granted node; ownership migrates into the recycling pool
+  typename M::template Atomic<QNode*> tail_;
+};
+
+}  // namespace clof::locks
+
+#endif  // CLOF_SRC_LOCKS_CLH_H_

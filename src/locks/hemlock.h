@@ -1,0 +1,101 @@
+// Hemlock (Dice & Kogan, SPAA'21; paper §2.1): fair, mostly-local-spinning, with an
+// indirect queue like CLH but a handshake on release: the owner writes the lock address
+// into its own context's grant field, and the successor replies by resetting it.
+//
+// The Ctr template parameter enables the x86-specific Coherence Traffic Reduction
+// optimization: spin-reads become fetch_add(x, 0) and grant stores become cmpxchg.
+// On x86 this avoids MESI/MESIF shared->modified upgrades; on Armv8 the fetch_add and
+// cmpxchg compile to load-/store-exclusive pairs on the same address and livelock each
+// other (paper §3.2, Figure 3) — the simulator's Arm platform model reproduces this.
+//
+// Unlike the original (which hides a thread-local context), this implementation takes
+// the context explicitly, which makes it thread-oblivious and CLoF-composable (§4.1.3).
+#ifndef CLOF_SRC_LOCKS_HEMLOCK_H_
+#define CLOF_SRC_LOCKS_HEMLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/mem/memory_policy.h"
+
+namespace clof::locks {
+
+template <class M, bool Ctr = false>
+  requires mem::MemoryPolicy<M>
+class Hemlock {
+ public:
+  static constexpr const char* kName = Ctr ? "hem-ctr" : "hem";
+  static constexpr bool kIsFair = true;
+
+  struct alignas(64) Context {
+    // Holds this lock's address while the owner is handing over, 0 otherwise.
+    typename M::template Atomic<uintptr_t> grant{0};
+  };
+
+  Hemlock() = default;
+  Hemlock(const Hemlock&) = delete;
+  Hemlock& operator=(const Hemlock&) = delete;
+
+  void Acquire(Context& ctx) {
+    Context* pred = tail_.Exchange(&ctx, std::memory_order_acq_rel);
+    if (pred == nullptr) {
+      return;
+    }
+    const uintptr_t self = LockWord();
+    // Wait until the predecessor hands this lock over...
+    if constexpr (Ctr) {
+      M::SpinUntilRmw(pred->grant, [self](uintptr_t g) { return g == self; });
+    } else {
+      M::SpinUntil(pred->grant, [self](uintptr_t g) { return g == self; });
+    }
+    // ...and reply so the predecessor can reuse its context.
+    GrantStore(pred->grant, /*expected=*/self, /*value=*/0);
+  }
+
+  void Release(Context& ctx) {
+    Context* expected = &ctx;
+    if (tail_.Load(std::memory_order_acquire) == &ctx &&
+        tail_.CompareExchange(expected, nullptr, std::memory_order_acq_rel)) {
+      return;  // no successor
+    }
+    const uintptr_t self = LockWord();
+    GrantStore(ctx.grant, /*expected=*/0, /*value=*/self);
+    // Wait for the successor's reply before returning: afterwards our context's grant
+    // field is quiescent and may be reused for another handover.
+    if constexpr (Ctr) {
+      M::SpinUntilRmw(ctx.grant, [](uintptr_t g) { return g == 0; });
+    } else {
+      M::SpinUntil(ctx.grant, [](uintptr_t g) { return g == 0; });
+    }
+  }
+
+  // Owner-side probe: with no waiters the tail still points at the owner's context.
+  bool HasWaiters(const Context& ctx) const {
+    return tail_.Load(std::memory_order_acquire) != &ctx;
+  }
+
+ private:
+  uintptr_t LockWord() const { return reinterpret_cast<uintptr_t>(this); }
+
+  static void GrantStore(typename M::template Atomic<uintptr_t>& grant, uintptr_t expected,
+                         uintptr_t value) {
+    if constexpr (Ctr) {
+      // CTR replaces the plain store with a cmpxchg (paper §2.1). On the Arm simulator
+      // model this is the op that pays the LL/SC reservation-stealing penalty.
+      uintptr_t e = expected;
+      while (!grant.CompareExchange(e, value, std::memory_order_acq_rel)) {
+        e = expected;
+        M::Pause();
+      }
+    } else {
+      (void)expected;
+      grant.Store(value, std::memory_order_release);
+    }
+  }
+
+  typename M::template Atomic<Context*> tail_{nullptr};
+};
+
+}  // namespace clof::locks
+
+#endif  // CLOF_SRC_LOCKS_HEMLOCK_H_

@@ -1,0 +1,76 @@
+// MCS lock (Mellor-Crummey & Scott, paper §2.1): fair, local-spinning, context-based.
+//
+// Threads append their context's queue node to a global tail; each waiter spins on a
+// flag in its own node, so handovers touch exactly one remote line.
+#ifndef CLOF_SRC_LOCKS_MCS_H_
+#define CLOF_SRC_LOCKS_MCS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/mem/memory_policy.h"
+
+namespace clof::locks {
+
+template <class M>
+  requires mem::MemoryPolicy<M>
+class McsLock {
+ public:
+  static constexpr const char* kName = "mcs";
+  static constexpr bool kIsFair = true;
+
+  struct alignas(64) QNode {
+    typename M::template Atomic<QNode*> next{nullptr};
+    typename M::template Atomic<uint32_t> locked{0};
+  };
+
+  // The context invariant (paper §4.1.3) applies: a Context must not be used to acquire
+  // another lock while it is enqueued here.
+  struct Context {
+    QNode node;
+  };
+
+  McsLock() = default;
+  McsLock(const McsLock&) = delete;
+  McsLock& operator=(const McsLock&) = delete;
+
+  void Acquire(Context& ctx) {
+    QNode* me = &ctx.node;
+    me->next.Store(nullptr, std::memory_order_relaxed);
+    me->locked.Store(1, std::memory_order_relaxed);
+    QNode* pred = tail_.Exchange(me, std::memory_order_acq_rel);
+    if (pred != nullptr) {
+      pred->next.Store(me, std::memory_order_release);
+      M::SpinUntil(me->locked, [](uint32_t v) { return v == 0; });
+    }
+  }
+
+  void Release(Context& ctx) {
+    QNode* me = &ctx.node;
+    QNode* next = me->next.Load(std::memory_order_acquire);
+    if (next == nullptr) {
+      QNode* expected = me;
+      if (tail_.CompareExchange(expected, nullptr, std::memory_order_acq_rel)) {
+        return;  // no successor
+      }
+      // A successor swung the tail but has not linked itself yet.
+      next = M::SpinUntil(me->next, [](QNode* n) { return n != nullptr; });
+    }
+    next->locked.Store(0, std::memory_order_release);
+  }
+
+  // Owner-side probe, exactly the paper's §4.1.2: "in MCS it suffices to check whether
+  // the next pointer is set". Deliberately does not consult the (contended) tail: a
+  // waiter that swung the tail but has not linked yet is missed, which at worst turns
+  // one pass into a release — safe, and the probe stays a single own-line load.
+  bool HasWaiters(const Context& ctx) const {
+    return ctx.node.next.Load(std::memory_order_acquire) != nullptr;
+  }
+
+ private:
+  typename M::template Atomic<QNode*> tail_{nullptr};
+};
+
+}  // namespace clof::locks
+
+#endif  // CLOF_SRC_LOCKS_MCS_H_

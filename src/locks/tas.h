@@ -1,0 +1,97 @@
+// Unfair test-and-set family: TAS, TTAS, and TTAS with exponential backoff.
+//
+// These are not part of the default CLoF basic-lock set (the paper only composes fair
+// locks, §4.2.3), but they serve three roles here: the backoff lock is the "BO" in the
+// lock-cohorting baseline C-BO-MCS (§2.3), TTAS is the paper's example of an unfair lock
+// whose composition breaks fairness (§4.2.3 — reproduced by the model-checker tests),
+// and TAS is the classic fast-path building block (§6).
+#ifndef CLOF_SRC_LOCKS_TAS_H_
+#define CLOF_SRC_LOCKS_TAS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/mem/memory_policy.h"
+
+namespace clof::locks {
+
+template <class M>
+  requires mem::MemoryPolicy<M>
+class TasLock {
+ public:
+  static constexpr const char* kName = "tas";
+  static constexpr bool kIsFair = false;
+
+  struct Context {};
+
+  void Acquire(Context& /*ctx*/) {
+    while (flag_.Exchange(1, std::memory_order_acq_rel) != 0) {
+      M::Pause();
+    }
+  }
+
+  void Release(Context& /*ctx*/) { flag_.Store(0, std::memory_order_release); }
+
+ private:
+  typename M::template Atomic<uint32_t> flag_{0};
+};
+
+template <class M>
+  requires mem::MemoryPolicy<M>
+class TtasLock {
+ public:
+  static constexpr const char* kName = "ttas";
+  static constexpr bool kIsFair = false;
+
+  struct Context {};
+
+  void Acquire(Context& /*ctx*/) {
+    for (;;) {
+      M::SpinUntil(flag_, [](uint32_t v) { return v == 0; });
+      if (flag_.Exchange(1, std::memory_order_acq_rel) == 0) {
+        return;
+      }
+    }
+  }
+
+  void Release(Context& /*ctx*/) { flag_.Store(0, std::memory_order_release); }
+
+ private:
+  typename M::template Atomic<uint32_t> flag_{0};
+};
+
+// TTAS with bounded exponential backoff (Agarwal & Cherian; the "BO" of C-BO-MCS).
+template <class M>
+  requires mem::MemoryPolicy<M>
+class BackoffLock {
+ public:
+  static constexpr const char* kName = "bo";
+  static constexpr bool kIsFair = false;
+  static constexpr uint32_t kMinSpins = 4;
+  static constexpr uint32_t kMaxSpins = 1024;
+
+  struct Context {};
+
+  void Acquire(Context& /*ctx*/) {
+    uint32_t backoff = kMinSpins;
+    for (;;) {
+      if (flag_.Load(std::memory_order_acquire) == 0 &&
+          flag_.Exchange(1, std::memory_order_acq_rel) == 0) {
+        return;
+      }
+      M::Delay(backoff);
+      if (backoff < kMaxSpins) {
+        backoff *= 2;
+      }
+    }
+  }
+
+  void Release(Context& /*ctx*/) { flag_.Store(0, std::memory_order_release); }
+
+ private:
+  typename M::template Atomic<uint32_t> flag_{0};
+};
+
+}  // namespace clof::locks
+
+#endif  // CLOF_SRC_LOCKS_TAS_H_

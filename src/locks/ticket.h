@@ -1,0 +1,56 @@
+// Ticketlock (paper §2.1): fair, global-spinning, context-free.
+//
+// A thread takes a ticket with one fetch_add and spins on the shared grant word until
+// its turn. All waiters spin on the same cache line, so handovers trigger a refetch
+// storm that grows with contention — the behaviour that makes Ticketlock great at
+// 2-thread system cohorts and terrible at contended NUMA cohorts (Figure 3).
+#ifndef CLOF_SRC_LOCKS_TICKET_H_
+#define CLOF_SRC_LOCKS_TICKET_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/mem/memory_policy.h"
+
+namespace clof::locks {
+
+template <class M>
+  requires mem::MemoryPolicy<M>
+class TicketLock {
+ public:
+  static constexpr const char* kName = "tkt";
+  static constexpr bool kIsFair = true;
+
+  // Global-spinning lock: no per-thread queue node is needed.
+  struct Context {};
+
+  TicketLock() = default;
+  TicketLock(const TicketLock&) = delete;
+  TicketLock& operator=(const TicketLock&) = delete;
+
+  void Acquire(Context& /*ctx*/) {
+    uint32_t my_ticket = next_ticket_.FetchAdd(1, std::memory_order_relaxed);
+    M::SpinUntil(grant_, [my_ticket](uint32_t g) { return g == my_ticket; });
+  }
+
+  void Release(Context& /*ctx*/) {
+    // Only the owner writes grant; a plain release store suffices.
+    grant_.Store(grant_.Load(std::memory_order_relaxed) + 1, std::memory_order_release);
+  }
+
+  // Owner-side probe: while we hold the lock, grant equals our ticket, so any later
+  // ticket means a waiter.
+  bool HasWaiters(const Context& /*ctx*/) const {
+    uint32_t ticket = next_ticket_.Load(std::memory_order_relaxed);
+    uint32_t grant = grant_.Load(std::memory_order_relaxed);
+    return ticket - grant > 1;
+  }
+
+ private:
+  typename M::template Atomic<uint32_t> next_ticket_{0};
+  typename M::template Atomic<uint32_t> grant_{0};
+};
+
+}  // namespace clof::locks
+
+#endif  // CLOF_SRC_LOCKS_TICKET_H_

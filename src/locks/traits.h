@@ -1,0 +1,24 @@
+// Compile-time traits shared by all lock implementations.
+#ifndef CLOF_SRC_LOCKS_TRAITS_H_
+#define CLOF_SRC_LOCKS_TRAITS_H_
+
+#include <concepts>
+
+namespace clof::locks {
+
+// A lock may expose an owner-side waiter probe (paper §4.1.2: "in some lock algorithms,
+// the lock owner can easily detect whether another thread is waiting"). When present,
+// the CLoF composition uses it instead of maintaining an explicit waiter counter.
+template <class L>
+concept HasWaitersHook = requires(const L& lock, const typename L::Context& ctx) {
+  { lock.HasWaiters(ctx) } -> std::convertible_to<bool>;
+};
+
+// Every lock declares whether it is fair (starvation-free). Composing any unfair lock
+// into a CLoF hierarchy forfeits fairness of the whole composition (paper §4.2.3).
+template <class L>
+inline constexpr bool kIsFair = L::kIsFair;
+
+}  // namespace clof::locks
+
+#endif  // CLOF_SRC_LOCKS_TRAITS_H_

@@ -1,0 +1,93 @@
+// Ready-made lock property checks on top of mck::Explorer (paper §4.2).
+//
+// CheckLock runs N threads, each acquiring the lock K times, over every interleaving:
+//  * mutual exclusion — a visible in-CS token is incremented at entry and decremented
+//    at exit; observing a non-zero token at entry is a violation;
+//  * deadlock freedom & spinloop termination — from the explorer itself;
+//  * bounded bypass — a fairness gauge: how many times other threads entered the CS
+//    between a thread starting Acquire and completing it, maximized over all schedules.
+//    Fair locks bound this (Ticketlock: N-1); unfair locks (TTAS) exceed it — the
+//    executable analogue of the paper's TLA+ fairness observation (§4.2.3).
+#ifndef CLOF_SRC_MCK_CHECK_LOCK_H_
+#define CLOF_SRC_MCK_CHECK_LOCK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/mck/explorer.h"
+#include "src/mck/mck_memory.h"
+
+namespace clof::mck {
+
+struct CheckConfig {
+  int threads = 3;
+  int acquisitions = 1;    // critical sections per thread
+  std::vector<int> cpus;   // per-thread virtual CPU; default tid
+  Explorer::Options options;
+};
+
+struct CheckStats {
+  Explorer::Result result;
+  uint64_t max_bypass = 0;  // over all explored schedules
+};
+
+// `make_lock` is called once per execution and must return a freshly constructed lock
+// (any type with Context / Acquire(Context&) / Release(Context&), instantiated with
+// MckMemory).
+template <class L>
+CheckStats CheckLock(const CheckConfig& config, std::function<std::shared_ptr<L>()> make_lock) {
+  struct Shared {
+    // The in-CS token MUST be a visible (instrumented) operation: DPOR only explores
+    // reorderings justified by conflicts on instrumented state, so a host-side counter
+    // would let it soundly prune exactly the schedules that expose an overlap. The two
+    // FetchAdds conflict with every other thread's entry/exit, forcing all relative
+    // CS orderings to be explored. (A host-counter variant missed a seeded Dekker bug;
+    // tests/mck_classic_test.cc keeps that regression.)
+    MckMemory::Atomic<int64_t> in_cs{0};
+    uint64_t epoch = 0;  // host-side is fine for the *gauge* (not a safety property)
+  };
+
+  CheckStats stats;
+  Explorer explorer(config.options);
+  stats.result = explorer.Explore([&]() {
+    auto lock = make_lock();
+    auto shared = std::make_shared<Shared>();
+    std::vector<Explorer::ThreadSpec> specs;
+    specs.reserve(config.threads);
+    for (int tid = 0; tid < config.threads; ++tid) {
+      Explorer::ThreadSpec spec;
+      spec.cpu = tid < static_cast<int>(config.cpus.size()) ? config.cpus[tid] : tid;
+      spec.body = [lock, shared, &stats, acquisitions = config.acquisitions]() {
+        typename L::Context ctx;
+        for (int k = 0; k < acquisitions; ++k) {
+          // Bypass is counted from the moment the thread's first shared lock access
+          // linearizes (its ticket take / queue join), the point from which fair locks
+          // bound overtaking; sampling any earlier would charge fair locks for
+          // arbitrary pre-queue scheduling delay.
+          uint64_t arrival = shared->epoch;
+          Explorer::Current().ArmArrivalProbe([shared, &arrival] { arrival = shared->epoch; });
+          lock->Acquire(ctx);
+          if (shared->in_cs.FetchAdd(1) != 0) {
+            Explorer::Current().Fail("mutual exclusion violated");
+          }
+          uint64_t entered = shared->epoch++;
+          stats.max_bypass = std::max(stats.max_bypass, entered - arrival);
+          if (shared->in_cs.FetchAdd(-1) != 1) {
+            Explorer::Current().Fail("mutual exclusion violated");
+          }
+          lock->Release(ctx);
+        }
+      };
+      specs.push_back(std::move(spec));
+    }
+    return specs;
+  });
+  return stats;
+}
+
+}  // namespace clof::mck
+
+#endif  // CLOF_SRC_MCK_CHECK_LOCK_H_

@@ -1,0 +1,504 @@
+#include "src/mck/explorer.h"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <utility>
+
+namespace clof::mck {
+namespace {
+
+thread_local Explorer* g_current_explorer = nullptr;
+
+// Internal exception used to unwind fibers of an abandoned execution so that all
+// destructors (e.g. CLH context nodes) run.
+struct CancelExecution {};
+
+uint64_t Bit(int tid) { return uint64_t{1} << tid; }
+
+}  // namespace
+
+struct Explorer::ThreadState {
+  runtime::Fiber* fiber = nullptr;
+  int tid = 0;
+  int cpu = 0;
+  bool finished = false;
+  bool parked = false;
+  // Addresses a parked thread is watching (its next probe targets); parked_addrs[0]
+  // doubles as the woken thread's re-probe hint for the sleep-set dependence check.
+  static constexpr int kMaxWatches = 4;
+  std::array<uintptr_t, kMaxWatches> parked_addrs{};
+  int parked_count = 0;
+  // Announced-but-not-applied operation (the op that executes when scheduled next).
+  bool has_pending = false;
+  uintptr_t pending_addr = 0;
+  MckOpKind pending_kind = MckOpKind::kLoad;
+  const std::function<bool()>* pending_apply = nullptr;
+  std::function<void()> arrival_probe;
+
+  // Sleep-set independence check: can executing (addr, is_write) affect this thread's
+  // next visible action? Unknown next actions (fresh threads) count as dependent.
+  bool DependsOn(uintptr_t addr, bool is_write) const {
+    if (has_pending) {
+      bool pending_write = pending_kind != MckOpKind::kLoad;
+      return pending_addr == addr && (is_write || pending_write);
+    }
+    if (parked_count > 0) {  // parked, or woken and about to re-probe its watches
+      for (int i = 0; i < parked_count; ++i) {
+        if (parked_addrs[i] == addr && is_write) {
+          return true;
+        }
+      }
+      return false;
+    }
+    return true;  // fresh thread: unknown, assume dependent
+  }
+};
+
+struct Explorer::ExecutionContext {
+  runtime::Fiber main_fiber = runtime::Fiber::Main();
+  std::vector<std::unique_ptr<runtime::Fiber>> fiber_pool;  // reused across executions
+  std::vector<std::unique_ptr<ThreadState>> threads;
+  std::unordered_map<uintptr_t, uint64_t> versions;
+  ThreadState* current = nullptr;
+
+  // Per-execution schedule record (node i = state before step i).
+  std::vector<uint64_t> enabled_history;
+  std::vector<uint64_t> sleep_history;
+  std::vector<int> chosen_history;
+
+  // Persistent DFS state, aligned with the common path prefix across executions:
+  // prefix = choices to replay; explored[i] = choices whose subtrees are done at node i;
+  // backtrack[i] = choices worth exploring at node i (DPOR: seeded with one thread,
+  // grown by the conflicts later steps discover).
+  std::vector<int> prefix;
+  std::vector<uint64_t> explored;
+  std::vector<uint64_t> backtrack;
+
+  // Last accesses per address within the current execution, for conflict detection,
+  // plus the vector clocks realizing the happens-before relation (clock[q] = index of
+  // q's latest step that happens-before; hb edges are exactly the dependent-access
+  // pairs: write->read, read->write, write->write on one address).
+  struct AddrAccess {
+    int last_write_step = -1;
+    int last_write_tid = -1;
+    std::vector<int> last_read_step;    // per tid
+    std::vector<int> write_clock;       // clock released by the last write
+    std::vector<int> readers_clock;     // join of clocks released by reads-since-write
+  };
+  std::unordered_map<uintptr_t, AddrAccess> accesses;
+  std::vector<std::vector<int>> thread_clock;  // per tid
+
+  int step = 0;
+  bool cancelling = false;
+  bool violation = false;
+  std::string violation_message;
+};
+
+Explorer::Explorer() : Explorer(Options{}) {}
+Explorer::Explorer(Options options) : options_(options) {}
+Explorer::~Explorer() = default;
+
+Explorer& Explorer::Current() {
+  if (g_current_explorer == nullptr) {
+    std::fprintf(stderr, "mck::Explorer::Current() called outside an exploration\n");
+    std::abort();
+  }
+  return *g_current_explorer;
+}
+
+bool Explorer::InExploration() {
+  // True only while a *checked thread* is running: lock constructors/destructors also
+  // execute between executions (fiber re-arming destroys captured state) and their
+  // atomic accesses must degrade to plain ones.
+  return g_current_explorer != nullptr && g_current_explorer->exec_ != nullptr &&
+         g_current_explorer->exec_->current != nullptr;
+}
+
+int Explorer::CurrentTid() const { return exec_->current->tid; }
+int Explorer::CurrentCpu() const { return exec_->current->cpu; }
+int Explorer::NumThreads() const { return static_cast<int>(exec_->threads.size()); }
+
+void Explorer::OnAccess(uintptr_t addr, MckOpKind kind, const std::function<bool()>& apply) {
+  ExecutionContext& ec = *exec_;
+  ThreadState* self = ec.current;
+  if (ec.cancelling) {
+    throw CancelExecution{};
+  }
+  // Note: no "thread-local address" shortcut here. Skipping scheduling points for
+  // addresses only one thread has touched *so far* is unsound — under a different
+  // schedule another thread's access could have come first (a lost-update litmus
+  // regression test guards this). Every access to a potentially shared location is a
+  // scheduling point; the sound reductions are the sleep sets and the eager local
+  // quanta in Explore().
+  //
+  // Announce and yield; the scheduler resumes us when it is our turn, and we apply the
+  // operation at that point (the linearization point).
+  self->has_pending = true;
+  self->pending_addr = addr;
+  self->pending_kind = kind;
+  self->pending_apply = &apply;
+  self->parked_count = 0;
+  runtime::Fiber::Switch(*self->fiber, ec.main_fiber);
+  if (ec.cancelling) {
+    throw CancelExecution{};
+  }
+  self->has_pending = false;
+  bool changed = apply();
+  if (self->arrival_probe) {
+    auto probe = std::move(self->arrival_probe);
+    self->arrival_probe = nullptr;
+    probe();
+  }
+  if (changed && kind != MckOpKind::kLoad) {
+    ++ec.versions[addr];
+    for (auto& thread : ec.threads) {
+      if (!thread->parked) {
+        continue;
+      }
+      for (int i = 0; i < thread->parked_count; ++i) {
+        if (thread->parked_addrs[i] == addr) {
+          thread->parked = false;  // keep the watch list: it is the next probe hint
+          break;
+        }
+      }
+    }
+  }
+}
+
+void Explorer::ArmArrivalProbe(std::function<void()> probe) {
+  exec_->current->arrival_probe = std::move(probe);
+}
+
+void Explorer::SchedulePoint() {
+  ExecutionContext& ec = *exec_;
+  ThreadState* self = ec.current;
+  if (ec.cancelling) {
+    throw CancelExecution{};
+  }
+  // A pending no-op on a per-thread sentinel address: a real suspension, but
+  // independent of every other thread's next operation.
+  static const std::function<bool()> kNoop = [] { return false; };
+  self->has_pending = true;
+  self->pending_addr = static_cast<uintptr_t>(self->tid) + 1;  // below any real address
+  self->pending_kind = MckOpKind::kLoad;
+  self->pending_apply = &kNoop;
+  self->parked_count = 0;
+  runtime::Fiber::Switch(*self->fiber, ec.main_fiber);
+  if (ec.cancelling) {
+    throw CancelExecution{};
+  }
+  self->has_pending = false;
+}
+
+uint64_t Explorer::VersionOf(uintptr_t addr) { return exec_->versions[addr]; }
+
+void Explorer::ParkOnAddr(uintptr_t addr, uint64_t seen_version) {
+  ParkOnAddrs({AddrVersion{addr, seen_version}});
+}
+
+void Explorer::ParkOnAddrs(std::initializer_list<AddrVersion> watches) {
+  ExecutionContext& ec = *exec_;
+  ThreadState* self = ec.current;
+  if (ec.cancelling) {
+    throw CancelExecution{};
+  }
+  self->parked_count = 0;
+  for (const AddrVersion& watch : watches) {
+    if (ec.versions[watch.addr] != watch.seen_version) {
+      return;  // raced with a write to one of the watches: re-probe
+    }
+    if (self->parked_count == ThreadState::kMaxWatches) {
+      std::fprintf(stderr, "mck: too many park watches\n");
+      std::abort();
+    }
+    self->parked_addrs[self->parked_count++] = watch.addr;
+  }
+  self->parked = true;
+  runtime::Fiber::Switch(*self->fiber, ec.main_fiber);
+  if (ec.cancelling) {
+    throw CancelExecution{};
+  }
+}
+
+void Explorer::Fail(const std::string& message) {
+  ExecutionContext& ec = *exec_;
+  if (!ec.violation) {
+    ec.violation = true;
+    ec.violation_message = message;
+  }
+  throw ViolationError(message);
+}
+
+Explorer::Result Explorer::Explore(const std::function<std::vector<ThreadSpec>()>& make_threads) {
+  Result result;
+  ExecutionContext ec;
+  exec_ = &ec;
+  Explorer* previous = g_current_explorer;
+  g_current_explorer = this;
+
+  // Depth-first search over schedules with full replay and sleep sets: after a choice's
+  // subtree is explored, reordering it with an *independent* (different address, or
+  // both-read) op of another thread cannot produce a new behaviour, so the slept thread
+  // stays excluded until a dependent op wakes it. This prunes the exploration to
+  // (roughly) one execution per Mazurkiewicz trace while preserving all safety
+  // violations and deadlocks.
+  for (;;) {
+    ++result.executions;
+    ec.threads.clear();
+    ec.versions.clear();
+    ec.accesses.clear();
+    ec.enabled_history.clear();
+    ec.sleep_history.clear();
+    ec.chosen_history.clear();
+    ec.step = 0;
+    ec.cancelling = false;
+    ec.violation = false;
+    ec.violation_message.clear();
+
+    auto specs = make_threads();
+    ec.thread_clock.assign(specs.size(), std::vector<int>(specs.size(), -1));
+    if (specs.size() > 64) {
+      std::fprintf(stderr, "mck: at most 64 threads supported\n");
+      std::abort();
+    }
+    for (size_t i = 0; i < specs.size(); ++i) {
+      auto thread = std::make_unique<ThreadState>();
+      thread->tid = static_cast<int>(i);
+      thread->cpu = specs[i].cpu;
+      ThreadState* raw = thread.get();
+      if (i >= ec.fiber_pool.size()) {
+        ec.fiber_pool.push_back(std::make_unique<runtime::Fiber>([] {}, &ec.main_fiber,
+                                                                 options_.fiber_stack_bytes));
+        runtime::Fiber::Switch(ec.main_fiber, *ec.fiber_pool.back());  // drain the stub
+      }
+      thread->fiber = ec.fiber_pool[i].get();
+      thread->fiber->Reset(
+          [body = std::move(specs[i].body), raw]() {
+            try {
+              body();
+            } catch (const CancelExecution&) {
+            } catch (const ViolationError&) {
+            }
+            raw->finished = true;
+          },
+          &ec.main_fiber);
+      ec.threads.push_back(std::move(thread));
+    }
+
+    // --- run one execution ---
+    bool deadlock = false;
+    bool pruned = false;
+    uint64_t sleep = 0;
+    for (;;) {
+      // Eagerly run every thread that has no announced operation (fresh threads and
+      // threads just woken from a park): such a quantum performs no visible operation —
+      // it only runs local code up to its next announcement — so it commutes with every
+      // other thread and must not be a scheduling choice. Without this, each spin
+      // wakeup would branch the search and defeat the sleep sets.
+      for (bool advanced = true; advanced;) {
+        advanced = false;
+        for (auto& thread : ec.threads) {
+          if (!thread->finished && !thread->parked && !thread->has_pending) {
+            ec.current = thread.get();
+            runtime::Fiber::Switch(ec.main_fiber, *thread->fiber);
+            ec.current = nullptr;
+            advanced = true;
+          }
+        }
+        if (ec.violation) {
+          break;
+        }
+      }
+      if (ec.violation) {
+        break;
+      }
+      uint64_t enabled = 0;
+      bool all_finished = true;
+      for (auto& thread : ec.threads) {
+        if (!thread->finished) {
+          all_finished = false;
+          if (!thread->parked) {
+            enabled |= Bit(thread->tid);
+          }
+        }
+      }
+      if (all_finished) {
+        break;
+      }
+      if (enabled == 0) {
+        deadlock = true;
+        break;
+      }
+      if (ec.step >= static_cast<int>(ec.explored.size())) {
+        ec.explored.push_back(0);
+        // DPOR: seed a fresh node with a single candidate; conflicts discovered by
+        // later steps (possibly in later executions) grow this set in place.
+        uint64_t seed = enabled & ~sleep;
+        ec.backtrack.push_back(seed == 0 ? 0 : Bit(__builtin_ctzll(seed)));
+      }
+      uint64_t avail = ec.backtrack[ec.step] & enabled & ~sleep & ~ec.explored[ec.step];
+      int chosen;
+      if (ec.step < static_cast<int>(ec.prefix.size())) {
+        chosen = ec.prefix[ec.step];
+        if ((enabled & Bit(chosen)) == 0) {
+          std::fprintf(stderr, "mck: non-deterministic program under replay\n");
+          std::abort();
+        }
+      } else {
+        if (avail == 0) {
+          pruned = true;  // every successor here is covered by an explored/slept branch
+          break;
+        }
+        chosen = __builtin_ctzll(avail);
+      }
+      ec.enabled_history.push_back(enabled);
+      ec.sleep_history.push_back(sleep);
+      ec.chosen_history.push_back(chosen);
+      ++ec.step;
+      if (ec.step > options_.max_steps) {
+        ec.violation = true;
+        ec.violation_message = "step bound exceeded (possible livelock)";
+        break;
+      }
+      ThreadState* thread = ec.threads[chosen].get();
+      // Capture the op this step will apply (announced before suspension); a fresh or
+      // just-woken thread applies nothing and only announces, which is independent of
+      // everything.
+      bool op_known = thread->has_pending;
+      uintptr_t op_addr = thread->pending_addr;
+      bool op_write = op_known && thread->pending_kind != MckOpKind::kLoad;
+      const int this_step = ec.step - 1;
+      if (op_known) {
+        // DPOR backtrack-point discovery (Flanagan-Godefroid): this op may need to run
+        // *before* the most recent conflicting access of another thread, unless that
+        // access already happens-before us (then the two cannot be reordered and no
+        // alternative exists). Record the alternative at the node preceding the access.
+        const size_t n = ec.threads.size();
+        auto& access = ec.accesses[op_addr];
+        if (access.last_read_step.empty()) {
+          access.last_read_step.assign(n, -1);
+          access.write_clock.assign(n, -1);
+          access.readers_clock.assign(n, -1);
+        }
+        std::vector<int>& my_clock = ec.thread_clock[chosen];
+        auto consider = [&](int step, int tid) {
+          if (step < 0 || tid == chosen || step <= my_clock[tid]) {
+            return;  // absent, own, or already ordered before us
+          }
+          uint64_t enabled_there = ec.enabled_history[step];
+          ec.backtrack[step] |=
+              (enabled_there & Bit(chosen)) != 0 ? Bit(chosen) : enabled_there;
+        };
+        consider(access.last_write_step, access.last_write_tid);
+        if (op_write) {
+          for (size_t u = 0; u < n; ++u) {
+            consider(access.last_read_step[u], static_cast<int>(u));
+          }
+        }
+        // Happens-before update: join the clocks this dependent access synchronizes
+        // with, stamp our own progress, release our clock to the address.
+        for (size_t u = 0; u < n; ++u) {
+          my_clock[u] = std::max(my_clock[u], access.write_clock[u]);
+          if (op_write) {
+            my_clock[u] = std::max(my_clock[u], access.readers_clock[u]);
+          }
+        }
+        my_clock[chosen] = this_step;
+        if (op_write) {
+          access.write_clock = my_clock;
+          access.readers_clock.assign(n, -1);  // absorbed into the write clock
+          access.last_write_step = this_step;
+          access.last_write_tid = chosen;
+          access.last_read_step.assign(n, -1);
+        } else {
+          for (size_t u = 0; u < n; ++u) {
+            access.readers_clock[u] = std::max(access.readers_clock[u], my_clock[u]);
+          }
+          access.last_read_step[chosen] = this_step;
+        }
+      }
+      ec.current = thread;
+      runtime::Fiber::Switch(ec.main_fiber, *thread->fiber);
+      ec.current = nullptr;
+      if (ec.violation) {
+        break;  // a Fail() unwound the running thread; abandon this execution
+      }
+      // Sleep-set evolution: the chosen thread wakes everything dependent on its op.
+      uint64_t next_sleep = 0;
+      if (sleep != 0) {
+        for (auto& other : ec.threads) {
+          if ((sleep & Bit(other->tid)) == 0 || other->tid == chosen || other->finished) {
+            continue;
+          }
+          bool dependent = !op_known || other->DependsOn(op_addr, op_write);
+          if (!dependent) {
+            next_sleep |= Bit(other->tid);
+          }
+        }
+      }
+      sleep = next_sleep;
+    }
+    if (deadlock) {
+      ec.violation = true;
+      ec.violation_message = "deadlock: all live threads are blocked";
+    }
+    result.total_steps += static_cast<uint64_t>(ec.step);
+
+    // Unwind any live fibers so their stacks run destructors.
+    bool any_live = false;
+    for (auto& thread : ec.threads) {
+      any_live = any_live || !thread->finished;
+    }
+    if (any_live) {
+      ec.cancelling = true;
+      for (auto& thread : ec.threads) {
+        while (!thread->finished) {
+          ec.current = thread.get();
+          runtime::Fiber::Switch(ec.main_fiber, *thread->fiber);
+          ec.current = nullptr;
+        }
+      }
+      ec.cancelling = false;
+    }
+
+    if (ec.violation) {
+      result.violation_found = true;
+      result.violation = ec.violation_message;
+      result.violating_schedule = ec.chosen_history;
+      result.exhausted = false;
+      break;
+    }
+    (void)pruned;  // a pruned execution backtracks exactly like a completed one
+
+    // --- backtrack: deepest node with an unexplored backtrack-set alternative ---
+    int backtrack = -1;
+    for (int i = static_cast<int>(ec.chosen_history.size()) - 1; i >= 0; --i) {
+      ec.explored[i] |= Bit(ec.chosen_history[i]);
+      uint64_t avail = ec.backtrack[i] & ec.enabled_history[i] & ~ec.sleep_history[i] &
+                       ~ec.explored[i];
+      if (avail != 0) {
+        backtrack = i;
+        ec.prefix.assign(ec.chosen_history.begin(), ec.chosen_history.begin() + i);
+        ec.prefix.push_back(__builtin_ctzll(avail));
+        ec.explored.resize(static_cast<size_t>(i) + 1);
+        ec.backtrack.resize(static_cast<size_t>(i) + 1);
+        break;
+      }
+    }
+    if (backtrack < 0) {
+      break;  // explored everything
+    }
+    if (options_.max_executions != 0 && result.executions >= options_.max_executions) {
+      result.exhausted = false;
+      break;
+    }
+  }
+
+  g_current_explorer = previous;
+  exec_ = nullptr;
+  return result;
+}
+
+}  // namespace clof::mck

@@ -1,0 +1,162 @@
+// MckMemory: the model-checking instantiation of the memory policy. Every atomic access
+// becomes a scheduling point of mck::Explorer; spin loops block until the awaited
+// location changes (version-checked, like the simulator's parking).
+//
+// Outside an exploration every operation degrades to a plain access, so locks can be
+// constructed, inspected and destroyed freely in test code.
+#ifndef CLOF_SRC_MCK_MCK_MEMORY_H_
+#define CLOF_SRC_MCK_MCK_MEMORY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+#include "src/mck/explorer.h"
+
+namespace clof::mck {
+
+struct MckMemory {
+  template <typename T>
+  class Atomic {
+   public:
+    Atomic() : value_() {}
+    explicit Atomic(T v) : value_(v) {}
+    Atomic(const Atomic&) = delete;
+    Atomic& operator=(const Atomic&) = delete;
+
+    T Load(std::memory_order = std::memory_order_acquire) const {
+      if (!Explorer::InExploration()) {
+        return value_;
+      }
+      T result{};
+      Explorer::Current().OnAccess(Addr(), MckOpKind::kLoad, [&] {
+        result = value_;
+        return false;
+      });
+      return result;
+    }
+
+    void Store(T v, std::memory_order = std::memory_order_release) {
+      if (!Explorer::InExploration()) {
+        value_ = v;
+        return;
+      }
+      Explorer::Current().OnAccess(Addr(), MckOpKind::kStore, [&] {
+        bool changed = value_ != v;
+        value_ = v;
+        return changed;
+      });
+    }
+
+    T Exchange(T v, std::memory_order = std::memory_order_acq_rel) {
+      if (!Explorer::InExploration()) {
+        T old = value_;
+        value_ = v;
+        return old;
+      }
+      T old{};
+      Explorer::Current().OnAccess(Addr(), MckOpKind::kRmw, [&] {
+        old = value_;
+        value_ = v;
+        return old != v;
+      });
+      return old;
+    }
+
+    bool CompareExchange(T& expected, T desired,
+                         std::memory_order = std::memory_order_acq_rel) {
+      if (!Explorer::InExploration()) {
+        if (value_ == expected) {
+          value_ = desired;
+          return true;
+        }
+        expected = value_;
+        return false;
+      }
+      bool success = false;
+      T want = expected;
+      T observed{};
+      Explorer::Current().OnAccess(Addr(), MckOpKind::kCmpXchg, [&] {
+        observed = value_;
+        if (value_ == want) {
+          value_ = desired;
+          success = true;
+          return want != desired;
+        }
+        return false;
+      });
+      if (!success) {
+        expected = observed;
+      }
+      return success;
+    }
+
+    T FetchAdd(T delta, std::memory_order = std::memory_order_acq_rel)
+      requires std::is_integral_v<T>
+    {
+      if (!Explorer::InExploration()) {
+        T old = value_;
+        value_ = static_cast<T>(value_ + delta);
+        return old;
+      }
+      T old{};
+      Explorer::Current().OnAccess(Addr(), MckOpKind::kRmw, [&] {
+        old = value_;
+        value_ = static_cast<T>(value_ + delta);
+        return delta != T{0};
+      });
+      return old;
+    }
+
+    T RmwRead() {
+      if (!Explorer::InExploration()) {
+        return value_;
+      }
+      T result{};
+      Explorer::Current().OnAccess(Addr(), MckOpKind::kRmw, [&] {
+        result = value_;
+        return false;
+      });
+      return result;
+    }
+
+    uintptr_t Addr() const { return reinterpret_cast<uintptr_t>(this); }
+
+   private:
+    mutable T value_;
+  };
+
+  static int CpuId() { return Explorer::Current().CurrentCpu(); }
+  static int NumCpus() { return Explorer::Current().NumThreads(); }
+  static void Pause() {}
+  static void Yield() {}
+  static void Delay(uint32_t) {}
+
+  template <typename T, typename Pred>
+  static T SpinUntil(const Atomic<T>& atomic, Pred pred) {
+    return SpinImpl(const_cast<Atomic<T>&>(atomic), pred, /*rmw_mode=*/false);
+  }
+
+  template <typename T, typename Pred>
+  static T SpinUntilRmw(Atomic<T>& atomic, Pred pred) {
+    return SpinImpl(atomic, pred, /*rmw_mode=*/true);
+  }
+
+ private:
+  template <typename T, typename Pred>
+  static T SpinImpl(Atomic<T>& atomic, Pred pred, bool rmw_mode) {
+    auto& explorer = Explorer::Current();
+    for (;;) {
+      uint64_t version = explorer.VersionOf(atomic.Addr());
+      T value = rmw_mode ? atomic.RmwRead() : atomic.Load(std::memory_order_acquire);
+      if (pred(value)) {
+        return value;
+      }
+      explorer.ParkOnAddr(atomic.Addr(), version);
+    }
+  }
+};
+
+}  // namespace clof::mck
+
+#endif  // CLOF_SRC_MCK_MCK_MEMORY_H_

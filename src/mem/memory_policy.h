@@ -1,0 +1,54 @@
+// The memory-policy concept: write a lock once, run it on three "machines".
+//
+// Every lock in this repository is a template over a policy M that supplies atomic
+// storage and spin primitives. Three interchangeable policies exist:
+//
+//  * mem::NativeMemory   — std::atomic; the lock is a real, shippable lock.
+//  * mem::SimMemory      — every access is a discrete event on the simulated NUMA
+//                          machine (src/sim); powers all paper-figure benchmarks.
+//  * mck::MckMemory      — every access is a scheduling point for the stateless model
+//                          checker (src/mck); powers the §4.2 correctness argument.
+//
+// Required interface (shown as a concept below):
+//   M::template Atomic<T>           T integral or pointer, <= 8 bytes
+//     .Load(mo) / .Store(v, mo) / .Exchange(v, mo) / .FetchAdd(d, mo)
+//     .CompareExchange(expected&, desired, mo)      (strong)
+//     .RmwRead()                                    read via fetch_add(x, 0) — the
+//                                                   Hemlock CTR access (paper §2.1)
+//   M::CpuId()                      virtual CPU of the calling thread
+//   M::NumCpus()                    CPUs of the machine this thread runs on
+//   M::Pause()                      architectural pause inside a retry loop
+//   M::Yield()                      polite yield in long spins (no-op off-native)
+//   M::SpinUntil(atomic, pred)      block until pred(value); returns the value
+//   M::SpinUntilRmw(atomic, pred)   same, but each probe is an RMW read (CTR mode)
+//
+// memory_order arguments are honoured by NativeMemory and recorded-but-SC by the other
+// two policies (the simulator and checker execute sequentially consistently; see
+// DESIGN.md on what that does and does not verify).
+#ifndef CLOF_SRC_MEM_MEMORY_POLICY_H_
+#define CLOF_SRC_MEM_MEMORY_POLICY_H_
+
+#include <atomic>
+#include <concepts>
+#include <cstdint>
+
+namespace clof::mem {
+
+template <class M>
+concept MemoryPolicy = requires(typename M::template Atomic<uint32_t>& a, uint32_t v) {
+  { a.Load(std::memory_order_acquire) } -> std::convertible_to<uint32_t>;
+  a.Store(v, std::memory_order_release);
+  { a.Exchange(v, std::memory_order_acq_rel) } -> std::convertible_to<uint32_t>;
+  { a.FetchAdd(v, std::memory_order_acq_rel) } -> std::convertible_to<uint32_t>;
+  { a.CompareExchange(v, v, std::memory_order_acq_rel) } -> std::convertible_to<bool>;
+  { a.RmwRead() } -> std::convertible_to<uint32_t>;
+  { M::CpuId() } -> std::convertible_to<int>;
+  { M::NumCpus() } -> std::convertible_to<int>;
+  M::Pause();
+  M::Yield();
+  M::Delay(uint32_t{4});
+};
+
+}  // namespace clof::mem
+
+#endif  // CLOF_SRC_MEM_MEMORY_POLICY_H_

@@ -1,0 +1,130 @@
+// NativeMemory: the std::atomic instantiation of the memory policy.
+//
+// This is the policy a downstream user links against: locks instantiated with it are
+// ordinary spinlocks. Spin loops escalate to sched_yield so the library stays live even
+// when threads outnumber host CPUs.
+//
+// The "virtual CPU" of a thread — which cohort the NUMA-aware locks place it in — is a
+// thread-local set with ScopedCpu (normally alongside pthread affinity pinning).
+#ifndef CLOF_SRC_MEM_NATIVE_H_
+#define CLOF_SRC_MEM_NATIVE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace clof::mem {
+
+namespace internal {
+inline thread_local int tls_cpu_id = 0;
+inline std::atomic<int> g_native_num_cpus{1};
+}  // namespace internal
+
+struct NativeMemory {
+  template <typename T>
+  class Atomic {
+   public:
+    Atomic() : value_() {}
+    explicit Atomic(T v) : value_(v) {}
+    Atomic(const Atomic&) = delete;
+    Atomic& operator=(const Atomic&) = delete;
+
+    T Load(std::memory_order mo = std::memory_order_acquire) const { return value_.load(mo); }
+    void Store(T v, std::memory_order mo = std::memory_order_release) { value_.store(v, mo); }
+    T Exchange(T v, std::memory_order mo = std::memory_order_acq_rel) {
+      return value_.exchange(v, mo);
+    }
+    bool CompareExchange(T& expected, T desired,
+                         std::memory_order mo = std::memory_order_acq_rel) {
+      return value_.compare_exchange_strong(expected, desired, mo,
+                                            std::memory_order_acquire);
+    }
+    T FetchAdd(T delta, std::memory_order mo = std::memory_order_acq_rel)
+      requires std::is_integral_v<T>
+    {
+      return value_.fetch_add(delta, mo);
+    }
+    // Read performed as an atomic RMW that adds zero — Hemlock's CTR read (§2.1).
+    T RmwRead() {
+      if constexpr (std::is_pointer_v<T>) {
+        return value_.fetch_add(0, std::memory_order_acq_rel);
+      } else {
+        return value_.fetch_add(T{0}, std::memory_order_acq_rel);
+      }
+    }
+
+   private:
+    std::atomic<T> value_;
+  };
+
+  static int CpuId() { return internal::tls_cpu_id; }
+  static int NumCpus() { return internal::g_native_num_cpus.load(std::memory_order_relaxed); }
+  static void SetNumCpus(int n) {
+    internal::g_native_num_cpus.store(n, std::memory_order_relaxed);
+  }
+
+  static void Pause() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+  }
+
+  static void Yield() { std::this_thread::yield(); }
+
+  // `n` architectural pauses back-to-back (backoff loops).
+  static void Delay(uint32_t n) {
+    for (uint32_t i = 0; i < n; ++i) {
+      Pause();
+    }
+  }
+
+  template <typename T, typename Pred>
+  static T SpinUntil(const Atomic<T>& atomic, Pred pred) {
+    uint32_t spins = 0;
+    for (;;) {
+      T v = atomic.Load(std::memory_order_acquire);
+      if (pred(v)) {
+        return v;
+      }
+      Pause();
+      if ((++spins & 0x3fu) == 0) {
+        Yield();  // stay live when oversubscribed
+      }
+    }
+  }
+
+  template <typename T, typename Pred>
+  static T SpinUntilRmw(Atomic<T>& atomic, Pred pred) {
+    uint32_t spins = 0;
+    for (;;) {
+      T v = atomic.RmwRead();
+      if (pred(v)) {
+        return v;
+      }
+      Pause();
+      if ((++spins & 0x3fu) == 0) {
+        Yield();
+      }
+    }
+  }
+
+  // RAII assignment of the calling thread's virtual CPU (its cohort identity).
+  class ScopedCpu {
+   public:
+    explicit ScopedCpu(int cpu) : saved_(internal::tls_cpu_id) { internal::tls_cpu_id = cpu; }
+    ~ScopedCpu() { internal::tls_cpu_id = saved_; }
+    ScopedCpu(const ScopedCpu&) = delete;
+    ScopedCpu& operator=(const ScopedCpu&) = delete;
+
+   private:
+    int saved_;
+  };
+};
+
+}  // namespace clof::mem
+
+#endif  // CLOF_SRC_MEM_NATIVE_H_

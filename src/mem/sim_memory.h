@@ -1,0 +1,192 @@
+// SimMemory: the discrete-event-simulator instantiation of the memory policy.
+//
+// Every operation on a SimMemory::Atomic<T> is routed through sim::Engine::Access as one
+// event with a virtual-time cost derived from the cache-coherence model. Lines are
+// identified by real object addresses (address >> 6), so fields that a lock packs into
+// one cache line genuinely share a simulated line — true and false sharing behave as on
+// hardware. Spin loops park on the line and are woken by value-changing writes.
+#ifndef CLOF_SRC_MEM_SIM_MEMORY_H_
+#define CLOF_SRC_MEM_SIM_MEMORY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+#include "src/sim/engine.h"
+
+namespace clof::mem {
+
+struct SimMemory {
+  template <typename T>
+  class Atomic {
+    static_assert(sizeof(T) <= 8, "simulated atomics are at most 8 bytes");
+
+   public:
+    Atomic() : value_() {}
+    explicit Atomic(T v) : value_(v) {}
+    Atomic(const Atomic&) = delete;
+    Atomic& operator=(const Atomic&) = delete;
+
+    // Every operation falls back to a plain (cost-free) access when no simulation is
+    // running: lock construction, destruction and test assertions happen outside the
+    // simulated region.
+
+    T Load(std::memory_order = std::memory_order_acquire) const {
+      if (!sim::Engine::InSimulation()) {
+        return value_;
+      }
+      T result{};
+      sim::Engine::Current().Access(LineAddr(), sim::OpKind::kLoad, [&] {
+        result = value_;
+        return false;
+      });
+      return result;
+    }
+
+    void Store(T v, std::memory_order = std::memory_order_release) {
+      if (!sim::Engine::InSimulation()) {
+        value_ = v;
+        return;
+      }
+      sim::Engine::Current().Access(LineAddr(), sim::OpKind::kStore, [&] {
+        bool changed = value_ != v;
+        value_ = v;
+        return changed;
+      });
+    }
+
+    T Exchange(T v, std::memory_order = std::memory_order_acq_rel) {
+      if (!sim::Engine::InSimulation()) {
+        T old = value_;
+        value_ = v;
+        return old;
+      }
+      T old{};
+      sim::Engine::Current().Access(LineAddr(), sim::OpKind::kRmw, [&] {
+        old = value_;
+        value_ = v;
+        return old != v;
+      });
+      return old;
+    }
+
+    bool CompareExchange(T& expected, T desired,
+                         std::memory_order = std::memory_order_acq_rel) {
+      if (!sim::Engine::InSimulation()) {
+        if (value_ == expected) {
+          value_ = desired;
+          return true;
+        }
+        expected = value_;
+        return false;
+      }
+      bool success = false;
+      T want = expected;
+      T observed{};
+      sim::Engine::Current().Access(LineAddr(), sim::OpKind::kCmpXchg, [&] {
+        observed = value_;
+        if (value_ == want) {
+          value_ = desired;
+          success = true;
+          return want != desired;
+        }
+        return false;
+      });
+      if (!success) {
+        expected = observed;
+      }
+      return success;
+    }
+
+    T FetchAdd(T delta, std::memory_order = std::memory_order_acq_rel)
+      requires std::is_integral_v<T>
+    {
+      if (!sim::Engine::InSimulation()) {
+        T old = value_;
+        value_ = static_cast<T>(value_ + delta);
+        return old;
+      }
+      T old{};
+      sim::Engine::Current().Access(LineAddr(), sim::OpKind::kRmw, [&] {
+        old = value_;
+        value_ = static_cast<T>(value_ + delta);
+        return delta != T{0};
+      });
+      return old;
+    }
+
+    // Read via fetch_add(x, 0): exclusive-taking, used by Hemlock CTR. Feeds the Arm
+    // LL/SC penalty model when spinning (see SpinUntilRmw).
+    T RmwRead() {
+      if (!sim::Engine::InSimulation()) {
+        return value_;
+      }
+      T result{};
+      sim::Engine::Current().Access(LineAddr(), sim::OpKind::kRmwSpinLoad, [&] {
+        result = value_;
+        return false;
+      });
+      return result;
+    }
+
+    struct Versioned {
+      T value;
+      uint64_t version;
+    };
+
+    Versioned LoadVersioned(bool rmw_mode) const {
+      Versioned out{};
+      auto result = sim::Engine::Current().Access(
+          LineAddr(), rmw_mode ? sim::OpKind::kRmwSpinLoad : sim::OpKind::kLoad, [&] {
+            out.value = value_;
+            return false;
+          });
+      out.version = result.version;
+      return out;
+    }
+
+    uintptr_t LineAddr() const { return reinterpret_cast<uintptr_t>(this) >> 6; }
+
+   private:
+    mutable T value_;
+  };
+
+  static int CpuId() { return sim::Engine::Current().Cpu(); }
+  static int NumCpus() { return sim::Engine::Current().topology().num_cpus(); }
+  static void Pause() { sim::Engine::Current().Pause(); }
+  static void Yield() {}  // virtual time: parking already lets others run
+
+  // `n` pauses collapse into one virtual-time event (keeps backoff loops cheap to run).
+  static void Delay(uint32_t n) {
+    auto& engine = sim::Engine::Current();
+    engine.Work(static_cast<double>(n) * engine.platform().l1_hit_ns);
+  }
+
+  template <typename T, typename Pred>
+  static T SpinUntil(const Atomic<T>& atomic, Pred pred) {
+    return SpinImpl(const_cast<Atomic<T>&>(atomic), pred, /*rmw_mode=*/false);
+  }
+
+  template <typename T, typename Pred>
+  static T SpinUntilRmw(Atomic<T>& atomic, Pred pred) {
+    return SpinImpl(atomic, pred, /*rmw_mode=*/true);
+  }
+
+ private:
+  template <typename T, typename Pred>
+  static T SpinImpl(Atomic<T>& atomic, Pred pred, bool rmw_mode) {
+    for (;;) {
+      auto [value, version] = atomic.LoadVersioned(rmw_mode);
+      if (pred(value)) {
+        return value;
+      }
+      // Version-checked park: if a value-changing write slipped in after our probe the
+      // park returns immediately and we re-probe — no lost wakeups.
+      sim::Engine::Current().ParkOnLine(atomic.LineAddr(), version, rmw_mode);
+    }
+  }
+};
+
+}  // namespace clof::mem
+
+#endif  // CLOF_SRC_MEM_SIM_MEMORY_H_

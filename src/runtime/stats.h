@@ -1,0 +1,74 @@
+// Small statistics helpers for benchmark reporting (median, mean, stddev, min/max).
+#ifndef CLOF_SRC_RUNTIME_STATS_H_
+#define CLOF_SRC_RUNTIME_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace clof::runtime {
+
+inline double Median(std::vector<double> values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  size_t n = values.size();
+  if (n % 2 == 1) {
+    return values[n / 2];
+  }
+  return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+inline double Mean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+inline double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) {
+    return 0.0;
+  }
+  double mean = Mean(values);
+  double acc = 0.0;
+  for (double v : values) {
+    acc += (v - mean) * (v - mean);
+  }
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+inline double Min(const std::vector<double>& values) {
+  return values.empty() ? 0.0 : *std::min_element(values.begin(), values.end());
+}
+
+inline double Max(const std::vector<double>& values) {
+  return values.empty() ? 0.0 : *std::max_element(values.begin(), values.end());
+}
+
+// Jain's fairness index: (sum x)^2 / (n * sum x^2). 1.0 means perfectly fair.
+inline double JainFairnessIndex(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) {
+    return 1.0;
+  }
+  return (sum * sum) / (static_cast<double>(values.size()) * sum_sq);
+}
+
+}  // namespace clof::runtime
+
+#endif  // CLOF_SRC_RUNTIME_STATS_H_

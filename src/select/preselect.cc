@@ -1,0 +1,93 @@
+#include "src/select/preselect.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "src/harness/lock_bench.h"
+
+namespace clof::select {
+namespace {
+
+// One thread per immediate sub-cohort of cohort 0 at hierarchy level `depth_index`
+// (every CPU for the lowest level) — Figure 3's "maximum contention" placement.
+std::vector<int> LevelContentionCpus(const topo::Hierarchy& hierarchy, int depth_index) {
+  std::vector<int> cpus;
+  std::set<int> seen;
+  for (int cpu = 0; cpu < hierarchy.num_cpus(); ++cpu) {
+    if (hierarchy.CohortOf(cpu, depth_index) != 0) {
+      continue;
+    }
+    if (depth_index == 0) {
+      cpus.push_back(cpu);
+      continue;
+    }
+    // One CPU per *distinct* sub-cohort (a seen-set: e.g. the x86 hyperthread numbering
+    // revisits each core's cohort in a second pass).
+    if (seen.insert(hierarchy.CohortOf(cpu, depth_index - 1)).second) {
+      cpus.push_back(cpu);
+    }
+  }
+  return cpus;
+}
+
+}  // namespace
+
+PreselectResult PreselectLocks(const PreselectConfig& config) {
+  if (config.machine == nullptr) {
+    throw std::invalid_argument("PreselectConfig.machine is required");
+  }
+  if (config.top_k < 1 || config.top_k > static_cast<int>(config.basic_locks.size())) {
+    throw std::invalid_argument("PreselectConfig.top_k out of range");
+  }
+  const Registry& registry =
+      config.registry != nullptr
+          ? *config.registry
+          : SimRegistry(config.machine->platform.arch == sim::Arch::kX86);
+  auto flat = topo::Hierarchy::Select(config.machine->topology, {"system"});
+
+  PreselectResult result;
+  for (int depth = 0; depth < config.hierarchy.depth(); ++depth) {
+    auto cpus = LevelContentionCpus(config.hierarchy, depth);
+    std::vector<std::pair<double, std::string>> ranked;
+    for (const auto& name : config.basic_locks) {
+      harness::BenchConfig bench;
+      bench.machine = config.machine;
+      bench.hierarchy = flat;
+      bench.lock_name = name;
+      bench.registry = &registry;
+      bench.profile = config.profile;
+      bench.num_threads = static_cast<int>(cpus.size());
+      bench.cpu_assignment = cpus;
+      bench.duration_ms = config.duration_ms;
+      bench.seed = config.seed;
+      ranked.emplace_back(harness::RunLockBench(bench).throughput_per_us, name);
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      return a.first != b.first ? a.first > b.first : a.second < b.second;
+    });
+    std::vector<std::string> survivors;
+    std::vector<double> scores;
+    for (int i = 0; i < config.top_k; ++i) {
+      survivors.push_back(ranked[i].second);
+      scores.push_back(ranked[i].first);
+    }
+    result.survivors.push_back(std::move(survivors));
+    result.scores.push_back(std::move(scores));
+  }
+
+  // Cartesian product of the per-level survivors, low level varying fastest.
+  result.combinations.emplace_back();
+  for (int depth = 0; depth < config.hierarchy.depth(); ++depth) {
+    std::vector<std::string> next;
+    for (const auto& prefix : result.combinations) {
+      for (const auto& lock : result.survivors[depth]) {
+        next.push_back(prefix.empty() ? lock : prefix + "-" + lock);
+      }
+    }
+    result.combinations = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace clof::select

@@ -1,0 +1,50 @@
+// Pre-selection heuristic (paper §4.3, footnote 5): "In a scenario with a high number
+// of combinations, one can use pre-selection heuristics (possibly based on the results
+// reported in Figure 3) to reduce the size of the search space before performing the
+// actual lock generation."
+//
+// This implements exactly that: for every hierarchy level, each basic lock is measured
+// on one representative cohort of that level at maximum per-level contention (one
+// thread per immediate sub-cohort — the Figure 3 experiment), the top_k locks per level
+// survive, and only their top_k^M combinations enter the scripted benchmark instead of
+// all N^M.
+#ifndef CLOF_SRC_SELECT_PRESELECT_H_
+#define CLOF_SRC_SELECT_PRESELECT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/clof/registry.h"
+#include "src/sim/platform.h"
+#include "src/topo/topology.h"
+#include "src/workload/profiles.h"
+
+namespace clof::select {
+
+struct PreselectConfig {
+  const sim::Machine* machine = nullptr;  // required
+  topo::Hierarchy hierarchy;
+  // Basic locks to rank (must exist as 1-level locks in the registry).
+  std::vector<std::string> basic_locks{"tkt", "mcs", "clh", "hem"};
+  int top_k = 2;
+  workload::Profile profile = workload::Profile::LevelDbReadRandom();
+  double duration_ms = 0.3;
+  uint64_t seed = 42;
+  const Registry* registry = nullptr;  // default: SimRegistry(arch == x86)
+};
+
+struct PreselectResult {
+  // survivors[d] = the top_k basic-lock names for hierarchy level d (low to high),
+  // best first.
+  std::vector<std::vector<std::string>> survivors;
+  // All combinations of the survivors, in registry naming ("a-b-c"), best-first-ish.
+  std::vector<std::string> combinations;
+  // Per-level throughputs, survivors[d][i] aligned with scores[d][i] (iter/us).
+  std::vector<std::vector<double>> scores;
+};
+
+PreselectResult PreselectLocks(const PreselectConfig& config);
+
+}  // namespace clof::select
+
+#endif  // CLOF_SRC_SELECT_PRESELECT_H_

@@ -1,0 +1,54 @@
+#include "src/select/scripted_bench.h"
+
+#include <stdexcept>
+
+namespace clof::select {
+
+SweepResult RunScriptedBenchmark(const SweepConfig& config) {
+  if (config.machine == nullptr) {
+    throw std::invalid_argument("SweepConfig.machine is required");
+  }
+  const Registry& registry =
+      config.registry != nullptr
+          ? *config.registry
+          : SimRegistry(config.machine->platform.arch == sim::Arch::kX86);
+
+  SweepResult result;
+  result.thread_counts = config.thread_counts.empty()
+                             ? harness::PaperThreadCounts(config.machine->topology)
+                             : config.thread_counts;
+  std::vector<std::string> names =
+      config.lock_names.empty()
+          ? registry.Names(config.hierarchy.depth(), /*generated_only=*/true)
+          : config.lock_names;
+
+  int done = 0;
+  for (const auto& name : names) {
+    LockCurve curve;
+    curve.name = name;
+    curve.throughput.reserve(result.thread_counts.size());
+    for (int threads : result.thread_counts) {
+      harness::BenchConfig bench;
+      bench.machine = config.machine;
+      bench.hierarchy = config.hierarchy;
+      bench.lock_name = name;
+      bench.registry = &registry;
+      bench.profile = config.profile;
+      bench.num_threads = threads;
+      bench.duration_ms = config.duration_ms;
+      bench.seed = config.seed;
+      bench.params = config.params;
+      curve.throughput.push_back(
+          harness::RunLockBenchMedian(bench, config.runs).throughput_per_us);
+    }
+    ++done;
+    if (config.on_lock_done) {
+      config.on_lock_done(curve, done, static_cast<int>(names.size()));
+    }
+    result.curves.push_back(std::move(curve));
+  }
+  result.selection = SelectBest(result.curves, result.thread_counts);
+  return result;
+}
+
+}  // namespace clof::select

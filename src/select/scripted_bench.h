@@ -1,0 +1,47 @@
+// The scripted benchmark (paper §4.3): evaluates every generated CLoF lock across the
+// contention sweep and feeds the selection policies. This is the automated part of the
+// CLoF workflow in Figure 5.
+#ifndef CLOF_SRC_SELECT_SCRIPTED_BENCH_H_
+#define CLOF_SRC_SELECT_SCRIPTED_BENCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/clof/registry.h"
+#include "src/harness/lock_bench.h"
+#include "src/select/selection.h"
+#include "src/sim/platform.h"
+#include "src/topo/topology.h"
+#include "src/workload/profiles.h"
+
+namespace clof::select {
+
+struct SweepConfig {
+  const sim::Machine* machine = nullptr;  // required
+  topo::Hierarchy hierarchy;
+  const Registry* registry = nullptr;     // default: SimRegistry(arch == x86)
+  // Locks to sweep; empty = every generated lock of hierarchy.depth() levels.
+  std::vector<std::string> lock_names;
+  workload::Profile profile = workload::Profile::LevelDbReadRandom();
+  std::vector<int> thread_counts;         // empty = PaperThreadCounts(machine)
+  double duration_ms = 0.5;               // §5.2 uses quick 1-run evaluations
+  int runs = 1;
+  uint64_t seed = 42;
+  ClofParams params;
+  // Called after each lock completes (progress reporting); may be null.
+  std::function<void(const LockCurve&, int done, int total)> on_lock_done;
+};
+
+struct SweepResult {
+  std::vector<int> thread_counts;
+  std::vector<LockCurve> curves;
+  SelectionResult selection;
+};
+
+SweepResult RunScriptedBenchmark(const SweepConfig& config);
+
+}  // namespace clof::select
+
+#endif  // CLOF_SRC_SELECT_SCRIPTED_BENCH_H_

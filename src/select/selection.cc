@@ -1,0 +1,54 @@
+#include "src/select/selection.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace clof::select {
+
+double Score(const LockCurve& curve, const std::vector<int>& thread_counts, Policy policy) {
+  if (curve.throughput.size() != thread_counts.size()) {
+    throw std::invalid_argument("curve '" + curve.name + "' does not match sweep points");
+  }
+  double weight_sum = 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < thread_counts.size(); ++i) {
+    double w = policy == Policy::kHighContention ? static_cast<double>(thread_counts[i])
+                                                 : 1.0 / static_cast<double>(thread_counts[i]);
+    acc += w * curve.throughput[i];
+    weight_sum += w;
+  }
+  return weight_sum > 0.0 ? acc / weight_sum : 0.0;
+}
+
+std::vector<std::pair<std::string, double>> Rank(const std::vector<LockCurve>& curves,
+                                                 const std::vector<int>& thread_counts,
+                                                 Policy policy) {
+  std::vector<std::pair<std::string, double>> ranked;
+  ranked.reserve(curves.size());
+  for (const auto& curve : curves) {
+    ranked.emplace_back(curve.name, Score(curve, thread_counts, policy));
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  return ranked;
+}
+
+SelectionResult SelectBest(const std::vector<LockCurve>& curves,
+                           const std::vector<int>& thread_counts) {
+  if (curves.empty()) {
+    throw std::invalid_argument("SelectBest: no curves");
+  }
+  auto hc = Rank(curves, thread_counts, Policy::kHighContention);
+  auto lc = Rank(curves, thread_counts, Policy::kLowContention);
+  SelectionResult result;
+  result.hc_best = hc.front().first;
+  result.hc_best_score = hc.front().second;
+  result.lc_best = lc.front().first;
+  result.lc_best_score = lc.front().second;
+  result.worst = hc.back().first;
+  result.worst_score = hc.back().second;
+  return result;
+}
+
+}  // namespace clof::select

@@ -1,0 +1,49 @@
+// Lock selection policies (paper §4.3).
+//
+// The scripted benchmark produces one throughput-vs-contention curve per generated
+// lock; ranking uses a weighted average of the curve: weights proportional to the
+// thread count favour high-contention performance (HC-best), weights proportional to
+// its inverse favour low contention (LC-best). The worst lock under the HC ranking is
+// also reported (the paper plots it for contrast).
+#ifndef CLOF_SRC_SELECT_SELECTION_H_
+#define CLOF_SRC_SELECT_SELECTION_H_
+
+#include <string>
+#include <vector>
+
+namespace clof::select {
+
+struct LockCurve {
+  std::string name;
+  std::vector<double> throughput;  // one entry per thread-count sweep point
+};
+
+enum class Policy {
+  kHighContention,  // weights ~ thread count
+  kLowContention,   // weights ~ 1 / thread count
+};
+
+// Weighted-average score of one curve; higher is better. `thread_counts` must be the
+// sweep points the curve was measured at.
+double Score(const LockCurve& curve, const std::vector<int>& thread_counts, Policy policy);
+
+struct SelectionResult {
+  std::string hc_best;
+  std::string lc_best;
+  std::string worst;  // last under the HC ranking
+  double hc_best_score = 0.0;
+  double lc_best_score = 0.0;
+  double worst_score = 0.0;
+};
+
+SelectionResult SelectBest(const std::vector<LockCurve>& curves,
+                           const std::vector<int>& thread_counts);
+
+// All curves ranked best-first under `policy` (name, score).
+std::vector<std::pair<std::string, double>> Rank(const std::vector<LockCurve>& curves,
+                                                 const std::vector<int>& thread_counts,
+                                                 Policy policy);
+
+}  // namespace clof::select
+
+#endif  // CLOF_SRC_SELECT_SELECTION_H_

@@ -1,0 +1,259 @@
+#include "src/sim/engine.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace clof::sim {
+namespace {
+
+thread_local Engine* g_current_engine = nullptr;
+
+}  // namespace
+
+Engine::Engine(const topo::Topology& topology, PlatformModel platform)
+    : topology_(&topology), platform_(std::move(platform)), main_fiber_(runtime::Fiber::Main()) {
+  if (topology.num_cpus() > kMaxCpus) {
+    throw std::invalid_argument("topology exceeds simulator CPU limit");
+  }
+  if (static_cast<int>(platform_.level_latency_ns.size()) != topology.num_levels()) {
+    throw std::invalid_argument("platform latency table does not match topology levels");
+  }
+}
+
+Engine::~Engine() = default;
+
+void Engine::Spawn(int cpu, std::function<void()> fn) {
+  if (running_) {
+    throw std::logic_error("Spawn() after Run() started");
+  }
+  if (cpu < 0 || cpu >= topology_->num_cpus()) {
+    throw std::invalid_argument("Spawn: cpu out of range");
+  }
+  auto thread = std::make_unique<SimThread>();
+  thread->cpu = cpu;
+  thread->id = threads_.size();
+  SimThread* raw = thread.get();
+  thread->fiber = std::make_unique<runtime::Fiber>(
+      [fn = std::move(fn), raw]() {
+        fn();
+        raw->done = true;
+      },
+      &main_fiber_);
+  threads_.push_back(std::move(thread));
+}
+
+void Engine::Run() {
+  running_ = true;
+  Engine* previous = g_current_engine;
+  g_current_engine = this;
+  unfinished_ = static_cast<int>(threads_.size());
+  for (auto& thread : threads_) {
+    MakeReady(thread.get());
+  }
+  while (!ready_.empty()) {
+    HeapEntry entry = ready_.top();
+    ready_.pop();
+    SimThread* thread = entry.thread;
+    current_ = thread;
+    runtime::Fiber::Switch(main_fiber_, *thread->fiber);
+    current_ = nullptr;
+    if (thread->done && thread->fiber->finished()) {
+      --unfinished_;
+    }
+  }
+  g_current_engine = previous;
+  running_ = false;
+  if (unfinished_ > 0) {
+    throw SimDeadlockError("simulation deadlock: " + std::to_string(unfinished_) +
+                           " thread(s) parked forever");
+  }
+}
+
+Engine& Engine::Current() {
+  if (g_current_engine == nullptr) {
+    std::fprintf(stderr, "sim::Engine::Current() called outside a simulation\n");
+    std::abort();
+  }
+  return *g_current_engine;
+}
+
+bool Engine::InSimulation() {
+  // True only while a simulated thread is running: lock construction/destruction may
+  // also happen around (or between) Run() phases and must use plain accesses.
+  return g_current_engine != nullptr && g_current_engine->current_ != nullptr;
+}
+
+int Engine::Cpu() const { return current_->cpu; }
+
+Time Engine::Now() const { return current_->time; }
+
+void Engine::Work(double ns) {
+  SimThread* self = current_;
+  self->time += PsFromNs(ns);
+  YieldRunnable(self);
+}
+
+Engine::Line& Engine::LineFor(uintptr_t line_addr) { return lines_[line_addr]; }
+
+double Engine::MissLatencyNs(int cpu, const Line& line) const {
+  if (!line.touched) {
+    return platform_.cold_miss_ns;
+  }
+  // Fetch from the closest CPU holding a valid copy (the owner is always a holder after
+  // a write; a read-only line has holders but no owner).
+  int best_level = topology_->num_levels();  // worse than any real level
+  for (int16_t other : line.holders) {
+    if (other < 0 || other == cpu) {
+      continue;
+    }
+    int level = topology_->SharingLevel(cpu, other);
+    if (level < best_level) {
+      best_level = level;
+    }
+  }
+  if (best_level >= topology_->num_levels()) {
+    return platform_.cold_miss_ns;  // every copy evicted or invalidated
+  }
+  if (best_level == topo::Topology::kSameCpu) {
+    return platform_.l1_hit_ns;  // another thread on the same CPU holds it
+  }
+  return platform_.LatencyNs(best_level);
+}
+
+Engine::AccessResult Engine::Access(uintptr_t line_addr, OpKind kind,
+                                    const std::function<bool()>& apply) {
+  SimThread* self = current_;
+  Line& line = LineFor(line_addr);
+  ++total_accesses_;
+
+  const int cpu = self->cpu;
+  const bool have_copy = line.Holds(cpu);
+  const bool is_write = kind != OpKind::kLoad;
+  const bool exclusive = line.owner == cpu && have_copy && line.holders[1] < 0;
+
+  double cost_ns = 0.0;
+  bool transferred = false;
+  if (!is_write) {
+    if (have_copy) {
+      cost_ns = platform_.l1_hit_ns;
+    } else {
+      cost_ns = MissLatencyNs(cpu, line);
+      transferred = true;
+    }
+    line.TouchBy(cpu);
+  } else {
+    if (exclusive) {
+      cost_ns = kind == OpKind::kStore ? platform_.l1_hit_ns : platform_.local_rmw_ns;
+    } else {
+      // Read-for-ownership: the data transfer (if we lack a copy) and the invalidation
+      // round (if others share the line) overlap — the directory issues them together —
+      // so the base cost is the farther of the two round trips, plus a small serialized
+      // ack cost per additional sharer. Making the invalidation a full round trip is
+      // what gives Hemlock's CTR its x86 benefit: RMW-mode spinning keeps the sharer
+      // set empty, so the handover store skips the upgrade round (§2.1).
+      double transfer_ns = have_copy ? 0.0 : MissLatencyNs(cpu, line);
+      double farthest_inv_ns = 0.0;
+      int other_sharers = 0;
+      for (int16_t other : line.holders) {
+        if (other < 0 || other == cpu) {
+          continue;
+        }
+        ++other_sharers;
+        int level = topology_->SharingLevel(cpu, other);
+        double lat = level == topo::Topology::kSameCpu ? platform_.l1_hit_ns
+                                                       : platform_.LatencyNs(level);
+        farthest_inv_ns = std::max(farthest_inv_ns, lat);
+      }
+      double extra_acks =
+          other_sharers > 1 ? (other_sharers - 1) * platform_.sharer_invalidation_ns : 0.0;
+      cost_ns = std::max(transfer_ns, farthest_inv_ns) + extra_acks;
+      cost_ns = std::max(cost_ns, platform_.local_rmw_ns);
+      if (kind != OpKind::kStore) {
+        cost_ns += platform_.contended_rmw_extra_ns;
+      }
+      if (!line.waiters.empty()) {
+        // The write fights the spinners' continuous polling for line ownership.
+        double poll_lat = std::max(farthest_inv_ns, transfer_ns);
+        cost_ns += static_cast<double>(line.waiters.size()) *
+                   platform_.spinner_interference * poll_lat;
+      }
+      transferred = true;
+    }
+    if (platform_.arch == Arch::kArm && kind == OpKind::kCmpXchg && line.rmw_waiters > 0) {
+      // LL/SC reservation stealing: every RMW-mode spinner on this line keeps breaking
+      // the releaser's exclusive reservation (Hemlock-CTR pathology, paper §3.2).
+      cost_ns += static_cast<double>(line.rmw_waiters) * platform_.sc_retry_penalty_ns;
+    }
+    line.owner = cpu;
+    line.ResetTo(cpu);
+  }
+  line.touched = true;
+  if (transferred) {
+    ++total_line_transfers_;
+  }
+
+  const Time start = std::max(self->time, transferred ? line.next_free : Time{0});
+  const Time completion = start + PsFromNs(cost_ns);
+  if (transferred) {
+    // The transfer port stays busy for a fraction of the latency, serializing storms.
+    line.next_free = start + PsFromNs(cost_ns * platform_.port_occupancy);
+  }
+
+  const bool changed = apply();
+  if (is_write && changed) {
+    ++line.version;
+    if (!line.waiters.empty()) {
+      for (SimThread* waiter : line.waiters) {
+        waiter->parked = false;
+        if (waiter->rmw_spinner) {
+          --line.rmw_waiters;
+          waiter->rmw_spinner = false;
+        }
+        waiter->time = std::max(waiter->time, completion);
+        MakeReady(waiter);
+      }
+      line.waiters.clear();
+    }
+  }
+
+  AccessResult result{completion, line.version};
+  self->time = completion;
+  YieldRunnable(self);
+  return result;
+}
+
+void Engine::ParkOnLine(uintptr_t line_addr, uint64_t seen_version, bool rmw_spinner) {
+  SimThread* self = current_;
+  Line& line = LineFor(line_addr);
+  if (line.version != seen_version) {
+    return;  // a value-changing write raced in between the load and the park
+  }
+  self->parked = true;
+  self->rmw_spinner = rmw_spinner;
+  if (rmw_spinner) {
+    ++line.rmw_waiters;
+  }
+  line.waiters.push_back(self);
+  SwitchToScheduler(self);
+}
+
+void Engine::MakeReady(SimThread* thread) {
+  ready_.push(HeapEntry{thread->time, next_order_++, thread});
+}
+
+void Engine::YieldRunnable(SimThread* self) {
+  // Fast path: if this thread is still the earliest, keep running with no switch.
+  if (ready_.empty() || ready_.top().time > self->time) {
+    return;
+  }
+  MakeReady(self);
+  SwitchToScheduler(self);
+}
+
+void Engine::SwitchToScheduler(SimThread* self) {
+  runtime::Fiber::Switch(*self->fiber, main_fiber_);
+  // Resumed by the scheduler: current_ has been set back to us.
+}
+
+}  // namespace clof::sim

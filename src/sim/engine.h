@@ -1,0 +1,194 @@
+// Discrete-event simulator for multi-level NUMA machines.
+//
+// Simulated threads are fibers pinned to virtual CPUs and scheduled in virtual-time
+// order (earliest local clock runs next; FIFO tie-break). Every atomic memory access is
+// an event: it linearizes when the thread executes, and its virtual-time cost is derived
+// from a MESI-flavoured cache-line model (src/sim/platform.h):
+//
+//  * a load hits (L1 cost) if the CPU has a valid copy, otherwise it fetches the line
+//    from the closest holder, paying the latency of the hierarchy level that separates
+//    them and becoming a sharer;
+//  * a store/RMW needs exclusivity: it pays the transfer (if the CPU lacks a copy) plus
+//    a per-sharer invalidation cost, then becomes the owner;
+//  * each line has a transfer port: misses serialize, so a write to a line that many
+//    CPUs spin on triggers a refetch storm whose queueing delay grows with the number of
+//    spinners — the mechanism that makes global-spinning locks collapse (paper §2.1);
+//  * on the Arm platform model, a cmpxchg against RMW-mode spinners pays an LL/SC
+//    reservation-stealing penalty per spinner (the paper's Hemlock-CTR collapse, §3.2).
+//
+// Spin-waiting is first-class: SimAtomic::SpinUntil parks the fiber on the line and the
+// engine wakes all parked spinners when a write changes the line's value; each then
+// re-fetches through the port. Parking uses line versions so no wakeup can be lost.
+//
+// Everything is deterministic: same program + same seed => identical virtual-time
+// results, regardless of host machine.
+#ifndef CLOF_SRC_SIM_ENGINE_H_
+#define CLOF_SRC_SIM_ENGINE_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "src/runtime/fiber.h"
+#include "src/sim/platform.h"
+#include "src/topo/topology.h"
+
+namespace clof::sim {
+
+// Thrown by Run() when every remaining thread is parked on a line that can never change.
+class SimDeadlockError : public std::runtime_error {
+ public:
+  explicit SimDeadlockError(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class OpKind {
+  kLoad,         // plain atomic load
+  kStore,        // plain atomic store
+  kRmw,          // fetch_add / exchange / ...
+  kCmpXchg,      // compare-exchange (LL/SC pair on the Arm model)
+  kRmwSpinLoad,  // read implemented as fetch_add(x, 0): takes the line exclusive (CTR)
+};
+
+class Engine {
+ public:
+  static constexpr int kMaxCpus = 256;
+
+  Engine(const topo::Topology& topology, PlatformModel platform);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Registers a simulated thread pinned to virtual CPU `cpu` (0 <= cpu < num_cpus).
+  // Must be called before Run(). Multiple threads may share a CPU.
+  void Spawn(int cpu, std::function<void()> fn);
+
+  // Runs all spawned threads to completion in virtual-time order.
+  void Run();
+
+  // --- Interface for code running inside a simulated thread ---
+
+  static Engine& Current();  // aborts if not inside Run()
+  static bool InSimulation();
+
+  int Cpu() const;    // virtual CPU of the running thread
+  Time Now() const;   // local virtual clock of the running thread (picoseconds)
+  double NowNs() const { return NsFromPs(Now()); }
+
+  // Advances the running thread's clock by `ns` of purely local computation.
+  void Work(double ns);
+
+  // A short architectural pause inside a retry loop (cpu_relax equivalent).
+  void Pause() { Work(platform_.l1_hit_ns); }
+
+  struct AccessResult {
+    Time completion = 0;
+    uint64_t version = 0;  // line version at the linearization point (post-op)
+  };
+
+  // Performs one atomic access to the line containing `line_addr`. `apply` runs at the
+  // linearization point (with the whole simulation quiescent) and returns true if it
+  // changed the stored value; value-changing writes wake spinners parked on the line.
+  AccessResult Access(uintptr_t line_addr, OpKind kind, const std::function<bool()>& apply);
+
+  // Parks the running thread until a value-changing write moves the line's version past
+  // `seen_version`. Returns immediately if it already moved (no lost wakeups).
+  // `rmw_spinner` marks CTR-style spinning, which feeds the Arm LL/SC penalty model.
+  void ParkOnLine(uintptr_t line_addr, uint64_t seen_version, bool rmw_spinner);
+
+  // --- Introspection / statistics ---
+  const topo::Topology& topology() const { return *topology_; }
+  const PlatformModel& platform() const { return platform_; }
+  uint64_t total_accesses() const { return total_accesses_; }
+  uint64_t total_line_transfers() const { return total_line_transfers_; }
+
+ private:
+  struct SimThread {
+    std::unique_ptr<runtime::Fiber> fiber;
+    int cpu = 0;
+    Time time = 0;
+    bool parked = false;
+    bool rmw_spinner = false;
+    bool done = false;
+    uint64_t id = 0;
+  };
+
+  struct Line {
+    // CPUs holding a valid copy, most recent first (owner included). Bounded to model
+    // finite private-cache residency: a line not re-touched recently is evicted, so
+    // read-mostly data does not end up permanently "cached everywhere" — without this,
+    // data-locality effects (the whole point of NUMA-aware locks) wash out.
+    static constexpr int kMaxHolders = 4;
+    std::array<int16_t, kMaxHolders> holders;  // -1 = empty slot
+    int owner = -1;  // last writer, -1 if never written
+    bool touched = false;
+    Time next_free = 0;    // transfer port availability
+    uint64_t version = 0;  // bumped on every value-changing write
+    std::vector<SimThread*> waiters;
+    int rmw_waiters = 0;
+
+    Line() { holders.fill(-1); }
+    bool Holds(int cpu) const {
+      for (int16_t h : holders) {
+        if (h == cpu) {
+          return true;
+        }
+      }
+      return false;
+    }
+    void TouchBy(int cpu) {  // move-to-front insert
+      int previous = cpu;
+      for (auto& h : holders) {
+        int evicted = h;
+        h = static_cast<int16_t>(previous);
+        if (evicted == cpu || evicted < 0) {
+          return;
+        }
+        previous = evicted;
+      }
+    }
+    void ResetTo(int cpu) {
+      holders.fill(-1);
+      holders[0] = static_cast<int16_t>(cpu);
+    }
+  };
+
+  struct HeapEntry {
+    Time time;
+    uint64_t order;
+    SimThread* thread;
+    bool operator>(const HeapEntry& other) const {
+      return time != other.time ? time > other.time : order > other.order;
+    }
+  };
+
+  Line& LineFor(uintptr_t line_addr);
+  double MissLatencyNs(int cpu, const Line& line) const;
+  // Yields to the scheduler with the running thread re-queued at its (updated) time.
+  // Fast path: keeps running without a context switch if it is still the earliest.
+  void YieldRunnable(SimThread* self);
+  void MakeReady(SimThread* thread);
+  void SwitchToScheduler(SimThread* self);
+
+  const topo::Topology* topology_;
+  PlatformModel platform_;
+  std::vector<std::unique_ptr<SimThread>> threads_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> ready_;
+  std::unordered_map<uintptr_t, Line> lines_;
+  runtime::Fiber main_fiber_;
+  SimThread* current_ = nullptr;
+  uint64_t next_order_ = 0;
+  uint64_t total_accesses_ = 0;
+  uint64_t total_line_transfers_ = 0;
+  int unfinished_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace clof::sim
+
+#endif  // CLOF_SRC_SIM_ENGINE_H_

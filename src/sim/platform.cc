@@ -1,0 +1,43 @@
+#include "src/sim/platform.h"
+
+namespace clof::sim {
+
+PlatformModel PlatformModel::X86() {
+  PlatformModel m;
+  m.name = "x86-sim";
+  m.arch = Arch::kX86;
+  // Levels of topo::Topology::PaperX86(): core, cache, numa, package, system.
+  // Ping-pong speedup(level) ~ latency(system) / latency(level); chosen to match
+  // Table 2: 12.18 (core), 9.07 (cache), 1.54 (numa == package), 1.0 (system).
+  m.level_latency_ns = {6.2, 9.7, 76.5, 76.5, 120.0};
+  m.l1_hit_ns = 1.0;
+  m.local_rmw_ns = 2.5;
+  m.cold_miss_ns = 140.0;
+  m.sharer_invalidation_ns = 4.0;
+  m.port_occupancy = 0.6;
+  m.contended_rmw_extra_ns = 12.0;  // locked-bus RMW overhead
+  m.sc_retry_penalty_ns = 0.0;  // x86 atomics are single instructions (no LL/SC retry)
+  return m;
+}
+
+PlatformModel PlatformModel::Arm() {
+  PlatformModel m;
+  m.name = "arm-sim";
+  m.arch = Arch::kArm;
+  // Levels of topo::Topology::PaperArm(): cache, numa, package, system.
+  // Table 2 targets: 7.04 (cache), 2.98 (numa), 1.76 (package), 1.0 (system).
+  m.level_latency_ns = {11.6, 36.1, 65.5, 120.0};
+  m.l1_hit_ns = 1.0;
+  m.local_rmw_ns = 3.0;
+  m.cold_miss_ns = 150.0;
+  m.sharer_invalidation_ns = 5.0;
+  m.port_occupancy = 0.6;
+  m.contended_rmw_extra_ns = 20.0;  // LL/SC pairs are pricier than x86 locked ops
+  // Large: a contended LL/SC pair against RMW-spinning waiters practically livelocks —
+  // tens of failed store-exclusive rounds per handover (Figure 3 shows hem-ctr
+  // throughput near zero on Armv8).
+  m.sc_retry_penalty_ns = 9000.0;
+  return m;
+}
+
+}  // namespace clof::sim

@@ -1,0 +1,235 @@
+#include "src/topo/topology.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace clof::topo {
+namespace {
+
+Level DivisorLevel(const std::string& name, int num_cpus, int divisor) {
+  Level level;
+  level.name = name;
+  level.cpu_to_cohort.resize(num_cpus);
+  for (int cpu = 0; cpu < num_cpus; ++cpu) {
+    level.cpu_to_cohort[cpu] = cpu / divisor;
+  }
+  level.num_cohorts = (num_cpus + divisor - 1) / divisor;
+  return level;
+}
+
+}  // namespace
+
+Topology::Topology(std::string name, int num_cpus, std::vector<Level> levels)
+    : name_(std::move(name)), num_cpus_(num_cpus), levels_(std::move(levels)) {
+  if (num_cpus_ <= 0) {
+    throw std::invalid_argument("topology needs at least one CPU");
+  }
+  if (levels_.empty()) {
+    throw std::invalid_argument("topology needs at least the system level");
+  }
+  for (auto& level : levels_) {
+    if (static_cast<int>(level.cpu_to_cohort.size()) != num_cpus_) {
+      throw std::invalid_argument("level '" + level.name + "' does not map every CPU");
+    }
+    int max_cohort = *std::max_element(level.cpu_to_cohort.begin(), level.cpu_to_cohort.end());
+    int min_cohort = *std::min_element(level.cpu_to_cohort.begin(), level.cpu_to_cohort.end());
+    if (min_cohort < 0) {
+      throw std::invalid_argument("level '" + level.name + "' has a negative cohort");
+    }
+    if (level.num_cohorts == 0) {
+      level.num_cohorts = max_cohort + 1;
+    } else if (level.num_cohorts <= max_cohort) {
+      throw std::invalid_argument("level '" + level.name + "' num_cohorts too small");
+    }
+  }
+  const Level& top = levels_.back();
+  if (top.num_cohorts != 1) {
+    throw std::invalid_argument("highest level must be a single system-wide cohort");
+  }
+  // Levels must nest: two CPUs sharing a cohort at level i must share one at level i+1.
+  for (size_t i = 0; i + 1 < levels_.size(); ++i) {
+    std::map<int, int> low_to_high;
+    for (int cpu = 0; cpu < num_cpus_; ++cpu) {
+      int low = levels_[i].cpu_to_cohort[cpu];
+      int high = levels_[i + 1].cpu_to_cohort[cpu];
+      auto [it, inserted] = low_to_high.emplace(low, high);
+      if (!inserted && it->second != high) {
+        throw std::invalid_argument("levels '" + levels_[i].name + "' and '" +
+                                    levels_[i + 1].name + "' do not nest");
+      }
+    }
+  }
+}
+
+int Topology::LevelIndexByName(const std::string& level_name) const {
+  for (int i = 0; i < num_levels(); ++i) {
+    if (levels_[i].name == level_name) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+int Topology::SharingLevel(int a, int b) const {
+  if (a == b) {
+    return kSameCpu;
+  }
+  for (int i = 0; i < num_levels(); ++i) {
+    if (levels_[i].cpu_to_cohort[a] == levels_[i].cpu_to_cohort[b]) {
+      return i;
+    }
+  }
+  // Unreachable: the top level spans all CPUs.
+  return num_levels() - 1;
+}
+
+std::vector<int> Topology::CohortCpus(int level_index, int cohort) const {
+  std::vector<int> cpus;
+  for (int cpu = 0; cpu < num_cpus_; ++cpu) {
+    if (levels_[level_index].cpu_to_cohort[cpu] == cohort) {
+      cpus.push_back(cpu);
+    }
+  }
+  return cpus;
+}
+
+Topology Topology::PaperX86() {
+  // 96 CPUs: CPU c belongs to core (c % 48); cores 0..23 are package 0, 24..47 package 1;
+  // each group of 3 consecutive cores shares an L3 partition (cache group).
+  constexpr int kCpus = 96;
+  constexpr int kCores = 48;
+  auto core_of = [](int cpu) { return cpu % kCores; };
+
+  Level core{.name = "core", .cpu_to_cohort = {}, .num_cohorts = kCores};
+  Level cache{.name = "cache", .cpu_to_cohort = {}, .num_cohorts = kCores / 3};
+  Level numa{.name = "numa", .cpu_to_cohort = {}, .num_cohorts = 2};
+  Level package{.name = "package", .cpu_to_cohort = {}, .num_cohorts = 2};
+  Level system{.name = "system", .cpu_to_cohort = {}, .num_cohorts = 1};
+  for (int cpu = 0; cpu < kCpus; ++cpu) {
+    int c = core_of(cpu);
+    core.cpu_to_cohort.push_back(c);
+    cache.cpu_to_cohort.push_back(c / 3);
+    numa.cpu_to_cohort.push_back(c / 24);
+    package.cpu_to_cohort.push_back(c / 24);  // 1 NUMA node per package on this machine
+    system.cpu_to_cohort.push_back(0);
+  }
+  return Topology("paper-x86", kCpus, {core, cache, numa, package, system});
+}
+
+Topology Topology::PaperArm() {
+  // 128 CPUs, no SMT: 4 consecutive CPUs share a cache group, 32 a NUMA node,
+  // 64 a package.
+  constexpr int kCpus = 128;
+  std::vector<Level> levels;
+  levels.push_back(DivisorLevel("cache", kCpus, 4));
+  levels.push_back(DivisorLevel("numa", kCpus, 32));
+  levels.push_back(DivisorLevel("package", kCpus, 64));
+  levels.push_back(DivisorLevel("system", kCpus, kCpus));
+  return Topology("paper-arm", kCpus, std::move(levels));
+}
+
+Topology Topology::Flat(int num_cpus, const std::string& name) {
+  return Topology(name, num_cpus, {DivisorLevel("system", num_cpus, num_cpus)});
+}
+
+Topology Topology::FromSpec(const std::string& spec) {
+  auto colon = spec.find(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument("topology spec missing ':' after name: " + spec);
+  }
+  std::string name = spec.substr(0, colon);
+  std::stringstream rest(spec.substr(colon + 1));
+  std::string token;
+  if (!std::getline(rest, token, ';')) {
+    throw std::invalid_argument("topology spec missing CPU count: " + spec);
+  }
+  int num_cpus = std::stoi(token);
+  std::vector<Level> levels;
+  int prev_div = 0;
+  while (std::getline(rest, token, ';')) {
+    auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("bad level token '" + token + "' in spec: " + spec);
+    }
+    std::string level_name = token.substr(0, eq);
+    int divisor = std::stoi(token.substr(eq + 1));
+    if (divisor <= prev_div) {
+      throw std::invalid_argument("level divisors must strictly increase: " + spec);
+    }
+    prev_div = divisor;
+    levels.push_back(DivisorLevel(level_name, num_cpus, divisor));
+  }
+  if (levels.empty() || levels.back().num_cohorts != 1) {
+    levels.push_back(DivisorLevel("system", num_cpus, num_cpus));
+  }
+  return Topology(std::move(name), num_cpus, std::move(levels));
+}
+
+std::string Topology::ToSpec() const {
+  std::ostringstream out;
+  out << name_ << ':' << num_cpus_;
+  for (const auto& level : levels_) {
+    // Recover the divisor from cohort sizes; only exact divisor levels round-trip.
+    int divisor = num_cpus_ / level.num_cohorts;
+    out << ';' << level.name << '=' << divisor;
+  }
+  return out.str();
+}
+
+Hierarchy::Hierarchy(const Topology* topology, std::vector<int> level_indices)
+    : topology_(topology), level_indices_(std::move(level_indices)) {
+  if (level_indices_.empty()) {
+    throw std::invalid_argument("hierarchy needs at least one level");
+  }
+  for (size_t i = 0; i + 1 < level_indices_.size(); ++i) {
+    if (level_indices_[i] >= level_indices_[i + 1]) {
+      throw std::invalid_argument("hierarchy levels must be ordered low to high");
+    }
+  }
+  for (int idx : level_indices_) {
+    if (idx < 0 || idx >= topology_->num_levels()) {
+      throw std::invalid_argument("hierarchy level index out of range");
+    }
+  }
+  if (topology_->level(level_indices_.back()).num_cohorts != 1) {
+    throw std::invalid_argument("hierarchy must be rooted at the system level");
+  }
+}
+
+Hierarchy Hierarchy::Select(const Topology& topology,
+                            std::initializer_list<const char*> names) {
+  std::vector<std::string> name_vec;
+  for (const char* n : names) {
+    name_vec.emplace_back(n);
+  }
+  return Select(topology, name_vec);
+}
+
+Hierarchy Hierarchy::Select(const Topology& topology, const std::vector<std::string>& names) {
+  std::vector<int> indices;
+  for (const auto& n : names) {
+    int idx = topology.LevelIndexByName(n);
+    if (idx < 0) {
+      throw std::invalid_argument("topology '" + topology.name() + "' has no level '" + n +
+                                  "'");
+    }
+    indices.push_back(idx);
+  }
+  return Hierarchy(&topology, std::move(indices));
+}
+
+std::string Hierarchy::Describe() const {
+  std::string out;
+  for (int i = 0; i < depth(); ++i) {
+    if (i > 0) {
+      out += '-';
+    }
+    out += LevelName(i);
+  }
+  return out;
+}
+
+}  // namespace clof::topo

@@ -1,0 +1,119 @@
+// Multi-level NUMA topology model (paper §3.1).
+//
+// A Topology names the memory-hierarchy levels of a machine, ordered from the lowest
+// (closest to a CPU, e.g. "core" = SMT siblings) to the highest ("system"), and maps
+// every CPU to its cohort at every level. A cohort is a group of CPUs sharing that level
+// (one NUMA node, one L3 cache group, ...).
+//
+// Two builtin topologies replicate the paper's evaluation machines:
+//  * PaperX86(): 2 packages x 1 NUMA node x 8 cache groups x 3 cores x 2 hyperthreads
+//    (96 CPUs; GIGABYTE R182-Z91 with two EPYC 7352). CPU numbering follows the paper's
+//    heatmap: CPUs 0..47 are the first hyperthread of each core, 48..95 the siblings.
+//  * PaperArm(): 2 packages x 2 NUMA nodes x 8 cache groups x 4 cores, 1 CPU per core
+//    (128 CPUs; Huawei TaiShan 200 with two Kunpeng 920-6426).
+//
+// A Hierarchy is the subset of topology levels chosen for a lock tree (the paper's
+// "hierarchy configuration" tuning point), e.g. x86 4-level = core/cache/numa/system.
+#ifndef CLOF_SRC_TOPO_TOPOLOGY_H_
+#define CLOF_SRC_TOPO_TOPOLOGY_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace clof::topo {
+
+struct Level {
+  std::string name;
+  std::vector<int> cpu_to_cohort;  // indexed by CPU id
+  int num_cohorts = 0;
+};
+
+class Topology {
+ public:
+  // `levels` must be ordered low to high; the highest level must have a single cohort
+  // covering all CPUs (the "system" level). Throws std::invalid_argument on violations
+  // (non-nesting levels, bad cohort ids).
+  Topology(std::string name, int num_cpus, std::vector<Level> levels);
+
+  const std::string& name() const { return name_; }
+  int num_cpus() const { return num_cpus_; }
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+  const Level& level(int index) const { return levels_[index]; }
+
+  int CohortOf(int cpu, int level_index) const {
+    return levels_[level_index].cpu_to_cohort[cpu];
+  }
+
+  // Index of the named level, or -1 if absent.
+  int LevelIndexByName(const std::string& level_name) const;
+
+  // The lowest level at which `a` and `b` share a cohort. Returns kSameCpu (-1) when
+  // a == b. Always succeeds otherwise because the top level spans all CPUs.
+  int SharingLevel(int a, int b) const;
+  static constexpr int kSameCpu = -1;
+
+  // CPUs belonging to cohort `cohort` of level `level_index`, in id order.
+  std::vector<int> CohortCpus(int level_index, int cohort) const;
+
+  // Builtin machines (see header comment).
+  static Topology PaperX86();
+  static Topology PaperArm();
+  // Trivial machine: `num_cpus` CPUs and only the system level. Useful in tests.
+  static Topology Flat(int num_cpus, const std::string& name = "flat");
+
+  // Parses "name:ncpus;level=div;level=div;..." where cohort(cpu) = cpu / div and
+  // divisors strictly increase. A final "system" level is added automatically if the
+  // last divisor does not already span all CPUs. Example:
+  //   "arm128:128;cache=4;numa=32;package=64"
+  static Topology FromSpec(const std::string& spec);
+  std::string ToSpec() const;  // best-effort inverse of FromSpec (divisor levels only)
+
+ private:
+  std::string name_;
+  int num_cpus_;
+  std::vector<Level> levels_;
+};
+
+// A lock hierarchy: an ordered (low to high) subset of a topology's levels. The highest
+// selected level must be the single-cohort system level so that one lock roots the tree.
+class Hierarchy {
+ public:
+  // An empty placeholder (e.g. an unset config field); valid() is false and every other
+  // accessor is unusable until a real Hierarchy is assigned.
+  Hierarchy() = default;
+
+  Hierarchy(const Topology* topology, std::vector<int> level_indices);
+
+  bool valid() const { return topology_ != nullptr; }
+
+  // Convenience: select levels by name, e.g. Select(topo, {"core", "cache", "system"}).
+  static Hierarchy Select(const Topology& topology,
+                          std::initializer_list<const char*> names);
+  static Hierarchy Select(const Topology& topology, const std::vector<std::string>& names);
+
+  const Topology& topology() const { return *topology_; }
+  int depth() const { return static_cast<int>(level_indices_.size()); }
+  int num_cpus() const { return topology_->num_cpus(); }
+
+  int NumCohorts(int depth_index) const {
+    return topology_->level(level_indices_[depth_index]).num_cohorts;
+  }
+  int CohortOf(int cpu, int depth_index) const {
+    return topology_->CohortOf(cpu, level_indices_[depth_index]);
+  }
+  const std::string& LevelName(int depth_index) const {
+    return topology_->level(level_indices_[depth_index]).name;
+  }
+
+  // Dash-joined level names low to high, e.g. "core-cache-numa-system".
+  std::string Describe() const;
+
+ private:
+  const Topology* topology_ = nullptr;
+  std::vector<int> level_indices_;
+};
+
+}  // namespace clof::topo
+
+#endif  // CLOF_SRC_TOPO_TOPOLOGY_H_

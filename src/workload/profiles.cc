@@ -1,0 +1,52 @@
+#include "src/workload/profiles.h"
+
+namespace clof::workload {
+
+Profile Profile::LevelDbReadRandom() {
+  Profile p;
+  p.name = "leveldb_readrandom";
+  // A memtable lookup under the DB mutex: skiplist head + version/refcount (hot) plus a
+  // handful of skiplist towers and key blocks (pool), mostly reads.
+  p.cs_hot_lines = 3;
+  p.cs_random_lines = 9;
+  p.cs_pool_lines = 96;
+  p.cs_write_fraction = 0.3;
+  p.cs_work_ns = 60.0;
+  // Key generation, bloom checks, block decode outside the mutex.
+  p.think_ns = 2000.0;
+  p.think_jitter = 0.25;
+  return p;
+}
+
+Profile Profile::KyotoMix() {
+  Profile p;
+  p.name = "kyoto_mix";
+  // Kyoto Cabinet's CacheDB under one global lock: a 50/50 get/set mix touches hash
+  // buckets, record headers and LRU links — a much larger shared footprint and a much
+  // longer critical section (the paper's Kyoto throughput is ~10x below LevelDB's).
+  // Most of the CS cost is *data migration*, so lock locality still matters, as the
+  // paper's Figure 10 shows.
+  p.cs_hot_lines = 4;
+  p.cs_random_lines = 150;
+  p.cs_pool_lines = 768;
+  p.cs_write_fraction = 0.5;
+  p.cs_work_ns = 2000.0;
+  p.think_ns = 40000.0;
+  p.think_jitter = 0.25;
+  return p;
+}
+
+Profile Profile::RawHandover() {
+  Profile p;
+  p.name = "raw_handover";
+  p.cs_hot_lines = 0;
+  p.cs_random_lines = 0;
+  p.cs_pool_lines = 1;
+  p.cs_write_fraction = 0.0;
+  p.cs_work_ns = 0.0;
+  p.think_ns = 0.0;
+  p.think_jitter = 0.0;
+  return p;
+}
+
+}  // namespace clof::workload

@@ -1,0 +1,39 @@
+// Simulator workload profiles (see DESIGN.md §2, "substitutions").
+//
+// The paper uses LevelDB's readrandom benchmark and Kyoto Cabinet as contention
+// generators: one pthread mutex is interposed, and throughput is dominated by that
+// mutex plus the cache footprint of the data its critical section touches. A Profile
+// captures exactly those knobs: how many shared cache lines a critical section touches
+// (hot lines always; a few more drawn from a pool), how much computation happens inside
+// the CS, and the think time outside it.
+//
+// Calibration targets (single-thread throughput on the simulated machines):
+//  * leveldb_readrandom: ~0.35 iterations/us (Figures 2, 4, 9, 10 start near 0.2-0.4)
+//  * kyoto_mix:          ~0.02 iterations/us (Figure 10's Kyoto rows peak near 0.10)
+// EXPERIMENTS.md records measured-vs-paper values.
+#ifndef CLOF_SRC_WORKLOAD_PROFILES_H_
+#define CLOF_SRC_WORKLOAD_PROFILES_H_
+
+#include <string>
+
+namespace clof::workload {
+
+struct Profile {
+  std::string name;
+  int cs_hot_lines = 2;        // shared lines every CS touches (index headers, stats)
+  int cs_random_lines = 2;     // additional lines drawn uniformly from the pool
+  int cs_pool_lines = 64;      // size of the shared-line pool
+  double cs_write_fraction = 0.25;  // probability a touch is a store
+  double cs_work_ns = 100.0;   // CS computation besides the shared-line touches
+  double think_ns = 1000.0;    // out-of-CS work per iteration
+  double think_jitter = 0.2;   // think time uniform in [1-j, 1+j] * think_ns
+
+  static Profile LevelDbReadRandom();
+  static Profile KyotoMix();
+  // Pure lock ping: empty CS, no shared data — isolates handover cost.
+  static Profile RawHandover();
+};
+
+}  // namespace clof::workload
+
+#endif  // CLOF_SRC_WORKLOAD_PROFILES_H_

@@ -1,0 +1,185 @@
+// MiniLevelDB and MiniKyoto: functional correctness plus concurrent stress through
+// composed CLoF locks (end-to-end through the type-erased registry path).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/apps/mini_kyoto.h"
+#include "src/apps/mini_leveldb.h"
+#include "src/clof/registry.h"
+#include "src/mem/native.h"
+#include "src/runtime/rng.h"
+#include "src/topo/topology.h"
+
+namespace clof::apps {
+namespace {
+
+std::shared_ptr<Lock> MakeLock(const std::string& name) {
+  static topo::Topology topology = topo::Topology::PaperArm();
+  static topo::Hierarchy h1 = topo::Hierarchy::Select(topology, {"system"});
+  static topo::Hierarchy h3 = topo::Hierarchy::Select(topology, {"cache", "numa", "system"});
+  const Registry& reg = NativeRegistry(false);
+  return reg.Make(name, name.find('-') == std::string::npos &&
+                            name != "hmcs" && name != "cna" && name != "shfl"
+                        ? h1
+                        : h3);
+}
+
+TEST(MiniLevelDbTest, PutGetDelete) {
+  MiniLevelDb db(MakeLock("mcs"));
+  MiniLevelDb::Session session(db);
+  EXPECT_FALSE(db.Get(session, "a").has_value());
+  db.Put(session, "a", "1");
+  db.Put(session, "b", "2");
+  EXPECT_EQ(db.Get(session, "a").value(), "1");
+  EXPECT_EQ(db.Get(session, "b").value(), "2");
+  EXPECT_EQ(db.size(), 2u);
+  db.Put(session, "a", "updated");
+  EXPECT_EQ(db.Get(session, "a").value(), "updated");
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_TRUE(db.Delete(session, "a"));
+  EXPECT_FALSE(db.Delete(session, "a"));
+  EXPECT_FALSE(db.Get(session, "a").has_value());
+  EXPECT_EQ(db.size(), 1u);
+  // Re-insert over a tombstone.
+  db.Put(session, "a", "again");
+  EXPECT_EQ(db.Get(session, "a").value(), "again");
+  EXPECT_EQ(db.size(), 2u);
+}
+
+TEST(MiniLevelDbTest, ScanIsOrdered) {
+  MiniLevelDb db(MakeLock("mcs"));
+  MiniLevelDb::Session session(db);
+  for (int i = 99; i >= 0; --i) {
+    db.Put(session, MiniLevelDb::KeyFor(i), std::to_string(i));
+  }
+  auto rows = db.Scan(session, MiniLevelDb::KeyFor(10), 5);
+  ASSERT_EQ(rows.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(rows[i].first, MiniLevelDb::KeyFor(10 + i));
+    EXPECT_EQ(rows[i].second, std::to_string(10 + i));
+  }
+  // Scan skips tombstones.
+  db.Delete(session, MiniLevelDb::KeyFor(11));
+  rows = db.Scan(session, MiniLevelDb::KeyFor(10), 3);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[1].first, MiniLevelDb::KeyFor(12));
+}
+
+TEST(MiniLevelDbTest, KeyForIsFixedWidthAndOrdered) {
+  EXPECT_EQ(MiniLevelDb::KeyFor(7).size(), 16u);
+  EXPECT_LT(MiniLevelDb::KeyFor(9), MiniLevelDb::KeyFor(10));
+  EXPECT_LT(MiniLevelDb::KeyFor(99), MiniLevelDb::KeyFor(100));
+}
+
+TEST(MiniLevelDbTest, ConcurrentMixedWorkloadThroughClofLock) {
+  MiniLevelDb db(MakeLock("tkt-clh-tkt"));
+  constexpr int kThreads = 4;
+  constexpr int kOps = 3000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      mem::NativeMemory::ScopedCpu cpu(t * 32);
+      MiniLevelDb::Session session(db);
+      runtime::Xoshiro256 rng(t);
+      for (int i = 0; i < kOps; ++i) {
+        uint64_t k = rng.NextBounded(500);
+        if (rng.NextBounded(3) == 0) {
+          db.Put(session, MiniLevelDb::KeyFor(k), std::to_string(k));
+        } else {
+          auto value = db.Get(session, MiniLevelDb::KeyFor(k));
+          if (value.has_value()) {
+            EXPECT_EQ(*value, std::to_string(k));
+          }
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  EXPECT_LE(db.size(), 500u);
+}
+
+TEST(MiniKyotoTest, SetGetRemove) {
+  MiniKyoto db(MakeLock("mcs"));
+  MiniKyoto::Session session(db);
+  EXPECT_FALSE(db.Get(session, "x").has_value());
+  db.Set(session, "x", "1");
+  db.Set(session, "y", "2");
+  EXPECT_EQ(db.Get(session, "x").value(), "1");
+  db.Set(session, "x", "3");
+  EXPECT_EQ(db.Get(session, "x").value(), "3");
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_TRUE(db.Remove(session, "x"));
+  EXPECT_FALSE(db.Remove(session, "x"));
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(MiniKyotoTest, IncrementCreatesAndAccumulates) {
+  MiniKyoto db(MakeLock("mcs"));
+  MiniKyoto::Session session(db);
+  EXPECT_EQ(db.Increment(session, "n", 5), 5);
+  EXPECT_EQ(db.Increment(session, "n", -2), 3);
+  EXPECT_EQ(db.Get(session, "n").value(), "3");
+}
+
+TEST(MiniKyotoTest, LruEvictionRespectsCapacity) {
+  MiniKyoto db(MakeLock("mcs"), /*buckets=*/16, /*capacity=*/10);
+  MiniKyoto::Session session(db);
+  for (int i = 0; i < 25; ++i) {
+    db.Set(session, "k" + std::to_string(i), "v");
+  }
+  EXPECT_EQ(db.size(), 10u);
+  EXPECT_EQ(db.evictions(), 15u);
+  // The most recent keys survive.
+  EXPECT_TRUE(db.Get(session, "k24").has_value());
+  EXPECT_FALSE(db.Get(session, "k0").has_value());
+  // Touching an old-ish key protects it from the next eviction.
+  EXPECT_TRUE(db.Get(session, "k15").has_value());
+  db.Set(session, "fresh", "v");
+  EXPECT_TRUE(db.Get(session, "k15").has_value());
+}
+
+TEST(MiniKyotoTest, HashCollisionsAcrossFewBuckets) {
+  MiniKyoto db(MakeLock("mcs"), /*buckets=*/2);
+  MiniKyoto::Session session(db);
+  for (int i = 0; i < 100; ++i) {
+    db.Set(session, std::to_string(i), std::to_string(i * i));
+  }
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(db.Get(session, std::to_string(i)).value(), std::to_string(i * i));
+  }
+  for (int i = 0; i < 100; i += 2) {
+    EXPECT_TRUE(db.Remove(session, std::to_string(i)));
+  }
+  EXPECT_EQ(db.size(), 50u);
+  for (int i = 1; i < 100; i += 2) {
+    EXPECT_TRUE(db.Get(session, std::to_string(i)).has_value());
+  }
+}
+
+TEST(MiniKyotoTest, ConcurrentIncrementsAreExact) {
+  MiniKyoto db(MakeLock("c-tkt-tkt"));
+  constexpr int kThreads = 4;
+  constexpr int kOps = 2500;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      mem::NativeMemory::ScopedCpu cpu(t * 16);
+      MiniKyoto::Session session(db);
+      for (int i = 0; i < kOps; ++i) {
+        db.Increment(session, "shared", 1);
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  MiniKyoto::Session session(db);
+  EXPECT_EQ(db.Get(session, "shared").value(), std::to_string(kThreads * kOps));
+}
+
+}  // namespace
+}  // namespace clof::apps

@@ -1,0 +1,140 @@
+// HMCS, CNA, ShflLock and the cohort-lock baselines: mutual exclusion, progress, and
+// their NUMA-locality behaviours.
+#include <gtest/gtest.h>
+
+#include "src/baselines/cna.h"
+#include "src/baselines/hmcs.h"
+#include "src/baselines/shfllock.h"
+#include "src/mem/sim_memory.h"
+#include "tests/sim_test_util.h"
+
+namespace clof::baselines {
+namespace {
+
+using M = mem::SimMemory;
+
+topo::Hierarchy ArmHierarchy(const topo::Topology& t, int depth) {
+  switch (depth) {
+    case 2:
+      return topo::Hierarchy::Select(t, {"numa", "system"});
+    case 3:
+      return topo::Hierarchy::Select(t, {"cache", "numa", "system"});
+    default:
+      return topo::Hierarchy::Select(t, {"cache", "numa", "package", "system"});
+  }
+}
+
+TEST(HmcsTest, MutexAtDepth2) {
+  auto machine = sim::Machine::PaperArm();
+  auto h = ArmHierarchy(machine.topology, 2);
+  HmcsLock<M> lock(h);
+  testutil::RunSimMutexTest(machine, lock, 12, 25, [](int t) { return t * 10; });
+}
+
+TEST(HmcsTest, MutexAtDepth3) {
+  auto machine = sim::Machine::PaperArm();
+  auto h = ArmHierarchy(machine.topology, 3);
+  HmcsLock<M> lock(h);
+  testutil::RunSimMutexTest(machine, lock, 16, 20, [](int t) { return t * 8 % 128; });
+}
+
+TEST(HmcsTest, MutexAtDepth4) {
+  auto machine = sim::Machine::PaperArm();
+  auto h = ArmHierarchy(machine.topology, 4);
+  HmcsLock<M> lock(h);
+  testutil::RunSimMutexTest(machine, lock, 16, 20, [](int t) { return t * 8 % 128; });
+}
+
+TEST(HmcsTest, MutexDepth4OnX86WithHyperthreads) {
+  auto machine = sim::Machine::PaperX86();
+  auto h =
+      topo::Hierarchy::Select(machine.topology, {"core", "cache", "numa", "system"});
+  HmcsLock<M> lock(h);
+  // Pairs of SMT siblings: CPUs c and c+48.
+  testutil::RunSimMutexTest(machine, lock, 12, 20,
+                            [](int t) { return t % 2 == 0 ? t * 4 : t * 4 - 4 + 48; });
+}
+
+TEST(HmcsTest, SingleThread) {
+  auto machine = sim::Machine::PaperArm();
+  auto h = ArmHierarchy(machine.topology, 4);
+  HmcsLock<M> lock(h);
+  testutil::RunSimMutexTest(machine, lock, 1, 100);
+}
+
+TEST(HmcsTest, ThresholdOneForcesGlobalFifo) {
+  auto machine = sim::Machine::PaperArm();
+  auto h = ArmHierarchy(machine.topology, 2);
+  HmcsLock<M> lock(h, /*threshold=*/1);
+  testutil::RunSimMutexTest(machine, lock, 8, 30, [](int t) { return t * 16 % 128; });
+}
+
+TEST(CnaTest, MutexUnderCrossNumaContention) {
+  auto machine = sim::Machine::PaperArm();
+  auto h = ArmHierarchy(machine.topology, 2);
+  CnaLock<M> lock(h);
+  testutil::RunSimMutexTest(machine, lock, 16, 25, [](int t) { return t * 8 % 128; });
+}
+
+TEST(CnaTest, SingleThreadAndTwoThreads) {
+  auto machine = sim::Machine::PaperArm();
+  auto h = ArmHierarchy(machine.topology, 2);
+  CnaLock<M> lock(h);
+  testutil::RunSimMutexTest(machine, lock, 1, 50);
+  CnaLock<M> lock2(h);
+  testutil::RunSimMutexTest(machine, lock2, 2, 50, [](int t) { return t * 64; });
+}
+
+TEST(CnaTest, PrefersLocalSuccessor) {
+  // Threads 0,1 on NUMA 0 and 2 on NUMA 1 under continuous contention: consecutive
+  // same-node handovers should clearly exceed what FIFO order would produce.
+  auto machine = sim::Machine::PaperArm();
+  auto h = ArmHierarchy(machine.topology, 2);
+  CnaLock<M> lock(h);
+  sim::Engine engine(machine.topology, machine.platform);
+  std::vector<int> node_log;
+  for (int t = 0; t < 4; ++t) {
+    int cpu = t < 2 ? t : 32 + t;
+    engine.Spawn(cpu, [&, cpu] {
+      CnaLock<M>::Context ctx;
+      for (int i = 0; i < 50; ++i) {
+        lock.Acquire(ctx);
+        node_log.push_back(cpu / 32);
+        sim::Engine::Current().Work(50.0);
+        lock.Release(ctx);
+      }
+    });
+  }
+  engine.Run();
+  int local_handover = 0;
+  int total_handover = 0;
+  for (size_t i = 21; i < node_log.size(); ++i) {
+    ++total_handover;
+    local_handover += node_log[i] == node_log[i - 1] ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(local_handover) / total_handover, 0.6);
+}
+
+TEST(ShflLockTest, MutexUnderContention) {
+  auto machine = sim::Machine::PaperArm();
+  auto h = ArmHierarchy(machine.topology, 2);
+  ShflLock<M> lock(h);
+  testutil::RunSimMutexTest(machine, lock, 16, 25, [](int t) { return t * 8 % 128; });
+}
+
+TEST(ShflLockTest, SingleThreadFastPath) {
+  auto machine = sim::Machine::PaperArm();
+  auto h = ArmHierarchy(machine.topology, 2);
+  ShflLock<M> lock(h);
+  testutil::RunSimMutexTest(machine, lock, 1, 100);
+}
+
+TEST(ShflLockTest, MutexOnX86) {
+  auto machine = sim::Machine::PaperX86();
+  auto h = topo::Hierarchy::Select(machine.topology, {"numa", "system"});
+  ShflLock<M> lock(h);
+  testutil::RunSimMutexTest(machine, lock, 12, 25, [](int t) { return t * 7 % 96; });
+}
+
+}  // namespace
+}  // namespace clof::baselines

@@ -1,0 +1,249 @@
+// Explorer-level litmus tests: these guard the model checker itself. Each classic
+// concurrency idiom must expose exactly the behaviours sequential consistency allows —
+// a reduction (sleep sets, DPOR, eager local quanta) that hides one of them would make
+// every downstream "lock verified" claim worthless.
+#include "src/mck/explorer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "src/mck/mck_memory.h"
+
+namespace clof::mck {
+namespace {
+
+using AtomicU32 = MckMemory::Atomic<uint32_t>;
+
+TEST(ExplorerLitmus, LostUpdateIsFound) {
+  // Two load+store increments: final values {1, 2} must both be observed.
+  Explorer explorer;
+  std::set<uint32_t> finals;
+  auto result = explorer.Explore([&] {
+    auto v = std::make_shared<AtomicU32>(0u);
+    auto done = std::make_shared<int>(0);
+    std::vector<Explorer::ThreadSpec> specs;
+    for (int t = 0; t < 2; ++t) {
+      specs.push_back({t, [v, done, &finals] {
+                         uint32_t x = v->Load();
+                         v->Store(x + 1);
+                         if (++*done == 2) {
+                           finals.insert(v->Load());
+                         }
+                       }});
+    }
+    return specs;
+  });
+  EXPECT_FALSE(result.violation_found);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(finals, (std::set<uint32_t>{1u, 2u}));
+}
+
+TEST(ExplorerLitmus, StoreBufferingForbiddenUnderSc) {
+  // SB litmus: x=1; r0=y || y=1; r1=x. Under SC, r0==0 && r1==0 is impossible
+  // (the explorer checks sequential consistency only — DESIGN.md documents this scope).
+  Explorer explorer;
+  bool both_zero = false;
+  auto result = explorer.Explore([&] {
+    auto x = std::make_shared<AtomicU32>(0u);
+    auto y = std::make_shared<AtomicU32>(0u);
+    auto r = std::make_shared<std::array<uint32_t, 2>>();
+    auto done = std::make_shared<int>(0);
+    auto finish = [r, done, &both_zero] {
+      if (++*done == 2) {
+        both_zero = both_zero || ((*r)[0] == 0 && (*r)[1] == 0);
+      }
+    };
+    std::vector<Explorer::ThreadSpec> specs;
+    specs.push_back({0, [x, y, r, finish] {
+                       x->Store(1);
+                       (*r)[0] = y->Load();
+                       finish();
+                     }});
+    specs.push_back({1, [x, y, r, finish] {
+                       y->Store(1);
+                       (*r)[1] = x->Load();
+                       finish();
+                     }});
+    return specs;
+  });
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_FALSE(both_zero);
+}
+
+TEST(ExplorerLitmus, MessagePassingHasNoStaleData) {
+  // MP litmus — writer: data=1; flag=1. reader: r_flag=flag; r_data=data. Under SC,
+  // seeing the flag set with stale data ((1,0)) is impossible; the other three
+  // outcomes must all be explored.
+  Explorer explorer;
+  std::set<std::pair<uint32_t, uint32_t>> outcomes;
+  auto result = explorer.Explore([&] {
+    auto data = std::make_shared<AtomicU32>(0u);
+    auto flag = std::make_shared<AtomicU32>(0u);
+    std::vector<Explorer::ThreadSpec> specs;
+    specs.push_back({0, [data, flag, &outcomes] {
+                       uint32_t r_flag = flag->Load();
+                       uint32_t r_data = data->Load();
+                       outcomes.emplace(r_flag, r_data);
+                     }});
+    specs.push_back({1, [data, flag] {
+                       data->Store(1);
+                       flag->Store(1);
+                     }});
+    return specs;
+  });
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_TRUE(outcomes.count({0u, 0u}));
+  EXPECT_TRUE(outcomes.count({0u, 1u}));
+  EXPECT_TRUE(outcomes.count({1u, 1u}));
+  EXPECT_FALSE(outcomes.count({1u, 0u}));  // flag set but data stale: SC forbids
+}
+
+TEST(ExplorerLitmus, AtomicRmwHasNoLostUpdate) {
+  Explorer explorer;
+  std::set<uint32_t> finals;
+  auto result = explorer.Explore([&] {
+    auto v = std::make_shared<AtomicU32>(0u);
+    auto done = std::make_shared<int>(0);
+    std::vector<Explorer::ThreadSpec> specs;
+    for (int t = 0; t < 3; ++t) {
+      specs.push_back({t, [v, done, &finals] {
+                         v->FetchAdd(1);
+                         if (++*done == 3) {
+                           finals.insert(v->Load());
+                         }
+                       }});
+    }
+    return specs;
+  });
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(finals, (std::set<uint32_t>{3u}));
+}
+
+TEST(ExplorerLitmus, CompareExchangeWinnerIsUnique) {
+  Explorer explorer;
+  bool multiple_winners = false;
+  auto result = explorer.Explore([&] {
+    auto v = std::make_shared<AtomicU32>(0u);
+    auto winners = std::make_shared<int>(0);
+    auto done = std::make_shared<int>(0);
+    std::vector<Explorer::ThreadSpec> specs;
+    for (int t = 0; t < 3; ++t) {
+      specs.push_back({t, [v, winners, done, &multiple_winners] {
+                         uint32_t expected = 0;
+                         if (v->CompareExchange(expected, 7)) {
+                           ++*winners;
+                         }
+                         if (++*done == 3) {
+                           multiple_winners = multiple_winners || *winners != 1;
+                         }
+                       }});
+    }
+    return specs;
+  });
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_FALSE(multiple_winners);
+}
+
+TEST(ExplorerTest, SpinUntilBlocksUntilStore) {
+  Explorer explorer;
+  auto result = explorer.Explore([&] {
+    auto flag = std::make_shared<AtomicU32>(0u);
+    std::vector<Explorer::ThreadSpec> specs;
+    specs.push_back({0, [flag] {
+                       MckMemory::SpinUntil(*flag, [](uint32_t v) { return v == 1; });
+                     }});
+    specs.push_back({1, [flag] { flag->Store(1); }});
+    return specs;
+  });
+  EXPECT_FALSE(result.violation_found) << result.violation;
+  EXPECT_TRUE(result.exhausted);
+}
+
+TEST(ExplorerTest, StrandedSpinnerIsADeadlock) {
+  Explorer explorer;
+  auto result = explorer.Explore([&] {
+    auto flag = std::make_shared<AtomicU32>(0u);
+    std::vector<Explorer::ThreadSpec> specs;
+    specs.push_back({0, [flag] {
+                       MckMemory::SpinUntil(*flag, [](uint32_t v) { return v == 1; });
+                     }});
+    return specs;
+  });
+  EXPECT_TRUE(result.violation_found);
+  EXPECT_NE(result.violation.find("deadlock"), std::string::npos);
+}
+
+TEST(ExplorerTest, FailUnwindsAndReportsFirstViolation) {
+  Explorer explorer;
+  auto result = explorer.Explore([&] {
+    auto v = std::make_shared<AtomicU32>(0u);
+    std::vector<Explorer::ThreadSpec> specs;
+    specs.push_back({0, [v] {
+                       v->Store(1);
+                       Explorer::Current().Fail("custom violation");
+                     }});
+    specs.push_back({1, [v] {
+                       MckMemory::SpinUntil(*v, [](uint32_t x) { return x == 2; });
+                     }});
+    return specs;
+  });
+  EXPECT_TRUE(result.violation_found);
+  EXPECT_EQ(result.violation, "custom violation");
+  EXPECT_FALSE(result.violating_schedule.empty());
+}
+
+TEST(ExplorerTest, ExecutionBudgetReportsNonExhausted) {
+  Explorer::Options options;
+  options.max_executions = 2;
+  Explorer explorer(options);
+  auto result = explorer.Explore([&] {
+    auto v = std::make_shared<AtomicU32>(0u);
+    std::vector<Explorer::ThreadSpec> specs;
+    for (int t = 0; t < 3; ++t) {
+      specs.push_back({t, [v] { v->FetchAdd(1); }});
+    }
+    return specs;
+  });
+  EXPECT_FALSE(result.violation_found);
+  EXPECT_FALSE(result.exhausted);
+  EXPECT_EQ(result.executions, 2u);
+}
+
+TEST(ExplorerTest, DeterministicExecutionCount) {
+  auto count = [] {
+    Explorer explorer;
+    auto result = explorer.Explore([&] {
+      auto v = std::make_shared<AtomicU32>(0u);
+      std::vector<Explorer::ThreadSpec> specs;
+      for (int t = 0; t < 3; ++t) {
+        specs.push_back({t, [v] {
+                           v->FetchAdd(1);
+                           (void)v->Load();
+                         }});
+      }
+      return specs;
+    });
+    return result.executions;
+  };
+  EXPECT_EQ(count(), count());
+}
+
+TEST(ExplorerTest, IndependentThreadsExploreOneExecution) {
+  // Threads touching disjoint addresses commute: DPOR + sleep sets should not branch.
+  Explorer explorer;
+  auto result = explorer.Explore([&] {
+    auto a = std::make_shared<AtomicU32>(0u);
+    auto b = std::make_shared<AtomicU32>(0u);
+    std::vector<Explorer::ThreadSpec> specs;
+    specs.push_back({0, [a] { a->FetchAdd(1); a->FetchAdd(1); }});
+    specs.push_back({1, [b] { b->FetchAdd(1); b->FetchAdd(1); }});
+    return specs;
+  });
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(result.executions, 1u);
+}
+
+}  // namespace
+}  // namespace clof::mck

@@ -1,0 +1,72 @@
+#include "src/runtime/fiber.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace clof::runtime {
+namespace {
+
+TEST(FiberTest, RunsToCompletionAndReturnsToParent) {
+  Fiber main = Fiber::Main();
+  int calls = 0;
+  Fiber child([&] { ++calls; }, &main);
+  EXPECT_FALSE(child.finished());
+  Fiber::Switch(main, child);
+  EXPECT_TRUE(child.finished());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(FiberTest, PingPongBetweenTwoFibers) {
+  Fiber main = Fiber::Main();
+  std::vector<int> order;
+  Fiber* a_ptr = nullptr;
+  Fiber* b_ptr = nullptr;
+  Fiber a(
+      [&] {
+        order.push_back(1);
+        Fiber::Switch(*a_ptr, *b_ptr);
+        order.push_back(3);
+      },
+      &main);
+  Fiber b(
+      [&] {
+        order.push_back(2);
+        Fiber::Switch(*b_ptr, *a_ptr);
+        // Never reached again: a finishes and control returns to main.
+      },
+      &main);
+  a_ptr = &a;
+  b_ptr = &b;
+  Fiber::Switch(main, a);
+  EXPECT_TRUE(a.finished());
+  EXPECT_FALSE(b.finished());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(FiberTest, ManyFibersSequentially) {
+  Fiber main = Fiber::Main();
+  int sum = 0;
+  std::vector<std::unique_ptr<Fiber>> fibers;
+  for (int i = 0; i < 50; ++i) {
+    fibers.push_back(std::make_unique<Fiber>([&sum, i] { sum += i; }, &main));
+  }
+  for (auto& fiber : fibers) {
+    Fiber::Switch(main, *fiber);
+    EXPECT_TRUE(fiber->finished());
+  }
+  EXPECT_EQ(sum, 49 * 50 / 2);
+}
+
+TEST(FiberTest, DeepStackUsage) {
+  Fiber main = Fiber::Main();
+  // Recurse enough to use a good chunk of the default stack.
+  std::function<int(int)> rec = [&](int n) { return n == 0 ? 0 : n + rec(n - 1); };
+  int result = 0;
+  Fiber child([&] { result = rec(1000); }, &main);
+  Fiber::Switch(main, child);
+  EXPECT_EQ(result, 1000 * 1001 / 2);
+}
+
+}  // namespace
+}  // namespace clof::runtime

@@ -1,0 +1,123 @@
+// Hierarchy discovery: the ping-pong heatmap reproduces Table 2's speedup structure and
+// the automatic topology inference reconstructs the builtin machines.
+#include "src/discover/heatmap.h"
+
+#include <gtest/gtest.h>
+
+namespace clof::discover {
+namespace {
+
+// Cohort-structure equality: two topologies group CPUs identically (names aside).
+void ExpectSameGrouping(const topo::Topology& a, const topo::Topology& b) {
+  ASSERT_EQ(a.num_cpus(), b.num_cpus());
+  ASSERT_EQ(a.num_levels(), b.num_levels());
+  for (int level = 0; level < a.num_levels(); ++level) {
+    for (int x = 0; x < a.num_cpus(); ++x) {
+      for (int y = x + 1; y < a.num_cpus(); ++y) {
+        EXPECT_EQ(a.CohortOf(x, level) == a.CohortOf(y, level),
+                  b.CohortOf(x, level) == b.CohortOf(y, level))
+            << "level " << level << " cpus " << x << "," << y;
+      }
+    }
+  }
+}
+
+HeatmapOptions FastOptions() {
+  HeatmapOptions options;
+  options.rounds_per_pair = 40;
+  options.cpu_stride = 4;  // keeps the test quick; stride preserves level structure
+  return options;
+}
+
+TEST(HeatmapTest, X86SpeedupsMatchTable2) {
+  auto machine = sim::Machine::PaperX86();
+  HeatmapOptions options;
+  options.rounds_per_pair = 40;
+  options.cpu_stride = 1;
+  Heatmap map = RunPingPongHeatmap(machine, options);
+  auto speedups = CohortSpeedups(machine.topology, map);
+  // Paper Table 2 (x86): core 12.18, cache 9.07, numa 1.54, package 1.54, system 1.
+  EXPECT_NEAR(speedups[4], 1.0, 1e-9);
+  EXPECT_NEAR(speedups[2], 1.54, 0.25);
+  // "package" never occurs as a *lowest* sharing level on this machine: every
+  // same-package pair already shares a NUMA node (1 node per package) — which is why
+  // the paper reports identical numa/package speedups.
+  EXPECT_EQ(speedups[3], 0.0);
+  EXPECT_NEAR(speedups[1], 9.07, 1.4);
+  EXPECT_NEAR(speedups[0], 12.18, 1.8);
+}
+
+TEST(HeatmapTest, ArmSpeedupsMatchTable2) {
+  auto machine = sim::Machine::PaperArm();
+  Heatmap map = RunPingPongHeatmap(machine, FastOptions());
+  auto speedups = CohortSpeedups(machine.topology, map);
+  // Paper Table 2 (Armv8): cache 7.04, numa 2.98, package 1.76, system 1. With stride 4
+  // no same-cache pair is measured, so relax: use stride 2 for the cache level.
+  HeatmapOptions fine = FastOptions();
+  fine.cpu_stride = 2;
+  Heatmap fine_map = RunPingPongHeatmap(machine, fine);
+  auto fine_speedups = CohortSpeedups(machine.topology, fine_map);
+  EXPECT_NEAR(speedups[3], 1.0, 1e-9);
+  EXPECT_NEAR(speedups[2], 1.76, 0.3);
+  EXPECT_NEAR(speedups[1], 2.98, 0.5);
+  EXPECT_NEAR(fine_speedups[0], 7.04, 1.1);
+}
+
+TEST(HeatmapTest, InferTopologyReconstructsArmMachine) {
+  auto machine = sim::Machine::PaperArm();
+  HeatmapOptions options;
+  options.rounds_per_pair = 30;
+  options.cpu_stride = 1;
+  // Shrink the machine for test speed: a 32-CPU slice has the same nested structure
+  // (cache=4, numa=16 after slicing? no — use a custom small machine instead).
+  auto small_topo = topo::Topology::FromSpec("small:16;cache=2;numa=8");
+  sim::PlatformModel platform = sim::PlatformModel::Arm();
+  platform.level_latency_ns = {7.6, 33.0, 120.0};  // cache, numa, system
+  sim::Machine small{small_topo, platform};
+  Heatmap map = RunPingPongHeatmap(small, options);
+  topo::Topology inferred = InferTopology(map);
+  ExpectSameGrouping(inferred, small_topo);
+}
+
+TEST(HeatmapTest, InferTopologyReconstructsX86SmtStructure) {
+  // A small SMT machine: 8 CPUs, CPU c and c+4 are siblings; pairs of cores share L2.
+  topo::Level core{.name = "core", .cpu_to_cohort = {0, 1, 2, 3, 0, 1, 2, 3}, .num_cohorts = 4};
+  topo::Level cache{.name = "cache", .cpu_to_cohort = {0, 0, 1, 1, 0, 0, 1, 1}, .num_cohorts = 2};
+  topo::Level system{.name = "system", .cpu_to_cohort = std::vector<int>(8, 0), .num_cohorts = 1};
+  topo::Topology smt("smt8", 8, {core, cache, system});
+  sim::PlatformModel platform = sim::PlatformModel::X86();
+  platform.level_latency_ns = {3.4, 7.0, 120.0};
+  sim::Machine machine{smt, platform};
+  HeatmapOptions options;
+  options.rounds_per_pair = 30;
+  Heatmap map = RunPingPongHeatmap(machine, options);
+  topo::Topology inferred = InferTopology(map, "inferred", 0.15);
+  ExpectSameGrouping(inferred, smt);
+}
+
+TEST(HeatmapTest, SymmetricAndZeroDiagonal) {
+  auto machine = sim::Machine::PaperArm();
+  HeatmapOptions options;
+  options.rounds_per_pair = 10;
+  options.cpu_stride = 16;
+  Heatmap map = RunPingPongHeatmap(machine, options);
+  for (int a = 0; a < map.num_cpus; a += 16) {
+    EXPECT_EQ(map.At(a, a), 0.0);
+    for (int b = a + 16; b < map.num_cpus; b += 16) {
+      EXPECT_EQ(map.At(a, b), map.At(b, a));
+    }
+  }
+}
+
+TEST(HeatmapTest, CsvAndAsciiRender) {
+  Heatmap map;
+  map.num_cpus = 2;
+  map.throughput = {0.0, 5.0, 5.0, 0.0};
+  std::string csv = HeatmapToCsv(map);
+  EXPECT_NE(csv.find("cpu,0,1"), std::string::npos);
+  EXPECT_NE(csv.find("0,0,5"), std::string::npos);
+  EXPECT_FALSE(HeatmapToAscii(map).empty());
+}
+
+}  // namespace
+}  // namespace clof::discover

@@ -1,0 +1,120 @@
+// Cross-cutting invariant sweeps: every generated 3-level composition must satisfy the
+// statistics-reconciliation identities (a white-box proxy for lock-passing
+// correctness), and core helpers behave across their whole input range.
+#include <gtest/gtest.h>
+
+#include "src/clof/registry.h"
+#include "src/runtime/rng.h"
+#include "src/sim/engine.h"
+#include "src/workload/profiles.h"
+
+namespace clof {
+namespace {
+
+class StatsInvariantTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StatsInvariantTest, CountersReconcile) {
+  auto machine = sim::Machine::PaperArm();
+  auto hierarchy =
+      topo::Hierarchy::Select(machine.topology, {"cache", "numa", "system"});
+  auto lock = SimRegistry(false).Make(GetParam(), hierarchy);
+  sim::Engine engine(machine.topology, machine.platform);
+  constexpr int kThreads = 6;
+  constexpr int kIterations = 15;
+  for (int t = 0; t < kThreads; ++t) {
+    engine.Spawn((t * 22) % 128, [&] {
+      auto ctx = lock->MakeContext();
+      for (int i = 0; i < kIterations; ++i) {
+        Lock::Guard guard(*lock, *ctx);
+        sim::Engine::Current().Work(15.0);
+      }
+    });
+  }
+  engine.Run();
+  auto stats = lock->Stats();
+  ASSERT_EQ(stats.size(), 3u);
+  const uint64_t total = kThreads * kIterations;
+  // Identities that hold for any correct lock-passing implementation:
+  //   every CS acquires the leaf;
+  //   every leaf release is exactly one of {pass, climb};
+  //   every leaf acquisition either inherits the high chain or acquires level 2;
+  //   the root sees exactly the level-2 climb-acquisitions.
+  EXPECT_EQ(stats[0].acquisitions, total);
+  EXPECT_EQ(stats[0].local_passes + stats[0].climbs, total);
+  EXPECT_EQ(stats[0].inherited + stats[1].acquisitions, total);
+  EXPECT_EQ(stats[1].local_passes + stats[1].climbs, stats[1].acquisitions);
+  EXPECT_EQ(stats[1].inherited + stats[2].acquisitions, stats[1].acquisitions);
+  // A pass leaves the high lock held, so passes == inheritances one level down.
+  EXPECT_EQ(stats[0].local_passes, stats[0].inherited);
+  EXPECT_EQ(stats[1].local_passes, stats[1].inherited);
+}
+
+std::vector<std::string> AllDepth3() { return SimRegistry(false).Names(3, true); }
+
+std::string SweepName(const ::testing::TestParamInfo<std::string>& info) {
+  std::string name = info.param;
+  for (char& c : name) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDepth3Locks, StatsInvariantTest,
+                         ::testing::ValuesIn(AllDepth3()), SweepName);
+
+TEST(ProfileSanityTest, ProfilesAreInternallyConsistent) {
+  for (const auto& profile : {workload::Profile::LevelDbReadRandom(),
+                              workload::Profile::KyotoMix(),
+                              workload::Profile::RawHandover()}) {
+    EXPECT_GE(profile.cs_hot_lines, 0);
+    EXPECT_GE(profile.cs_random_lines, 0);
+    EXPECT_GT(profile.cs_pool_lines, 0);
+    EXPECT_GE(profile.cs_pool_lines, profile.cs_random_lines);
+    EXPECT_GE(profile.cs_write_fraction, 0.0);
+    EXPECT_LE(profile.cs_write_fraction, 1.0);
+    EXPECT_GE(profile.think_jitter, 0.0);
+    EXPECT_LT(profile.think_jitter, 1.0);
+  }
+  // The Kyoto critical section is roughly an order of magnitude heavier (the paper's
+  // ~10x throughput gap).
+  auto leveldb = workload::Profile::LevelDbReadRandom();
+  auto kyoto = workload::Profile::KyotoMix();
+  EXPECT_GT(kyoto.cs_work_ns + 10.0 * kyoto.cs_random_lines,
+            5.0 * (leveldb.cs_work_ns + 10.0 * leveldb.cs_random_lines));
+}
+
+TEST(DeterminismSweepTest, WholeStackIsSeedStable) {
+  // Same seed -> bit-identical per-thread results across repeated constructions of the
+  // entire stack (registry, engine, workload), for several lock families.
+  for (const char* name : {"tkt-clh-tkt", "mcs-mcs-mcs", "hem-clh-hem", "hmcs", "cna"}) {
+    auto run = [&] {
+      auto machine = sim::Machine::PaperArm();
+      auto hierarchy =
+          topo::Hierarchy::Select(machine.topology, {"cache", "numa", "system"});
+      auto lock = SimRegistry(false).Make(name, hierarchy);
+      sim::Engine engine(machine.topology, machine.platform);
+      std::vector<uint64_t> ops(8, 0);
+      for (int t = 0; t < 8; ++t) {
+        engine.Spawn(t * 16, [&, t] {
+          runtime::Xoshiro256 rng(99 + t);
+          auto ctx = lock->MakeContext();
+          auto& eng = sim::Engine::Current();
+          while (eng.NowNs() < 50000.0) {
+            eng.Work(100.0 + rng.NextBounded(200));
+            Lock::Guard guard(*lock, *ctx);
+            eng.Work(30.0);
+            ++ops[t];
+          }
+        });
+      }
+      engine.Run();
+      return ops;
+    };
+    EXPECT_EQ(run(), run()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace clof

@@ -1,0 +1,118 @@
+// Native (std::atomic) instantiations under real threads: the shippable library works.
+// Iteration counts are modest — correctness, not throughput, is measured here.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/clof/clof_tree.h"
+#include "src/locks/clh.h"
+#include "src/locks/hemlock.h"
+#include "src/locks/mcs.h"
+#include "src/locks/tas.h"
+#include "src/locks/ticket.h"
+#include "src/mem/native.h"
+#include "src/topo/topology.h"
+
+namespace clof::locks {
+namespace {
+
+using M = mem::NativeMemory;
+
+// Runs `threads` real threads, each incrementing a plain counter `iterations` times
+// under the lock; the final count proves mutual exclusion.
+template <class L>
+void NativeCounterTest(L& lock, int threads, int iterations,
+                       const std::function<int(int)>& cpu_of = nullptr) {
+  long counter = 0;
+  std::atomic<int> start{0};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      mem::NativeMemory::ScopedCpu cpu(cpu_of ? cpu_of(t) : t);
+      start.fetch_add(1);
+      while (start.load() < threads) {
+        std::this_thread::yield();
+      }
+      typename L::Context ctx;
+      for (int i = 0; i < iterations; ++i) {
+        lock.Acquire(ctx);
+        ++counter;
+        lock.Release(ctx);
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  EXPECT_EQ(counter, static_cast<long>(threads) * iterations);
+}
+
+template <class L>
+class NativeLockTest : public ::testing::Test {};
+
+using AllLocks = ::testing::Types<TicketLock<M>, McsLock<M>, ClhLock<M>, Hemlock<M, false>,
+                                  Hemlock<M, true>, TasLock<M>, TtasLock<M>, BackoffLock<M>>;
+TYPED_TEST_SUITE(NativeLockTest, AllLocks);
+
+TYPED_TEST(NativeLockTest, CounterWithFourThreads) {
+  TypeParam lock;
+  NativeCounterTest(lock, 4, 2000);
+}
+
+TYPED_TEST(NativeLockTest, SingleThreadReacquisition) {
+  TypeParam lock;
+  NativeCounterTest(lock, 1, 10000);
+}
+
+TEST(NativeClofTest, ComposedLockFourLevels) {
+  static topo::Topology topology = topo::Topology::PaperArm();
+  static topo::Hierarchy hierarchy =
+      topo::Hierarchy::Select(topology, {"cache", "numa", "package", "system"});
+  using Tree = Compose<M, TicketLock<M>, ClhLock<M>, TicketLock<M>, TicketLock<M>>;
+  Tree tree(hierarchy, 0, {});
+  // Threads placed across NUMA nodes (virtual placement; host threads are unpinned).
+  NativeCounterTest(tree, 4, 2000, [](int t) { return t * 32; });
+}
+
+TEST(NativeClofTest, ComposedLockSameCohort) {
+  static topo::Topology topology = topo::Topology::PaperArm();
+  static topo::Hierarchy hierarchy =
+      topo::Hierarchy::Select(topology, {"cache", "numa", "system"});
+  using Tree = Compose<M, McsLock<M>, McsLock<M>, McsLock<M>>;
+  Tree tree(hierarchy, 0, {});
+  NativeCounterTest(tree, 4, 2000, [](int t) { return t; });  // one cache group
+}
+
+TEST(NativeMemoryTest, ScopedCpuNestsAndRestores) {
+  EXPECT_EQ(M::CpuId(), 0);
+  {
+    mem::NativeMemory::ScopedCpu outer(5);
+    EXPECT_EQ(M::CpuId(), 5);
+    {
+      mem::NativeMemory::ScopedCpu inner(9);
+      EXPECT_EQ(M::CpuId(), 9);
+    }
+    EXPECT_EQ(M::CpuId(), 5);
+  }
+  EXPECT_EQ(M::CpuId(), 0);
+}
+
+TEST(NativeMemoryTest, AtomicBasics) {
+  M::Atomic<uint32_t> a{1};
+  EXPECT_EQ(a.Load(), 1u);
+  a.Store(2);
+  EXPECT_EQ(a.Exchange(3), 2u);
+  uint32_t expected = 3;
+  EXPECT_TRUE(a.CompareExchange(expected, 4));
+  expected = 99;
+  EXPECT_FALSE(a.CompareExchange(expected, 5));
+  EXPECT_EQ(expected, 4u);
+  EXPECT_EQ(a.FetchAdd(10), 4u);
+  EXPECT_EQ(a.RmwRead(), 14u);
+}
+
+}  // namespace
+}  // namespace clof::locks

@@ -1,0 +1,177 @@
+// Basic NUMA-oblivious locks under the simulator: mutual exclusion, progress, owner-side
+// waiter probes, and the architecture-specific behaviours of §3.2.
+#include <gtest/gtest.h>
+
+#include "src/locks/clh.h"
+#include "src/locks/hemlock.h"
+#include "src/locks/mcs.h"
+#include "src/locks/tas.h"
+#include "src/locks/ticket.h"
+#include "src/mem/sim_memory.h"
+#include "tests/sim_test_util.h"
+
+namespace clof::locks {
+namespace {
+
+using M = mem::SimMemory;
+
+template <class L>
+class SimLockTest : public ::testing::Test {};
+
+using AllLocks = ::testing::Types<TicketLock<M>, McsLock<M>, ClhLock<M>, Hemlock<M, false>,
+                                  Hemlock<M, true>, TasLock<M>, TtasLock<M>, BackoffLock<M>>;
+TYPED_TEST_SUITE(SimLockTest, AllLocks);
+
+TYPED_TEST(SimLockTest, MutualExclusionTwoThreads) {
+  auto machine = sim::Machine::PaperX86();
+  TypeParam lock;
+  testutil::RunSimMutexTest(machine, lock, 2, 50);
+}
+
+TYPED_TEST(SimLockTest, MutualExclusionManyThreadsAcrossNuma) {
+  auto machine = sim::Machine::PaperX86();
+  TypeParam lock;
+  // Threads spread over both packages.
+  testutil::RunSimMutexTest(machine, lock, 16, 25,
+                            [](int t) { return (t * 6 + t / 8) % 96; });
+}
+
+TYPED_TEST(SimLockTest, MutualExclusionOnArmMachine) {
+  auto machine = sim::Machine::PaperArm();
+  TypeParam lock;
+  testutil::RunSimMutexTest(machine, lock, 12, 25, [](int t) { return t * 10; });
+}
+
+TYPED_TEST(SimLockTest, UncontendedReacquisition) {
+  auto machine = sim::Machine::PaperX86();
+  TypeParam lock;
+  testutil::RunSimMutexTest(machine, lock, 1, 200);
+}
+
+TEST(TicketLockTest, FifoOrder) {
+  auto machine = sim::Machine::PaperX86();
+  sim::Engine engine(machine.topology, machine.platform);
+  TicketLock<M> lock;
+  std::vector<int> order;
+  // Stagger arrivals so the queue order is deterministic: t0 first, then t1, t2, t3.
+  for (int t = 0; t < 4; ++t) {
+    engine.Spawn(t * 13, [&, t] {
+      sim::Engine::Current().Work(1000.0 * t + 1.0);
+      TicketLock<M>::Context ctx;
+      lock.Acquire(ctx);
+      sim::Engine::Current().Work(5000.0);  // hold long enough that all others queue
+      order.push_back(t);
+      lock.Release(ctx);
+    });
+  }
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(TicketLockTest, HasWaitersProbe) {
+  auto machine = sim::Machine::PaperX86();
+  sim::Engine engine(machine.topology, machine.platform);
+  TicketLock<M> lock;
+  bool saw_waiter = false;
+  bool saw_no_waiter = false;
+  engine.Spawn(0, [&] {
+    TicketLock<M>::Context ctx;
+    lock.Acquire(ctx);
+    saw_no_waiter = !lock.HasWaiters(ctx);
+    sim::Engine::Current().Work(2000.0);  // let CPU 5 enqueue
+    saw_waiter = lock.HasWaiters(ctx);
+    lock.Release(ctx);
+  });
+  engine.Spawn(5, [&] {
+    sim::Engine::Current().Work(500.0);
+    TicketLock<M>::Context ctx;
+    lock.Acquire(ctx);
+    lock.Release(ctx);
+  });
+  engine.Run();
+  EXPECT_TRUE(saw_no_waiter);
+  EXPECT_TRUE(saw_waiter);
+}
+
+template <class L>
+void ProbeTest() {
+  auto machine = sim::Machine::PaperX86();
+  sim::Engine engine(machine.topology, machine.platform);
+  L lock;
+  bool saw_waiter = false;
+  bool saw_no_waiter = false;
+  engine.Spawn(0, [&] {
+    typename L::Context ctx;
+    lock.Acquire(ctx);
+    saw_no_waiter = !lock.HasWaiters(ctx);
+    sim::Engine::Current().Work(2000.0);
+    saw_waiter = lock.HasWaiters(ctx);
+    lock.Release(ctx);
+  });
+  engine.Spawn(5, [&] {
+    sim::Engine::Current().Work(500.0);
+    typename L::Context ctx;
+    lock.Acquire(ctx);
+    lock.Release(ctx);
+  });
+  engine.Run();
+  EXPECT_TRUE(saw_no_waiter);
+  EXPECT_TRUE(saw_waiter);
+}
+
+TEST(McsLockTest, HasWaitersProbe) { ProbeTest<McsLock<M>>(); }
+TEST(ClhLockTest, HasWaitersProbe) { ProbeTest<ClhLock<M>>(); }
+TEST(HemlockTest, HasWaitersProbe) { ProbeTest<Hemlock<M, false>>(); }
+
+TEST(ClhLockTest, NodeRecyclingSurvivesManyHandovers) {
+  // The release path adopts the predecessor's node; run long enough that every node
+  // has migrated between contexts many times.
+  auto machine = sim::Machine::PaperX86();
+  ClhLock<M> lock;
+  testutil::RunSimMutexTest(machine, lock, 8, 100, [](int t) { return t; });
+}
+
+TEST(HemlockTest, CtrCollapsesOnArmButNotOnX86) {
+  // Figure 3 / §3.2: with CTR enabled, the release-side cmpxchg fights the successor's
+  // fetch_add-spin on Armv8 (LL/SC reservation stealing) and throughput collapses; on
+  // x86 CTR is harmless-to-beneficial.
+  auto run = [](const sim::Machine& machine, auto& lock) {
+    auto times =
+        testutil::RunSimMutexTest(machine, lock, 8, 30, [](int t) { return t * 4; });
+    return *std::max_element(times.begin(), times.end());
+  };
+  auto arm = sim::Machine::PaperArm();
+  Hemlock<M, false> plain_arm;
+  Hemlock<M, true> ctr_arm;
+  double arm_plain = run(arm, plain_arm);
+  double arm_ctr = run(arm, ctr_arm);
+  EXPECT_GT(arm_ctr, arm_plain * 3.0);  // collapse
+
+  auto x86 = sim::Machine::PaperX86();
+  Hemlock<M, false> plain_x86;
+  Hemlock<M, true> ctr_x86;
+  double x86_plain = run(x86, plain_x86);
+  double x86_ctr = run(x86, ctr_x86);
+  EXPECT_LT(x86_ctr, x86_plain * 1.3);  // no collapse on x86
+}
+
+TEST(LockShapeTest, ContextFreeLocksHaveEmptyContexts) {
+  EXPECT_TRUE((std::is_empty_v<TicketLock<M>::Context>));
+  EXPECT_TRUE((std::is_empty_v<TasLock<M>::Context>));
+  EXPECT_TRUE((std::is_empty_v<TtasLock<M>::Context>));
+  EXPECT_FALSE((std::is_empty_v<McsLock<M>::Context>));
+  EXPECT_FALSE((std::is_empty_v<ClhLock<M>::Context>));
+}
+
+TEST(LockShapeTest, FairnessFlags) {
+  EXPECT_TRUE(TicketLock<M>::kIsFair);
+  EXPECT_TRUE(McsLock<M>::kIsFair);
+  EXPECT_TRUE(ClhLock<M>::kIsFair);
+  EXPECT_TRUE((Hemlock<M, false>::kIsFair));
+  EXPECT_FALSE(TasLock<M>::kIsFair);
+  EXPECT_FALSE(TtasLock<M>::kIsFair);
+  EXPECT_FALSE(BackoffLock<M>::kIsFair);
+}
+
+}  // namespace
+}  // namespace clof::locks

@@ -1,0 +1,179 @@
+// The paper's qualitative evaluation claims, as assertions (quick simulator settings —
+// bench/ regenerates the full curves). Each test names the paper artifact it checks.
+#include <gtest/gtest.h>
+
+#include "src/harness/lock_bench.h"
+
+namespace clof {
+namespace {
+
+double Throughput(const sim::Machine& machine, const std::string& lock,
+           const topo::Hierarchy& hierarchy, int threads, const Registry* registry = nullptr,
+           double duration_ms = 0.4) {
+  harness::BenchConfig config;
+  config.machine = &machine;
+  config.hierarchy = hierarchy;
+  config.lock_name = lock;
+  config.registry = registry != nullptr
+                        ? registry
+                        : &SimRegistry(machine.platform.arch == sim::Arch::kX86);
+  config.profile = workload::Profile::LevelDbReadRandom();
+  config.num_threads = threads;
+  config.duration_ms = duration_ms;
+  return harness::RunLockBench(config).throughput_per_us;
+}
+
+class PaperShapes : public ::testing::Test {
+ protected:
+  sim::Machine x86_ = sim::Machine::PaperX86();
+  sim::Machine arm_ = sim::Machine::PaperArm();
+};
+
+TEST_F(PaperShapes, Fig2_EveryHierarchyLevelPaysOffAtHighContention) {
+  auto h1 = topo::Hierarchy::Select(x86_.topology, {"system"});
+  auto h2 = topo::Hierarchy::Select(x86_.topology, {"numa", "system"});
+  auto h4 = topo::Hierarchy::Select(x86_.topology, {"core", "cache", "numa", "system"});
+  double mcs = Throughput(x86_, "mcs", h1, 95);
+  double hmcs2 = Throughput(x86_, "hmcs", h2, 95);
+  double hmcs4 = Throughput(x86_, "hmcs", h4, 95);
+  EXPECT_GT(hmcs2, mcs * 1.1);   // NUMA awareness beats plain MCS past the NUMA level
+  EXPECT_GT(hmcs4, hmcs2 * 1.2);  // cache-group + core levels add a further jump
+}
+
+TEST_F(PaperShapes, Fig2_McsPeaksThenCollapsesWithContention) {
+  auto h1 = topo::Hierarchy::Select(x86_.topology, {"system"});
+  double at8 = Throughput(x86_, "mcs", h1, 8);
+  double at95 = Throughput(x86_, "mcs", h1, 95);
+  EXPECT_GT(at8, at95 * 1.3);  // FIFO across sockets bleeds locality
+}
+
+TEST_F(PaperShapes, Fig4_CnaBeatsMcsOnlyPastTheNumaLevel) {
+  auto h1 = topo::Hierarchy::Select(arm_.topology, {"system"});
+  auto h2 = topo::Hierarchy::Select(arm_.topology, {"numa", "system"});
+  // Below one NUMA node (<=32 threads) CNA buys nothing...
+  EXPECT_LT(Throughput(arm_, "cna", h2, 16), Throughput(arm_, "mcs", h1, 16) * 1.1);
+  // ...but at full contention its NUMA-local handovers win clearly.
+  EXPECT_GT(Throughput(arm_, "cna", h2, 127), Throughput(arm_, "mcs", h1, 127) * 1.25);
+}
+
+TEST_F(PaperShapes, Fig4_FullHierarchyBeatsTwoLevelAwareness) {
+  auto h2 = topo::Hierarchy::Select(arm_.topology, {"numa", "system"});
+  auto h4 = topo::Hierarchy::Select(arm_.topology, {"cache", "numa", "package", "system"});
+  // HMCS<4> and CLoF<4> exploit cache groups that CNA/ShflLock cannot see (up to 2x in
+  // the paper; the simulator reproduces a clear gap).
+  EXPECT_GT(Throughput(arm_, "hmcs", h4, 127), Throughput(arm_, "cna", h2, 127) * 1.15);
+  EXPECT_GT(Throughput(arm_, "tkt-clh-tkt-tkt", h4, 127), Throughput(arm_, "cna", h2, 127) * 1.1);
+}
+
+TEST_F(PaperShapes, Fig3_TicketWinsTwoThreadSystemCohortButLosesNumaCohort) {
+  auto h1 = topo::Hierarchy::Select(arm_.topology, {"system"});
+  // System cohort: one thread per package (2 threads) — Ticketlock competitive
+  // (within a whisker of the queue locks; the paper shows a small margin).
+  harness::BenchConfig config;
+  config.machine = &arm_;
+  config.hierarchy = h1;
+  config.registry = &SimRegistry(false);
+  config.profile = workload::Profile::LevelDbReadRandom();
+  config.duration_ms = 0.4;
+  config.num_threads = 2;
+  config.cpu_assignment = {0, 64};
+  config.lock_name = "tkt";
+  double tkt_sys = harness::RunLockBench(config).throughput_per_us;
+  config.lock_name = "mcs";
+  double mcs_sys = harness::RunLockBench(config).throughput_per_us;
+  EXPECT_GT(tkt_sys, mcs_sys * 0.95);
+
+  // NUMA cohort: one thread per cache group (8 threads) — global spinning collapses.
+  config.num_threads = 8;
+  config.cpu_assignment = {0, 4, 8, 12, 16, 20, 24, 28};
+  config.lock_name = "tkt";
+  double tkt_numa = harness::RunLockBench(config).throughput_per_us;
+  config.lock_name = "clh";
+  double clh_numa = harness::RunLockBench(config).throughput_per_us;
+  EXPECT_LT(tkt_numa, clh_numa * 0.75);
+}
+
+TEST_F(PaperShapes, Fig3_HemlockCtrCollapsesOnArmOnly) {
+  auto run = [&](const sim::Machine& machine, const Registry& registry) {
+    harness::BenchConfig config;
+    config.machine = &machine;
+    config.hierarchy = topo::Hierarchy::Select(machine.topology, {"system"});
+    config.lock_name = "hem";
+    config.registry = &registry;
+    config.profile = workload::Profile::LevelDbReadRandom();
+    config.num_threads = 8;
+    for (int i = 0; i < 8; ++i) {
+      config.cpu_assignment.push_back(i * (machine.topology.num_cpus() / 8));
+    }
+    config.duration_ms = 0.4;
+    return harness::RunLockBench(config).throughput_per_us;
+  };
+  double arm_plain = run(arm_, SimRegistry(false));
+  double arm_ctr = run(arm_, SimRegistry(true));
+  EXPECT_LT(arm_ctr, arm_plain * 0.3);  // collapse on Armv8 (Figure 3)
+  double x86_plain = run(x86_, SimRegistry(false));
+  double x86_ctr = run(x86_, SimRegistry(true));
+  EXPECT_GT(x86_ctr, x86_plain * 0.95);  // neutral-to-better on x86
+}
+
+TEST_F(PaperShapes, Fig9_TicketAtTheNumaLevelPoisonsAnyComposition) {
+  // §5.2.2: "if we replace the NUMA level of any CLoF lock with Ticketlock, the
+  // performance dramatically drops at 32 threads" (the worst locks all have tkt@numa).
+  auto h4 = topo::Hierarchy::Select(arm_.topology, {"cache", "numa", "package", "system"});
+  // 32 threads = one per cache group: every critical section crosses the NUMA level,
+  // which is where the paper reports the drop.
+  double good = Throughput(arm_, "clh-clh-clh-clh", h4, 32);
+  double poisoned = Throughput(arm_, "clh-tkt-clh-clh", h4, 32);
+  // Direction reproduces robustly; the magnitude is compressed by the critical
+  // section's data-migration cost, which the simulator weights heavily (the raw
+  // per-cohort collapse is asserted at full strength in the Fig3 test above).
+  EXPECT_LT(poisoned, good * 0.95);
+}
+
+TEST_F(PaperShapes, Fig10_CrossPlatformLocksDeteriorate) {
+  // §5.3.1: a lock selected for one platform loses on the other. The x86 LC-best
+  // (tkt-tkt-mcs-mcs) must not beat the Arm LC-best on the Arm machine.
+  auto h4 = topo::Hierarchy::Select(arm_.topology, {"cache", "numa", "package", "system"});
+  double arm_best = Throughput(arm_, "tkt-clh-tkt-tkt", h4, 127);
+  double x86_lock_on_arm = Throughput(arm_, "tkt-tkt-mcs-mcs", h4, 127);
+  EXPECT_LE(x86_lock_on_arm, arm_best * 1.05);
+}
+
+TEST_F(PaperShapes, Fig10_KyotoIsTenfoldSlowerButAgreesOnWinners) {
+  auto h2 = topo::Hierarchy::Select(arm_.topology, {"numa", "system"});
+  auto h4 = topo::Hierarchy::Select(arm_.topology, {"cache", "numa", "package", "system"});
+  harness::BenchConfig config;
+  config.machine = &arm_;
+  config.hierarchy = h4;
+  config.lock_name = "tkt-clh-tkt-tkt";
+  config.registry = &SimRegistry(false);
+  config.profile = workload::Profile::KyotoMix();
+  config.num_threads = 127;
+  config.duration_ms = 5.0;
+  double clof_kyoto = harness::RunLockBench(config).throughput_per_us;
+  config.lock_name = "cna";
+  config.hierarchy = h2;
+  double cna_kyoto = harness::RunLockBench(config).throughput_per_us;
+  EXPECT_LT(clof_kyoto, 0.3);  // ~10x below the LevelDB numbers (absolute scale)
+  EXPECT_GT(clof_kyoto, cna_kyoto);  // and the LevelDB winner still wins
+}
+
+TEST_F(PaperShapes, S523_ClofFairnessMatchesHmcs) {
+  auto h4 = topo::Hierarchy::Select(arm_.topology, {"cache", "numa", "package", "system"});
+  harness::BenchConfig config;
+  config.machine = &arm_;
+  config.hierarchy = h4;
+  config.registry = &SimRegistry(false);
+  config.profile = workload::Profile::LevelDbReadRandom();
+  config.num_threads = 64;
+  config.duration_ms = 1.0;
+  config.lock_name = "tkt-clh-tkt-tkt";
+  double clof = harness::RunLockBench(config).fairness_index;
+  config.lock_name = "hmcs";
+  double hmcs = harness::RunLockBench(config).fairness_index;
+  EXPECT_NEAR(clof, hmcs, 0.1);  // same keep_local strategy => same fairness profile
+  EXPECT_GT(clof, 0.8);
+}
+
+}  // namespace
+}  // namespace clof

@@ -1,0 +1,144 @@
+// The §4.3 pre-selection heuristic and the §6 fast-path extension.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "src/clof/fast_path.h"
+#include "src/locks/mcs.h"
+#include "src/locks/ticket.h"
+#include "src/mck/check_lock.h"
+#include "src/mck/mck_memory.h"
+#include "src/mem/sim_memory.h"
+#include "src/select/preselect.h"
+#include "tests/sim_test_util.h"
+
+namespace clof {
+namespace {
+
+TEST(PreselectTest, SurvivorsAndCombinationShapes) {
+  auto machine = sim::Machine::PaperArm();
+  select::PreselectConfig config;
+  config.machine = &machine;
+  config.hierarchy =
+      topo::Hierarchy::Select(machine.topology, {"cache", "numa", "system"});
+  config.top_k = 2;
+  config.duration_ms = 0.2;
+  auto result = select::PreselectLocks(config);
+  ASSERT_EQ(result.survivors.size(), 3u);
+  for (const auto& level : result.survivors) {
+    EXPECT_EQ(level.size(), 2u);
+  }
+  EXPECT_EQ(result.combinations.size(), 8u);  // top_k^M = 2^3
+  // Every combination is a registered 3-level lock.
+  const Registry& registry = SimRegistry(false);
+  for (const auto& name : result.combinations) {
+    EXPECT_TRUE(registry.Contains(name)) << name;
+  }
+  // Scores are sorted best-first per level.
+  for (const auto& scores : result.scores) {
+    EXPECT_GE(scores[0], scores[1]);
+  }
+}
+
+TEST(PreselectTest, TicketDoesNotSurviveTheNumaLevel) {
+  // Figure 3 / §5.2.2: Ticketlock yields roughly half the throughput of the queue locks
+  // on a contended NUMA cohort, so the heuristic must prune it there.
+  auto machine = sim::Machine::PaperArm();
+  select::PreselectConfig config;
+  config.machine = &machine;
+  config.hierarchy =
+      topo::Hierarchy::Select(machine.topology, {"cache", "numa", "system"});
+  config.top_k = 2;
+  config.duration_ms = 0.3;
+  auto result = select::PreselectLocks(config);
+  const auto& numa_survivors = result.survivors[1];
+  EXPECT_EQ(std::count(numa_survivors.begin(), numa_survivors.end(), "tkt"), 0)
+      << numa_survivors[0] << "," << numa_survivors[1];
+}
+
+TEST(PreselectTest, Validation) {
+  auto machine = sim::Machine::PaperArm();
+  select::PreselectConfig config;
+  config.machine = &machine;
+  config.hierarchy = topo::Hierarchy::Select(machine.topology, {"numa", "system"});
+  config.top_k = 9;
+  EXPECT_THROW(select::PreselectLocks(config), std::invalid_argument);
+  config.top_k = 2;
+  config.machine = nullptr;
+  EXPECT_THROW(select::PreselectLocks(config), std::invalid_argument);
+}
+
+using M = mem::SimMemory;
+
+TEST(FastPathTest, MutualExclusionUnderContention) {
+  auto machine = sim::Machine::PaperArm();
+  auto h = topo::Hierarchy::Select(machine.topology, {"numa", "system"});
+  FastPathClof<M, Compose<M, locks::TicketLock<M>, locks::McsLock<M>>> lock(h, 0, {});
+  testutil::RunSimMutexTest(machine, lock, 12, 25, [](int t) { return t * 10; });
+}
+
+TEST(FastPathTest, SingleThreadUsesOneCas) {
+  auto machine = sim::Machine::PaperArm();
+  auto h = topo::Hierarchy::Select(machine.topology, {"numa", "system"});
+  using FastTree = FastPathClof<M, Compose<M, locks::McsLock<M>, locks::McsLock<M>>>;
+  using PlainTree = Compose<M, locks::McsLock<M>, locks::McsLock<M>>;
+  FastTree fast(h, 0, {});
+  PlainTree plain(h, 0, {});
+  auto fast_time = testutil::RunSimMutexTest(machine, fast, 1, 100)[0];
+  auto plain_time = testutil::RunSimMutexTest(machine, plain, 1, 100)[0];
+  EXPECT_LT(fast_time, plain_time);  // fast path skips the whole hierarchy
+}
+
+TEST(FastPathTest, NameAndFairnessFlags) {
+  using FastTree =
+      FastPathClof<M, Compose<M, locks::TicketLock<M>, locks::TicketLock<M>>>;
+  EXPECT_EQ(FastTree::Name(), "fp-tkt-tkt");
+  EXPECT_FALSE(FastTree::kIsFair);
+  EXPECT_EQ(FastTree::kLevels, 2);
+}
+
+TEST(FastPathTest, RegisteredVariantsWork) {
+  auto machine = sim::Machine::PaperArm();
+  auto h4 =
+      topo::Hierarchy::Select(machine.topology, {"cache", "numa", "package", "system"});
+  const Registry& registry = SimRegistry(false);
+  auto lock = registry.Make("fp-tkt-clh-tkt-tkt", h4);
+  EXPECT_FALSE(lock->is_fair());
+  sim::Engine engine(machine.topology, machine.platform);
+  long total = 0;
+  for (int t = 0; t < 6; ++t) {
+    engine.Spawn(t * 20, [&] {
+      auto ctx = lock->MakeContext();
+      for (int i = 0; i < 20; ++i) {
+        Lock::Guard guard(*lock, *ctx);
+        ++total;
+      }
+    });
+  }
+  engine.Run();
+  EXPECT_EQ(total, 120);
+}
+
+TEST(FastPathTest, ModelCheckedMutualExclusion) {
+  using Mck = mck::MckMemory;
+  static topo::Topology topology = topo::Topology::FromSpec("tiny:4;cohort=2");
+  static topo::Hierarchy hierarchy =
+      topo::Hierarchy::Select(topology, {"cohort", "system"});
+  using FastTree =
+      FastPathClof<Mck, Compose<Mck, locks::TicketLock<Mck>, locks::TicketLock<Mck>>>;
+  mck::CheckConfig config;
+  config.threads = 3;
+  config.acquisitions = 1;
+  config.cpus = {0, 1, 2};
+  auto stats = mck::CheckLock<FastTree>(config, [] {
+    ClofParams params;
+    params.keep_local_threshold = 2;
+    return std::make_shared<FastTree>(hierarchy, 0, params);
+  });
+  EXPECT_FALSE(stats.result.violation_found) << stats.result.violation;
+  EXPECT_TRUE(stats.result.exhausted);
+}
+
+}  // namespace
+}  // namespace clof

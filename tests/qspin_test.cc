@@ -1,0 +1,106 @@
+// QSpinLock (the Linux-qspinlock-style lock of §4.2.3): simulator mutex tests, native
+// stress, model checking at 3 threads (mirroring the paper's VSync result), and
+// composition into a CLoF hierarchy.
+#include "src/locks/qspin.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "src/clof/clof_tree.h"
+#include "src/locks/ticket.h"
+#include "src/mck/check_lock.h"
+#include "src/mck/mck_memory.h"
+#include "src/mem/native.h"
+#include "src/mem/sim_memory.h"
+#include "tests/sim_test_util.h"
+
+namespace clof::locks {
+namespace {
+
+using Sim = mem::SimMemory;
+using Native = mem::NativeMemory;
+using Mck = mck::MckMemory;
+
+TEST(QSpinLockTest, SimMutexTwoThreads) {
+  auto machine = sim::Machine::PaperArm();
+  QSpinLock<Sim> lock;
+  testutil::RunSimMutexTest(machine, lock, 2, 50);
+}
+
+TEST(QSpinLockTest, SimMutexManyThreadsAcrossNuma) {
+  auto machine = sim::Machine::PaperArm();
+  QSpinLock<Sim> lock;
+  testutil::RunSimMutexTest(machine, lock, 16, 25, [](int t) { return t * 8 % 128; });
+}
+
+TEST(QSpinLockTest, SimSingleThreadFastPath) {
+  auto machine = sim::Machine::PaperArm();
+  QSpinLock<Sim> lock;
+  testutil::RunSimMutexTest(machine, lock, 1, 200);
+}
+
+TEST(QSpinLockTest, PendingSlotExercised) {
+  // Exactly two contenders: the second should take the pending slot, never the queue.
+  auto machine = sim::Machine::PaperArm();
+  QSpinLock<Sim> lock;
+  testutil::RunSimMutexTest(machine, lock, 2, 100, [](int t) { return t * 64; });
+}
+
+TEST(QSpinLockTest, NativeCounter) {
+  QSpinLock<Native> lock;
+  long counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      mem::NativeMemory::ScopedCpu cpu(t);
+      QSpinLock<Native>::Context ctx;
+      for (int i = 0; i < 3000; ++i) {
+        lock.Acquire(ctx);
+        ++counter;
+        lock.Release(ctx);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter, 12000);
+}
+
+TEST(QSpinLockTest, ModelCheckedWithTwoThreads) {
+  mck::CheckConfig config;
+  config.threads = 2;
+  config.acquisitions = 2;
+  auto stats = mck::CheckLock<QSpinLock<Mck>>(
+      config, [] { return std::make_shared<QSpinLock<Mck>>(); });
+  EXPECT_FALSE(stats.result.violation_found) << stats.result.violation;
+  EXPECT_TRUE(stats.result.exhausted);
+}
+
+TEST(QSpinLockTest, ModelCheckedWithThreeThreads) {
+  // The paper (§4.2.3): the 10 NUMA-oblivious spinlocks of VSync, "including the
+  // complex Linux qspinlock, require 3 threads".
+  mck::CheckConfig config;
+  config.threads = 3;
+  config.acquisitions = 1;
+  config.options.max_executions = 4'000'000;
+  auto stats = mck::CheckLock<QSpinLock<Mck>>(
+      config, [] { return std::make_shared<QSpinLock<Mck>>(); });
+  EXPECT_FALSE(stats.result.violation_found) << stats.result.violation;
+}
+
+TEST(QSpinLockTest, ComposableIntoClofHierarchy) {
+  // Black-box composability (§4.1.3): a lock outside the default basic set drops in.
+  auto machine = sim::Machine::PaperArm();
+  auto h = topo::Hierarchy::Select(machine.topology, {"numa", "system"});
+  using Tree = Compose<Sim, QSpinLock<Sim>, TicketLock<Sim>>;
+  EXPECT_EQ(Tree::Name(), "qspin-tkt");
+  EXPECT_FALSE(Tree::kIsFair);  // qspin's barging fast path poisons fairness
+  Tree tree(h, 0, {});
+  testutil::RunSimMutexTest(machine, tree, 12, 20, [](int t) { return t * 10; });
+}
+
+}  // namespace
+}  // namespace clof::locks

@@ -1,0 +1,111 @@
+// The exhaustive lock registry: N^M enumeration, naming, factories, and a smoke run of
+// every depth-3 lock (the depth-4 sweep is exercised by bench/fig9_sweep).
+#include "src/clof/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "src/mem/sim_memory.h"
+#include "src/sim/engine.h"
+#include "tests/sim_test_util.h"
+
+namespace clof {
+namespace {
+
+TEST(RegistryTest, EnumerationCounts) {
+  const Registry& reg = SimRegistry(true);
+  // 4 + 16 + 64 + 256 generated CLoF locks...
+  EXPECT_EQ(reg.Names(1).size(), 4u);
+  EXPECT_EQ(reg.Names(2).size(), 16u);
+  EXPECT_EQ(reg.Names(3).size(), 64u);
+  EXPECT_EQ(reg.Names(4).size(), 256u + 2u);  // + two 4-level fast-path variants
+  // ... plus the baselines (hmcs, cna, shfl, c-bo-mcs, c-tkt-tkt, ttas, bo) and the
+  // three fast-path variants (fp-*, §6 extension).
+  EXPECT_EQ(reg.size(), 340 + 7 + 3);
+}
+
+TEST(RegistryTest, PaperNotationNames) {
+  const Registry& reg = SimRegistry(true);
+  EXPECT_TRUE(reg.Contains("tkt"));
+  EXPECT_TRUE(reg.Contains("hem-hem-mcs-clh"));   // x86 HC-best (Fig. 9a)
+  EXPECT_TRUE(reg.Contains("tkt-tkt-mcs-mcs"));   // x86 LC-best
+  EXPECT_TRUE(reg.Contains("tkt-clh-clh-clh"));   // Arm HC-best (Fig. 9b)
+  EXPECT_TRUE(reg.Contains("tkt-clh-tkt"));       // Arm 3-level best (Fig. 9d)
+  EXPECT_TRUE(reg.Contains("hmcs"));
+  EXPECT_TRUE(reg.Contains("cna"));
+  EXPECT_TRUE(reg.Contains("shfl"));
+  EXPECT_FALSE(reg.Contains("nope"));
+}
+
+TEST(RegistryTest, MakeValidatesDepth) {
+  const Registry& reg = SimRegistry(true);
+  auto topology = topo::Topology::PaperArm();
+  auto h3 = topo::Hierarchy::Select(topology, {"cache", "numa", "system"});
+  EXPECT_THROW((void)reg.Make("tkt-clh-tkt-tkt", h3), std::invalid_argument);
+  EXPECT_THROW((void)reg.Make("unknown-lock", h3), std::invalid_argument);
+  auto lock = reg.Make("tkt-clh-tkt", h3);
+  EXPECT_EQ(lock->name(), "tkt-clh-tkt");
+  EXPECT_EQ(lock->levels(), 3);
+  EXPECT_TRUE(lock->is_fair());
+}
+
+TEST(RegistryTest, DepthAdaptiveBaselines) {
+  const Registry& reg = SimRegistry(false);
+  auto topology = topo::Topology::PaperArm();
+  for (auto names : {std::vector<std::string>{"numa", "system"},
+                     std::vector<std::string>{"cache", "numa", "package", "system"}}) {
+    auto h = topo::Hierarchy::Select(topology, names);
+    auto hmcs = reg.Make("hmcs", h);
+    EXPECT_EQ(hmcs->levels(), h.depth());
+    EXPECT_NO_THROW((void)reg.Make("cna", h));
+    EXPECT_NO_THROW((void)reg.Make("shfl", h));
+    EXPECT_NO_THROW((void)reg.Make("c-bo-mcs", h));
+  }
+}
+
+TEST(RegistryTest, CtrRegistriesDiffer) {
+  // Same names in both registries; only the Hemlock flavour differs (a behavioural
+  // check lives in bench/ablation_ctr; here we check the structural invariant).
+  const Registry& x86 = SimRegistry(true);
+  const Registry& arm = SimRegistry(false);
+  EXPECT_EQ(x86.Names(4), arm.Names(4));
+}
+
+TEST(RegistryTest, EveryDepth3LockRunsAndIsMutuallyExclusive) {
+  const Registry& reg = SimRegistry(false);
+  auto machine = sim::Machine::PaperArm();
+  auto h = topo::Hierarchy::Select(machine.topology, {"cache", "numa", "system"});
+  for (const auto& name : reg.Names(3)) {
+    SCOPED_TRACE(name);
+    auto lock = reg.Make(name, h);
+    sim::Engine engine(machine.topology, machine.platform);
+    int in_cs = 0;
+    bool violation = false;
+    long total = 0;
+    for (int t = 0; t < 6; ++t) {
+      engine.Spawn(t * 20, [&] {
+        auto ctx = lock->MakeContext();
+        for (int i = 0; i < 10; ++i) {
+          Lock::Guard guard(*lock, *ctx);
+          violation = violation || ++in_cs != 1;
+          sim::Engine::Current().Work(5.0);
+          --in_cs;
+          ++total;
+        }
+      });
+    }
+    engine.Run();
+    EXPECT_FALSE(violation);
+    EXPECT_EQ(total, 60);
+  }
+}
+
+TEST(RegistryTest, NativeRegistryHasFeaturedLocks) {
+  const Registry& reg = NativeRegistry(true);
+  EXPECT_EQ(reg.Names(3).size(), 64u);
+  EXPECT_TRUE(reg.Contains("hem-hem-mcs-clh"));
+  EXPECT_TRUE(reg.Contains("tkt-clh-tkt-tkt"));
+  EXPECT_TRUE(reg.Contains("hmcs"));
+}
+
+}  // namespace
+}  // namespace clof

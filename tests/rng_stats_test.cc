@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/runtime/rng.h"
+#include "src/runtime/stats.h"
+
+namespace clof::runtime {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a.Next() == b.Next() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  double min = 1.0;
+  double max = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  EXPECT_LT(min, 0.1);  // covers the range
+  EXPECT_GT(max, 0.9);
+}
+
+TEST(StatsTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({5.0}), 5.0);
+}
+
+TEST(StatsTest, MeanAndStdDev) {
+  std::vector<double> values{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(values), 5.0);
+  EXPECT_NEAR(StdDev(values), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(StdDev({1.0}), 0.0);
+}
+
+TEST(StatsTest, MinMax) {
+  std::vector<double> values{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(Min(values), -1.0);
+  EXPECT_DOUBLE_EQ(Max(values), 7.0);
+}
+
+TEST(StatsTest, JainFairnessIndex) {
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({5.0, 5.0, 5.0}), 1.0);
+  // One thread hogging everything with n threads gives 1/n.
+  EXPECT_NEAR(JainFairnessIndex({10.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({}), 1.0);
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({0.0, 0.0}), 1.0);
+}
+
+}  // namespace
+}  // namespace clof::runtime

@@ -1,0 +1,61 @@
+#include "src/select/selection.h"
+
+#include <gtest/gtest.h>
+
+namespace clof::select {
+namespace {
+
+const std::vector<int> kThreads{1, 8, 64};
+
+TEST(SelectionTest, ScoreWeighting) {
+  // Curve great at low contention, poor at high.
+  LockCurve low_lover{"low", {10.0, 5.0, 1.0}};
+  // Curve poor at low contention, great at high.
+  LockCurve high_lover{"high", {1.0, 5.0, 10.0}};
+  EXPECT_GT(Score(high_lover, kThreads, Policy::kHighContention),
+            Score(low_lover, kThreads, Policy::kHighContention));
+  EXPECT_GT(Score(low_lover, kThreads, Policy::kLowContention),
+            Score(high_lover, kThreads, Policy::kLowContention));
+}
+
+TEST(SelectionTest, ScoreIsWeightedAverage) {
+  LockCurve flat{"flat", {3.0, 3.0, 3.0}};
+  EXPECT_DOUBLE_EQ(Score(flat, kThreads, Policy::kHighContention), 3.0);
+  EXPECT_DOUBLE_EQ(Score(flat, kThreads, Policy::kLowContention), 3.0);
+}
+
+TEST(SelectionTest, ScoreValidatesShape) {
+  LockCurve bad{"bad", {1.0, 2.0}};
+  EXPECT_THROW(Score(bad, kThreads, Policy::kHighContention), std::invalid_argument);
+}
+
+TEST(SelectionTest, SelectBestFindsHcLcAndWorst) {
+  std::vector<LockCurve> curves{
+      {"low", {10.0, 5.0, 1.0}},
+      {"high", {1.0, 5.0, 10.0}},
+      {"balanced", {6.0, 6.0, 6.0}},
+      {"bad", {0.5, 0.5, 0.5}},
+  };
+  auto result = SelectBest(curves, kThreads);
+  EXPECT_EQ(result.hc_best, "high");
+  EXPECT_EQ(result.lc_best, "low");
+  EXPECT_EQ(result.worst, "bad");
+  EXPECT_GT(result.hc_best_score, result.worst_score);
+}
+
+TEST(SelectionTest, RankIsSortedDescending) {
+  std::vector<LockCurve> curves{
+      {"a", {1.0, 1.0, 1.0}}, {"b", {2.0, 2.0, 2.0}}, {"c", {3.0, 3.0, 3.0}}};
+  auto ranked = Rank(curves, kThreads, Policy::kHighContention);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].first, "c");
+  EXPECT_EQ(ranked[1].first, "b");
+  EXPECT_EQ(ranked[2].first, "a");
+}
+
+TEST(SelectionTest, SelectBestEmptyThrows) {
+  EXPECT_THROW(SelectBest({}, kThreads), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace clof::select

@@ -1,0 +1,232 @@
+#include "src/sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/mem/sim_memory.h"
+#include "src/topo/topology.h"
+
+namespace clof::sim {
+namespace {
+
+using AtomicU64 = mem::SimMemory::Atomic<uint64_t>;
+
+struct alignas(64) PaddedAtomic {
+  AtomicU64 value{0};
+};
+
+Machine X86() { return Machine::PaperX86(); }
+
+TEST(SimEngineTest, LocalHitsAreCheap) {
+  Machine m = X86();
+  Engine engine(m.topology, m.platform);
+  auto a = std::make_unique<PaddedAtomic>();
+  double first_ns = 0.0;
+  double second_ns = 0.0;
+  engine.Spawn(0, [&] {
+    a->value.Store(1);
+    first_ns = Engine::Current().NowNs();
+    (void)a->value.Load();
+    second_ns = Engine::Current().NowNs();
+  });
+  engine.Run();
+  EXPECT_NEAR(first_ns, m.platform.cold_miss_ns, 1e-9);  // cold line
+  EXPECT_NEAR(second_ns - first_ns, m.platform.l1_hit_ns, 1e-9);
+}
+
+TEST(SimEngineTest, RemoteTransferPaysSharingLevelLatency) {
+  Machine m = X86();
+  // CPUs 0 and 3: different cache group, same NUMA node -> "numa" latency.
+  Engine engine(m.topology, m.platform);
+  auto a = std::make_unique<PaddedAtomic>();
+  double writer_done = 0.0;
+  double reader_cost = 0.0;
+  engine.Spawn(0, [&] {
+    a->value.Store(7);
+    writer_done = Engine::Current().NowNs();
+  });
+  engine.Spawn(3, [&] {
+    // Wait (in virtual time) for the writer by spinning on the value.
+    mem::SimMemory::SpinUntil(a->value, [](uint64_t v) { return v == 7; });
+    double before = Engine::Current().NowNs();
+    // The spin's last load made us a sharer; the next load hits.
+    (void)a->value.Load();
+    reader_cost = Engine::Current().NowNs() - before;
+  });
+  engine.Run();
+  EXPECT_GT(writer_done, 0.0);
+  EXPECT_NEAR(reader_cost, m.platform.l1_hit_ns, 1e-9);
+}
+
+TEST(SimEngineTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Machine m = X86();
+    Engine engine(m.topology, m.platform);
+    auto a = std::make_unique<PaddedAtomic>();
+    std::vector<uint64_t> log;
+    for (int t = 0; t < 4; ++t) {
+      engine.Spawn(t * 7, [&, t] {
+        for (int i = 0; i < 10; ++i) {
+          uint64_t old = a->value.FetchAdd(1);
+          log.push_back(old * 100 + t);
+        }
+      });
+    }
+    engine.Run();
+    return log;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SimEngineTest, SpinWaitWakesOnWrite) {
+  Machine m = X86();
+  Engine engine(m.topology, m.platform);
+  auto flag = std::make_unique<PaddedAtomic>();
+  bool woke = false;
+  engine.Spawn(0, [&] {
+    Engine::Current().Work(500.0);
+    flag->value.Store(1);
+  });
+  engine.Spawn(10, [&] {
+    mem::SimMemory::SpinUntil(flag->value, [](uint64_t v) { return v == 1; });
+    woke = true;
+    // Waker finished its 500ns of work before the store; we observe at least that.
+    EXPECT_GE(Engine::Current().NowNs(), 500.0);
+  });
+  engine.Run();
+  EXPECT_TRUE(woke);
+}
+
+TEST(SimEngineTest, DeadlockDetected) {
+  Machine m = X86();
+  Engine engine(m.topology, m.platform);
+  auto flag = std::make_unique<PaddedAtomic>();
+  engine.Spawn(0, [&] {
+    mem::SimMemory::SpinUntil(flag->value, [](uint64_t v) { return v == 1; });  // never
+  });
+  EXPECT_THROW(engine.Run(), SimDeadlockError);
+}
+
+TEST(SimEngineTest, RefetchStormSerializesOnLinePort) {
+  // K spinners on one line: after the write wakes them, their refetches queue on the
+  // line's transfer port, so the last one finishes much later than the first.
+  Machine m = X86();
+  Engine engine(m.topology, m.platform);
+  auto flag = std::make_unique<PaddedAtomic>();
+  std::vector<double> wake_times;
+  constexpr int kSpinners = 12;
+  wake_times.resize(kSpinners, 0.0);
+  for (int i = 0; i < kSpinners; ++i) {
+    engine.Spawn(i * 2 + 1, [&, i] {
+      mem::SimMemory::SpinUntil(flag->value, [](uint64_t v) { return v == 1; });
+      wake_times[i] = Engine::Current().NowNs();
+    });
+  }
+  engine.Spawn(0, [&] {
+    Engine::Current().Work(1000.0);
+    flag->value.Store(1);
+  });
+  engine.Run();
+  double min_wake = *std::min_element(wake_times.begin(), wake_times.end());
+  double max_wake = *std::max_element(wake_times.begin(), wake_times.end());
+  // The spread must be at least (K-1) port-occupancy slots of the cheapest transfer.
+  double min_slot = m.platform.level_latency_ns[1] * m.platform.port_occupancy;
+  EXPECT_GT(max_wake - min_wake, (kSpinners - 1) * min_slot * 0.9);
+}
+
+TEST(SimEngineTest, ArmScRetryPenaltyAppliesToCmpXchgUnderRmwSpinners) {
+  Machine arm = Machine::PaperArm();
+  // Baseline: cmpxchg with a plain-load spinner.
+  auto run = [&](bool rmw_spinner) {
+    Engine engine(arm.topology, arm.platform);
+    auto grant = std::make_unique<PaddedAtomic>();
+    double cas_cost = -1.0;
+    engine.Spawn(0, [&] {
+      auto& eng = Engine::Current();
+      eng.Work(2000.0);  // let the spinner park first
+      double before = eng.NowNs();
+      uint64_t expected = 0;
+      grant->value.CompareExchange(expected, 1);
+      cas_cost = eng.NowNs() - before;
+    });
+    engine.Spawn(4, [&] {
+      if (rmw_spinner) {
+        mem::SimMemory::SpinUntilRmw(grant->value, [](uint64_t v) { return v == 1; });
+      } else {
+        mem::SimMemory::SpinUntil(grant->value, [](uint64_t v) { return v == 1; });
+      }
+    });
+    engine.Run();
+    return cas_cost;
+  };
+  double plain = run(false);
+  double ctr = run(true);
+  EXPECT_GT(ctr, plain + arm.platform.sc_retry_penalty_ns * 0.9);
+}
+
+TEST(SimEngineTest, FieldsOnSameCacheLineShareCoherenceState) {
+  // Two atomics inside one aligned struct: writing one invalidates readers of the other
+  // (false sharing), whereas padded atomics do not interact.
+  struct alignas(64) TwoOnOneLine {
+    AtomicU64 a{0};
+    AtomicU64 b{0};
+  };
+  Machine m = X86();
+  Engine engine(m.topology, m.platform);
+  auto shared = std::make_unique<TwoOnOneLine>();
+  double reload_cost = 0.0;
+  engine.Spawn(0, [&] {
+    (void)shared->b.Load();  // cache the line
+    Engine::Current().Work(1000.0);
+    double before = Engine::Current().NowNs();
+    (void)shared->b.Load();  // invalidated by CPU 40's write to `a`
+    reload_cost = Engine::Current().NowNs() - before;
+  });
+  engine.Spawn(40, [&] {
+    Engine::Current().Work(500.0);
+    shared->a.Store(1);
+  });
+  engine.Run();
+  EXPECT_GT(reload_cost, m.platform.l1_hit_ns * 2);
+}
+
+TEST(SimEngineTest, WorkAdvancesOnlyLocalClock) {
+  Machine m = X86();
+  Engine engine(m.topology, m.platform);
+  double t0 = -1.0;
+  double t1 = -1.0;
+  engine.Spawn(0, [&] {
+    Engine::Current().Work(100.0);
+    t0 = Engine::Current().NowNs();
+  });
+  engine.Spawn(1, [&] {
+    Engine::Current().Work(300.0);
+    t1 = Engine::Current().NowNs();
+  });
+  engine.Run();
+  EXPECT_NEAR(t0, 100.0, 1e-9);
+  EXPECT_NEAR(t1, 300.0, 1e-9);
+}
+
+TEST(SimEngineTest, SpawnValidation) {
+  Machine m = X86();
+  Engine engine(m.topology, m.platform);
+  EXPECT_THROW(engine.Spawn(-1, [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.Spawn(96, [] {}), std::invalid_argument);
+}
+
+TEST(SimEngineTest, AtomicsOutsideSimulationArePlain) {
+  AtomicU64 a{5};
+  EXPECT_EQ(a.Load(), 5u);
+  a.Store(6);
+  EXPECT_EQ(a.Exchange(7), 6u);
+  uint64_t expected = 7;
+  EXPECT_TRUE(a.CompareExchange(expected, 8));
+  EXPECT_EQ(a.FetchAdd(2), 8u);
+  EXPECT_EQ(a.RmwRead(), 10u);
+}
+
+}  // namespace
+}  // namespace clof::sim

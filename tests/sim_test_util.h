@@ -1,0 +1,59 @@
+// Shared helpers for simulator-based lock tests.
+#ifndef CLOF_TESTS_SIM_TEST_UTIL_H_
+#define CLOF_TESTS_SIM_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "src/mem/sim_memory.h"
+#include "src/sim/engine.h"
+#include "src/topo/topology.h"
+
+namespace clof::testutil {
+
+// Runs `threads` simulated threads on the machine, each performing `iterations`
+// critical sections on `lock` (any Context/Acquire/Release lock over SimMemory).
+// Verifies mutual exclusion with an in-CS flag and returns per-thread completion times.
+//
+// `cpu_of(t)`: virtual CPU of thread t (default: identity).
+template <class L>
+std::vector<double> RunSimMutexTest(const sim::Machine& machine, L& lock, int threads,
+                                    int iterations,
+                                    const std::function<int(int)>& cpu_of = nullptr) {
+  sim::Engine engine(machine.topology, machine.platform);
+  struct Shared {
+    int in_cs = 0;        // host-side: engine is single-threaded, so plain int is exact
+    long total = 0;
+    bool violation = false;
+  } shared;
+  std::vector<double> finish_times(threads, 0.0);
+  for (int t = 0; t < threads; ++t) {
+    int cpu = cpu_of ? cpu_of(t) : t;
+    engine.Spawn(cpu, [&, t] {
+      typename L::Context ctx;
+      for (int i = 0; i < iterations; ++i) {
+        lock.Acquire(ctx);
+        if (++shared.in_cs != 1) {
+          shared.violation = true;
+        }
+        ++shared.total;
+        // A visible access inside the CS so overlapping critical sections would
+        // actually interleave in virtual time.
+        sim::Engine::Current().Work(5.0);
+        --shared.in_cs;
+        lock.Release(ctx);
+      }
+      finish_times[t] = sim::Engine::Current().NowNs();
+    });
+  }
+  engine.Run();
+  EXPECT_FALSE(shared.violation) << "mutual exclusion violated";
+  EXPECT_EQ(shared.total, static_cast<long>(threads) * iterations);
+  return finish_times;
+}
+
+}  // namespace clof::testutil
+
+#endif  // CLOF_TESTS_SIM_TEST_UTIL_H_

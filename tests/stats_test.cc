@@ -1,0 +1,123 @@
+// The per-level statistics API: counters must reconcile exactly with the workload
+// (acquisitions, pass/climb split, keep_local accounting) — they double as a white-box
+// probe of the lock-passing machinery.
+#include <gtest/gtest.h>
+
+#include "src/clof/clof_tree.h"
+#include "src/clof/registry.h"
+#include "src/locks/mcs.h"
+#include "src/locks/ticket.h"
+#include "src/mem/sim_memory.h"
+#include "src/sim/engine.h"
+
+namespace clof {
+namespace {
+
+using M = mem::SimMemory;
+using Tkt = locks::TicketLock<M>;
+using Mcs = locks::McsLock<M>;
+
+template <class Tree>
+std::vector<LevelStats> RunAndCollect(Tree& tree, const sim::Machine& machine,
+                                      const std::vector<int>& cpus, int iterations) {
+  sim::Engine engine(machine.topology, machine.platform);
+  for (int cpu : cpus) {
+    engine.Spawn(cpu, [&] {
+      typename Tree::Context ctx;
+      for (int i = 0; i < iterations; ++i) {
+        tree.Acquire(ctx);
+        sim::Engine::Current().Work(20.0);
+        tree.Release(ctx);
+      }
+    });
+  }
+  engine.Run();
+  return tree.Stats();
+}
+
+TEST(StatsTest, SingleThreadAllClimbs) {
+  auto machine = sim::Machine::PaperArm();
+  auto h = topo::Hierarchy::Select(machine.topology, {"numa", "system"});
+  using Tree = Compose<M, Mcs, Tkt>;
+  Tree tree(h, 0, {});
+  auto stats = RunAndCollect(tree, machine, {0}, 50);
+  ASSERT_EQ(stats.size(), 2u);
+  // Alone: every acquisition acquires both levels, every release climbs.
+  EXPECT_EQ(stats[0].acquisitions, 50u);
+  EXPECT_EQ(stats[0].inherited, 0u);
+  EXPECT_EQ(stats[0].local_passes, 0u);
+  EXPECT_EQ(stats[0].climbs, 50u);
+  EXPECT_EQ(stats[1].acquisitions, 50u);  // root sees every climb-acquisition
+}
+
+TEST(StatsTest, CountersReconcileUnderContention) {
+  auto machine = sim::Machine::PaperArm();
+  auto h = topo::Hierarchy::Select(machine.topology, {"cache", "numa", "system"});
+  using Tree = Compose<M, Tkt, Mcs, Tkt>;
+  Tree tree(h, 0, {});
+  std::vector<int> cpus{0, 1, 2, 3, 32, 33, 64, 65};  // two+ cohorts per level
+  auto stats = RunAndCollect(tree, machine, cpus, 40);
+  ASSERT_EQ(stats.size(), 3u);
+  uint64_t total = 8u * 40u;
+  // Leaf level sees every critical section; releases split exactly into pass/climb.
+  EXPECT_EQ(stats[0].acquisitions, total);
+  EXPECT_EQ(stats[0].local_passes + stats[0].climbs, total);
+  // A leaf acquisition either inherits the high chain or acquires the next level.
+  EXPECT_EQ(stats[0].inherited + stats[1].acquisitions, total);
+  // Same reconciliation one level up.
+  EXPECT_EQ(stats[1].local_passes + stats[1].climbs, stats[1].acquisitions);
+  EXPECT_EQ(stats[1].inherited + stats[2].acquisitions, stats[1].acquisitions);
+  // Contended same-cohort threads must have produced some local passes.
+  EXPECT_GT(stats[0].local_passes, 0u);
+}
+
+TEST(StatsTest, KeepLocalThresholdShapesPassRatio) {
+  auto machine = sim::Machine::PaperArm();
+  auto h = topo::Hierarchy::Select(machine.topology, {"cache", "system"});
+  using Tree = Compose<M, Mcs, Mcs>;
+  ClofParams tight;
+  tight.keep_local_threshold = 2;
+  ClofParams loose;
+  loose.keep_local_threshold = 256;
+  Tree tree_tight(h, 0, tight);
+  Tree tree_loose(h, 0, loose);
+  std::vector<int> cpus{0, 1, 2, 3, 4, 5};  // two cache cohorts contending
+  auto s_tight = RunAndCollect(tree_tight, machine, cpus, 60)[0];
+  auto s_loose = RunAndCollect(tree_loose, machine, cpus, 60)[0];
+  EXPECT_GT(s_loose.LocalPassRatio(), s_tight.LocalPassRatio());
+  // H=2 allows at most 1 pass per climb among waiters: ratio bounded near 1/2.
+  EXPECT_LE(s_tight.LocalPassRatio(), 0.55);
+}
+
+TEST(StatsTest, TypeErasedAccessThroughRegistry) {
+  auto machine = sim::Machine::PaperArm();
+  auto h = topo::Hierarchy::Select(machine.topology, {"cache", "numa", "system"});
+  auto lock = SimRegistry(false).Make("tkt-clh-tkt", h);
+  sim::Engine engine(machine.topology, machine.platform);
+  for (int t = 0; t < 4; ++t) {
+    engine.Spawn(t, [&] {
+      auto ctx = lock->MakeContext();
+      for (int i = 0; i < 25; ++i) {
+        Lock::Guard guard(*lock, *ctx);
+      }
+    });
+  }
+  engine.Run();
+  auto stats = lock->Stats();
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_EQ(stats[0].acquisitions, 100u);
+  // Baselines report no stats.
+  auto hmcs = SimRegistry(false).Make("hmcs", h);
+  EXPECT_TRUE(hmcs->Stats().empty());
+}
+
+TEST(StatsTest, LocalPassRatioHelper) {
+  LevelStats stats;
+  EXPECT_EQ(stats.LocalPassRatio(), 0.0);
+  stats.local_passes = 3;
+  stats.climbs = 1;
+  EXPECT_DOUBLE_EQ(stats.LocalPassRatio(), 0.75);
+}
+
+}  // namespace
+}  // namespace clof

@@ -1,0 +1,155 @@
+// Parameterized property sweeps across generated locks (gtest TEST_P): every lock in
+// the registry must satisfy mutual exclusion, determinism, progress under asymmetric
+// placements, and — if fair — a reasonable per-thread balance. Depth-2 locks and the
+// baselines are swept here; depth-3 is covered by registry_test and depth-4 by the
+// fig9 bench.
+#include <gtest/gtest.h>
+
+#include "src/clof/registry.h"
+#include "src/harness/lock_bench.h"
+#include "src/mem/sim_memory.h"
+#include "src/sim/engine.h"
+
+namespace clof {
+namespace {
+
+struct SweepCase {
+  std::string lock;
+  bool ctr_registry;
+};
+
+std::vector<SweepCase> AllDepth2AndBaselines() {
+  std::vector<SweepCase> cases;
+  for (const auto& name : SimRegistry(false).Names(2)) {
+    cases.push_back({name, false});
+  }
+  for (const char* name : {"hmcs", "cna", "shfl"}) {
+    cases.push_back({name, false});
+  }
+  // The CTR flavour of every hem-containing depth-2 lock.
+  for (const auto& name : SimRegistry(true).Names(2)) {
+    if (name.find("hem") != std::string::npos) {
+      cases.push_back({name, true});
+    }
+  }
+  return cases;
+}
+
+class LockPropertyTest : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  static topo::Hierarchy Hier(const topo::Topology& topology) {
+    return topo::Hierarchy::Select(topology, {"numa", "system"});
+  }
+};
+
+TEST_P(LockPropertyTest, MutualExclusionAndProgress) {
+  auto machine = sim::Machine::PaperArm();
+  auto hierarchy = Hier(machine.topology);
+  const Registry& registry = SimRegistry(GetParam().ctr_registry);
+  auto lock = registry.Make(GetParam().lock, hierarchy);
+  sim::Engine engine(machine.topology, machine.platform);
+  int in_cs = 0;
+  bool violation = false;
+  long total = 0;
+  for (int t = 0; t < 8; ++t) {
+    engine.Spawn(t * 16, [&] {
+      auto ctx = lock->MakeContext();
+      for (int i = 0; i < 15; ++i) {
+        Lock::Guard guard(*lock, *ctx);
+        violation = violation || ++in_cs != 1;
+        sim::Engine::Current().Work(10.0);
+        --in_cs;
+        ++total;
+      }
+    });
+  }
+  engine.Run();
+  EXPECT_FALSE(violation);
+  EXPECT_EQ(total, 120);
+}
+
+TEST_P(LockPropertyTest, DeterministicThroughput) {
+  auto machine = sim::Machine::PaperArm();
+  harness::BenchConfig config;
+  config.machine = &machine;
+  config.hierarchy = Hier(machine.topology);
+  config.lock_name = GetParam().lock;
+  config.registry = &SimRegistry(GetParam().ctr_registry);
+  config.profile = workload::Profile::LevelDbReadRandom();
+  config.num_threads = 12;
+  config.duration_ms = 0.1;
+  auto a = harness::RunLockBench(config);
+  auto b = harness::RunLockBench(config);
+  EXPECT_EQ(a.per_thread_ops, b.per_thread_ops);
+  EXPECT_GT(a.total_ops, 0u);
+}
+
+TEST_P(LockPropertyTest, AsymmetricPlacementMakesProgress) {
+  // 5 threads in one NUMA node, 1 in another: the lone remote thread must not starve
+  // (fair locks) and must at least complete (all locks).
+  auto machine = sim::Machine::PaperArm();
+  auto hierarchy = Hier(machine.topology);
+  const Registry& registry = SimRegistry(GetParam().ctr_registry);
+  auto lock = registry.Make(GetParam().lock, hierarchy);
+  sim::Engine engine(machine.topology, machine.platform);
+  std::vector<int> cpus{0, 1, 2, 3, 4, 96};
+  long done = 0;
+  for (int t = 0; t < 6; ++t) {
+    engine.Spawn(cpus[t], [&] {
+      auto ctx = lock->MakeContext();
+      for (int i = 0; i < 20; ++i) {
+        Lock::Guard guard(*lock, *ctx);
+        sim::Engine::Current().Work(10.0);
+        ++done;
+      }
+    });
+  }
+  engine.Run();  // a starving thread would deadlock the run (throws)
+  EXPECT_EQ(done, 120);
+}
+
+std::string CaseName(const ::testing::TestParamInfo<SweepCase>& info) {
+  std::string name = info.param.lock + (info.param.ctr_registry ? "_ctr" : "");
+  for (char& c : name) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDepth2, LockPropertyTest,
+                         ::testing::ValuesIn(AllDepth2AndBaselines()), CaseName);
+
+// Fairness across the fair depth-2 compositions: Jain index near 1 under symmetric load.
+class FairnessPropertyTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(FairnessPropertyTest, SymmetricLoadIsBalanced) {
+  auto machine = sim::Machine::PaperArm();
+  harness::BenchConfig config;
+  config.machine = &machine;
+  config.hierarchy = topo::Hierarchy::Select(machine.topology, {"numa", "system"});
+  config.lock_name = GetParam().lock;
+  config.registry = &SimRegistry(false);
+  config.profile = workload::Profile::LevelDbReadRandom();
+  config.num_threads = 16;
+  config.duration_ms = 1.0;
+  auto result = harness::RunLockBench(config);
+  EXPECT_GT(result.fairness_index, 0.8) << GetParam().lock;
+}
+
+std::vector<SweepCase> FairDepth2() {
+  std::vector<SweepCase> cases;
+  for (const auto& name : SimRegistry(false).Names(2)) {
+    cases.push_back({name, false});
+  }
+  cases.push_back({"hmcs", false});
+  cases.push_back({"cna", false});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(FairLocks, FairnessPropertyTest, ::testing::ValuesIn(FairDepth2()),
+                         CaseName);
+
+}  // namespace
+}  // namespace clof

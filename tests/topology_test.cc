@@ -1,0 +1,138 @@
+#include "src/topo/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace clof::topo {
+namespace {
+
+TEST(TopologyTest, PaperX86Shape) {
+  Topology t = Topology::PaperX86();
+  EXPECT_EQ(t.num_cpus(), 96);
+  ASSERT_EQ(t.num_levels(), 5);
+  EXPECT_EQ(t.level(0).name, "core");
+  EXPECT_EQ(t.level(0).num_cohorts, 48);
+  EXPECT_EQ(t.level(1).name, "cache");
+  EXPECT_EQ(t.level(1).num_cohorts, 16);
+  EXPECT_EQ(t.level(2).name, "numa");
+  EXPECT_EQ(t.level(2).num_cohorts, 2);
+  EXPECT_EQ(t.level(3).name, "package");
+  EXPECT_EQ(t.level(3).num_cohorts, 2);
+  EXPECT_EQ(t.level(4).name, "system");
+  EXPECT_EQ(t.level(4).num_cohorts, 1);
+}
+
+TEST(TopologyTest, PaperX86HyperthreadNumbering) {
+  // The paper's heatmap numbering: CPU c and c+48 are SMT siblings of the same core.
+  Topology t = Topology::PaperX86();
+  int core_level = t.LevelIndexByName("core");
+  for (int c = 0; c < 48; ++c) {
+    EXPECT_EQ(t.CohortOf(c, core_level), t.CohortOf(c + 48, core_level));
+  }
+  // Cache groups are 3 consecutive cores: CPUs {0,1,2,48,49,50} share L3.
+  int cache_level = t.LevelIndexByName("cache");
+  EXPECT_EQ(t.CohortOf(0, cache_level), t.CohortOf(2, cache_level));
+  EXPECT_EQ(t.CohortOf(0, cache_level), t.CohortOf(50, cache_level));
+  EXPECT_NE(t.CohortOf(0, cache_level), t.CohortOf(3, cache_level));
+  // Package boundary between core 23 and 24.
+  int numa_level = t.LevelIndexByName("numa");
+  EXPECT_NE(t.CohortOf(23, numa_level), t.CohortOf(24, numa_level));
+  EXPECT_EQ(t.CohortOf(23, numa_level), t.CohortOf(71, numa_level));
+}
+
+TEST(TopologyTest, PaperArmShape) {
+  Topology t = Topology::PaperArm();
+  EXPECT_EQ(t.num_cpus(), 128);
+  ASSERT_EQ(t.num_levels(), 4);
+  EXPECT_EQ(t.level(0).name, "cache");
+  EXPECT_EQ(t.level(0).num_cohorts, 32);
+  EXPECT_EQ(t.level(1).name, "numa");
+  EXPECT_EQ(t.level(1).num_cohorts, 4);
+  EXPECT_EQ(t.level(2).name, "package");
+  EXPECT_EQ(t.level(2).num_cohorts, 2);
+  EXPECT_EQ(t.level(3).num_cohorts, 1);
+}
+
+TEST(TopologyTest, SharingLevel) {
+  Topology t = Topology::PaperArm();
+  EXPECT_EQ(t.SharingLevel(5, 5), Topology::kSameCpu);
+  EXPECT_EQ(t.SharingLevel(0, 1), 0);    // same cache group
+  EXPECT_EQ(t.SharingLevel(0, 4), 1);    // same NUMA node
+  EXPECT_EQ(t.SharingLevel(0, 33), 2);   // same package
+  EXPECT_EQ(t.SharingLevel(0, 64), 3);   // system only
+  EXPECT_EQ(t.SharingLevel(64, 0), 3);   // symmetric
+}
+
+TEST(TopologyTest, CohortCpus) {
+  Topology t = Topology::PaperArm();
+  auto cpus = t.CohortCpus(0, 1);  // second cache group
+  EXPECT_EQ(cpus, (std::vector<int>{4, 5, 6, 7}));
+}
+
+TEST(TopologyTest, FlatTopology) {
+  Topology t = Topology::Flat(8);
+  EXPECT_EQ(t.num_levels(), 1);
+  EXPECT_EQ(t.SharingLevel(0, 7), 0);
+}
+
+TEST(TopologyTest, FromSpecRoundTrip) {
+  Topology t = Topology::FromSpec("arm128:128;cache=4;numa=32;package=64");
+  EXPECT_EQ(t.num_cpus(), 128);
+  ASSERT_EQ(t.num_levels(), 4);  // system added automatically
+  EXPECT_EQ(t.level(3).name, "system");
+  EXPECT_EQ(t.ToSpec(), "arm128:128;cache=4;numa=32;package=64;system=128");
+  // The divisor-based spec reproduces PaperArm's structure exactly.
+  Topology arm = Topology::PaperArm();
+  for (int cpu = 0; cpu < 128; ++cpu) {
+    for (int level = 0; level < 4; ++level) {
+      EXPECT_EQ(t.CohortOf(cpu, level), arm.CohortOf(cpu, level));
+    }
+  }
+}
+
+TEST(TopologyTest, FromSpecErrors) {
+  EXPECT_THROW(Topology::FromSpec("no-colon"), std::invalid_argument);
+  EXPECT_THROW(Topology::FromSpec("x:16;a=8;b=4"), std::invalid_argument);  // not increasing
+  EXPECT_THROW(Topology::FromSpec("x:16;a"), std::invalid_argument);
+}
+
+TEST(TopologyTest, RejectsNonNestingLevels) {
+  // Level A groups {0,1}{2,3}; level B groups {1,2}{3,0}: not nested.
+  Level a{.name = "a", .cpu_to_cohort = {0, 0, 1, 1}, .num_cohorts = 2};
+  Level b{.name = "b", .cpu_to_cohort = {1, 0, 0, 1}, .num_cohorts = 2};
+  Level sys{.name = "system", .cpu_to_cohort = {0, 0, 0, 0}, .num_cohorts = 1};
+  EXPECT_THROW(Topology("bad", 4, {a, b, sys}), std::invalid_argument);
+}
+
+TEST(TopologyTest, RejectsMultiCohortTop) {
+  Level a{.name = "a", .cpu_to_cohort = {0, 0, 1, 1}, .num_cohorts = 2};
+  EXPECT_THROW(Topology("bad", 4, {a}), std::invalid_argument);
+}
+
+TEST(HierarchyTest, SelectByName) {
+  Topology t = Topology::PaperX86();
+  Hierarchy h = Hierarchy::Select(t, {"core", "cache", "numa", "system"});
+  EXPECT_EQ(h.depth(), 4);
+  EXPECT_EQ(h.NumCohorts(0), 48);
+  EXPECT_EQ(h.NumCohorts(3), 1);
+  EXPECT_EQ(h.Describe(), "core-cache-numa-system");
+  EXPECT_EQ(h.CohortOf(50, 1), t.CohortOf(50, 1));
+}
+
+TEST(HierarchyTest, SkippingLevelsIsAllowed) {
+  Topology t = Topology::PaperArm();
+  Hierarchy h = Hierarchy::Select(t, {"cache", "numa", "system"});  // package skipped
+  EXPECT_EQ(h.depth(), 3);
+  EXPECT_EQ(h.Describe(), "cache-numa-system");
+}
+
+TEST(HierarchyTest, Validation) {
+  Topology t = Topology::PaperArm();
+  EXPECT_THROW(Hierarchy::Select(t, {"numa", "cache", "system"}), std::invalid_argument);
+  EXPECT_THROW(Hierarchy::Select(t, {"cache", "numa"}), std::invalid_argument);  // no root
+  EXPECT_THROW(Hierarchy::Select(t, {"l3", "system"}), std::invalid_argument);   // unknown
+}
+
+}  // namespace
+}  // namespace clof::topo

@@ -1,0 +1,213 @@
+// clof_bench — the swiss-army driver for the CLoF toolkit.
+//
+//   clof_bench --list[=<levels>]                     list registered locks
+//   clof_bench --discover [--machine=arm]            heatmap + inferred hierarchy (§3.1)
+//   clof_bench --sweep [--levels=cache,numa,system]  scripted benchmark + selection (§4.3)
+//   clof_bench --lock=tkt-clh-tkt [--threads=8,64] [--profile=kyoto] [--stats]
+//                                                    run one lock, print per-level stats
+//
+// Common flags: --machine=x86|arm (default arm), --topology=<spec> (custom machine,
+// see topo::Topology::FromSpec), --levels=<names,comma>, --duration_ms, --seed, --H.
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/discover/heatmap.h"
+#include "src/harness/lock_bench.h"
+#include "src/runtime/rng.h"
+#include "src/select/scripted_bench.h"
+#include "src/sim/engine.h"
+
+namespace {
+
+using namespace clof;
+
+std::vector<std::string> SplitCsv(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream stream(text);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    out.push_back(token);
+  }
+  return out;
+}
+
+std::vector<int> ParseThreads(const std::string& text, const topo::Topology& topology) {
+  if (text.empty()) {
+    return harness::PaperThreadCounts(topology);
+  }
+  std::vector<int> out;
+  for (const auto& token : SplitCsv(text)) {
+    out.push_back(std::stoi(token));
+  }
+  return out;
+}
+
+topo::Hierarchy DefaultHierarchy(const topo::Topology& topology, const std::string& levels) {
+  if (!levels.empty()) {
+    return topo::Hierarchy::Select(topology, SplitCsv(levels));
+  }
+  // All non-degenerate levels: skip a level whose cohorts match the one below it.
+  std::vector<std::string> names;
+  int previous_cohorts = -1;
+  for (int i = 0; i < topology.num_levels(); ++i) {
+    if (topology.level(i).num_cohorts != previous_cohorts) {
+      names.push_back(topology.level(i).name);
+      previous_cohorts = topology.level(i).num_cohorts;
+    }
+  }
+  return topo::Hierarchy::Select(topology, names);
+}
+
+workload::Profile ProfileByName(const std::string& name) {
+  if (name == "kyoto") {
+    return workload::Profile::KyotoMix();
+  }
+  if (name == "raw") {
+    return workload::Profile::RawHandover();
+  }
+  return workload::Profile::LevelDbReadRandom();
+}
+
+int Run(const bench::Flags& flags) {
+  std::string machine_name = flags.GetString("machine", "arm");
+  std::string topology_spec = flags.GetString("topology", "");
+  sim::Machine machine =
+      machine_name == "x86" ? sim::Machine::PaperX86() : sim::Machine::PaperArm();
+  if (!topology_spec.empty()) {
+    machine.topology = topo::Topology::FromSpec(topology_spec);
+    // Custom machines reuse the Arm cost model, one latency per level, scaled linearly.
+    machine.platform.level_latency_ns.assign(machine.topology.num_levels(), 0.0);
+    for (int i = 0; i < machine.topology.num_levels(); ++i) {
+      machine.platform.level_latency_ns[i] =
+          10.0 + 110.0 * i / std::max(1, machine.topology.num_levels() - 1);
+    }
+  }
+  const Registry& registry = SimRegistry(machine.platform.arch == sim::Arch::kX86);
+  double duration = flags.GetDouble("duration_ms", 1.0);
+  auto seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  if (flags.GetBool("list")) {
+    std::string value = flags.GetString("list", "true");  // --list=3 filters by depth
+    int levels = value == "true" ? Registry::kAnyDepth : std::stoi(value);
+    for (const auto& name : registry.Names(levels)) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+
+  if (flags.GetBool("discover")) {
+    discover::HeatmapOptions options;
+    options.rounds_per_pair = flags.GetInt("rounds", 60);
+    options.cpu_stride = flags.GetInt("stride", 2);
+    auto heatmap = discover::RunPingPongHeatmap(machine, options);
+    std::printf("%s\n", discover::HeatmapToAscii(heatmap).c_str());
+    auto inferred = discover::InferTopology(heatmap);
+    std::printf("inferred hierarchy: %s\n", inferred.ToSpec().c_str());
+    auto speedups = discover::CohortSpeedups(inferred, heatmap);
+    for (int l = inferred.num_levels() - 1; l >= 0; --l) {
+      if (speedups[l] > 0.0) {
+        std::printf("  %-10s %6.2fx over system cohort\n", inferred.level(l).name.c_str(),
+                    speedups[l]);
+      }
+    }
+    return 0;
+  }
+
+  auto hierarchy = DefaultHierarchy(machine.topology, flags.GetString("levels", ""));
+  std::printf("machine %s, hierarchy %s\n", machine.platform.name.c_str(),
+              hierarchy.Describe().c_str());
+
+  if (flags.GetBool("sweep")) {
+    select::SweepConfig config;
+    config.machine = &machine;
+    config.hierarchy = hierarchy;
+    config.registry = &registry;
+    config.profile = ProfileByName(flags.GetString("profile", "leveldb"));
+    config.duration_ms = duration;
+    config.seed = seed;
+    config.thread_counts = ParseThreads(flags.GetString("threads", ""), machine.topology);
+    auto result = select::RunScriptedBenchmark(config);
+    std::printf("swept %zu locks\n", result.curves.size());
+    std::printf("HC-best %-18s (score %.3f)\n", result.selection.hc_best.c_str(),
+                result.selection.hc_best_score);
+    std::printf("LC-best %-18s (score %.3f)\n", result.selection.lc_best.c_str(),
+                result.selection.lc_best_score);
+    std::printf("worst   %-18s (score %.3f)\n", result.selection.worst.c_str(),
+                result.selection.worst_score);
+    return 0;
+  }
+
+  std::string lock_name = flags.GetString("lock", "");
+  if (lock_name.empty()) {
+    std::fprintf(stderr,
+                 "usage: clof_bench --list | --discover | --sweep | --lock=<name>\n"
+                 "       (see the header of tools/clof_bench.cc)\n");
+    return 2;
+  }
+  ClofParams params;
+  params.keep_local_threshold = static_cast<uint32_t>(flags.GetInt("H", 128));
+  auto threads = ParseThreads(flags.GetString("threads", ""), machine.topology);
+  std::printf("%-10s%12s%10s\n", "threads", "iter/us", "jain");
+  for (int t : threads) {
+    harness::BenchConfig config;
+    config.machine = &machine;
+    config.hierarchy = hierarchy;
+    config.lock_name = lock_name;
+    config.registry = &registry;
+    config.profile = ProfileByName(flags.GetString("profile", "leveldb"));
+    config.num_threads = t;
+    config.duration_ms = duration;
+    config.seed = seed;
+    config.params = params;
+    auto result = harness::RunLockBench(config);
+    std::printf("%-10d%12.3f%10.3f\n", t, result.throughput_per_us, result.fairness_index);
+  }
+  if (flags.GetBool("stats")) {
+    // Re-run the max-thread point with a hand-held lock to read its counters.
+    auto lock = registry.Make(lock_name, hierarchy, params);
+    sim::Engine engine(machine.topology, machine.platform);
+    sim::Time end = sim::PsFromNs(duration * 1e6);
+    auto profile = ProfileByName(flags.GetString("profile", "leveldb"));
+    for (int t = 0; t < threads.back(); ++t) {
+      engine.Spawn(t, [&, t] {
+        runtime::Xoshiro256 rng(seed + t);
+        auto ctx = lock->MakeContext();
+        auto& eng = sim::Engine::Current();
+        while (eng.Now() < end) {
+          eng.Work(profile.think_ns * (0.75 + 0.5 * rng.NextDouble()));
+          Lock::Guard guard(*lock, *ctx);
+          eng.Work(profile.cs_work_ns);
+        }
+      });
+    }
+    engine.Run();
+    auto stats = lock->Stats();
+    std::printf("\nper-level statistics at %d threads:\n", threads.back());
+    std::printf("%-10s%14s%12s%12s%12s%12s\n", "level", "acquisitions", "inherited",
+                "passes", "climbs", "pass-ratio");
+    for (size_t level = 0; level < stats.size(); ++level) {
+      std::printf("%-10s%14llu%12llu%12llu%12llu%11.1f%%\n",
+                  hierarchy.LevelName(static_cast<int>(level)).c_str(),
+                  static_cast<unsigned long long>(stats[level].acquisitions),
+                  static_cast<unsigned long long>(stats[level].inherited),
+                  static_cast<unsigned long long>(stats[level].local_passes),
+                  static_cast<unsigned long long>(stats[level].climbs),
+                  stats[level].LocalPassRatio() * 100.0);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return Run(bench::Flags(argc, argv));
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
