@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Optional sanitized tier-1 pass: builds the whole tree with ASan+UBSan (the `asan`
+# preset in CMakePresets.json) and runs the test suite under it. The native (non-sim)
+# lock paths are where this earns its keep — a data race like the old non-atomic
+# SharedState::Touch increment is invisible in the single-host-threaded simulator but
+# trips the sanitizers in locks_native_test's real-thread runs.
+#
+# Usage: scripts/check_sanitized.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc)"
+ctest --preset asan -j "$(nproc)" "$@"

@@ -50,6 +50,10 @@ struct LevelStats {
   uint64_t inherited = 0;     // ...of which found the high lock already held (a pass)
   uint64_t local_passes = 0;  // releases that passed the high lock within the cohort
   uint64_t climbs = 0;        // releases that released the level above
+  // ...of which had local waiters but hit the keep_local threshold H (§4.1.2). A high
+  // share of threshold climbs means H caps the pass streaks; a low share means streaks
+  // end because cohorts drain naturally — the signal for tuning H.
+  uint64_t threshold_climbs = 0;
 
   double LocalPassRatio() const {
     uint64_t releases = local_passes + climbs;
@@ -157,7 +161,8 @@ class ClofTree {
 
   void Release(Context& ctx) {
     Node& node = NodeForCpu();
-    if (HasLocalWaiters(node, ctx) && KeepLocal(node)) {
+    const bool has_waiters = HasLocalWaiters(node, ctx);
+    if (has_waiters && KeepLocal(node)) {
       // Pass: the high lock stays acquired and is inherited by the next local owner.
       // Only write the flag on the transition: during a passing streak it is already
       // set and a redundant store would cost an invalidation round every handover.
@@ -167,6 +172,9 @@ class ClofTree {
       ++node.stats.local_passes;
       node.low.Release(ctx);
     } else {
+      if (has_waiters) {
+        ++node.stats.threshold_climbs;  // waiters present, but H forced a climb
+      }
       node.keep_local_count = 0;
       if (node.has_high.Load(std::memory_order_relaxed) != 0) {
         node.has_high.Store(0, std::memory_order_relaxed);
@@ -185,6 +193,7 @@ class ClofTree {
       total.inherited += node->stats.inherited;
       total.local_passes += node->stats.local_passes;
       total.climbs += node->stats.climbs;
+      total.threshold_climbs += node->stats.threshold_climbs;
     }
     out->push_back(total);
     high_.CollectStats(out);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 #include <stdexcept>
+#include <string>
 
 #include "src/mem/sim_memory.h"
 #include "src/runtime/rng.h"
@@ -38,11 +39,29 @@ class SharedState {
     }
   }
 
+  // End-of-run invariant (call outside the simulation): with atomic increments, the
+  // line counters account for every write issued. A lost-update bug in the touch path
+  // (the pre-FetchAdd Load+Store race this check was added against) trips it under
+  // broken-lock or broken-harness conditions.
+  void VerifyCounters() const {
+    uint64_t sum = 0;
+    for (const auto& line : lines_) {
+      sum += line->value.Load(std::memory_order_relaxed);
+    }
+    if (sum != writes_issued_) {
+      throw std::logic_error("SharedState counter mismatch: " + std::to_string(sum) +
+                             " recorded vs " + std::to_string(writes_issued_) +
+                             " issued (lost updates under the benched lock)");
+    }
+  }
+
  private:
   void Touch(PaddedLine& line, runtime::Xoshiro256& rng) {
     if (rng.NextDouble() < profile_.cs_write_fraction) {
-      line.value.Store(line.value.Load(std::memory_order_relaxed) + 1,
-                       std::memory_order_relaxed);
+      // One atomic RMW. The earlier relaxed Load-then-Store pair lost increments when
+      // simulated writers interleaved between the two halves.
+      line.value.FetchAdd(1, std::memory_order_relaxed);
+      ++writes_issued_;  // host-side bookkeeping: the simulation is single-threaded
     } else {
       (void)line.value.Load(std::memory_order_relaxed);
     }
@@ -50,6 +69,7 @@ class SharedState {
 
   workload::Profile profile_;
   std::vector<std::unique_ptr<PaddedLine>> lines_;
+  uint64_t writes_issued_ = 0;
 };
 
 }  // namespace
@@ -74,15 +94,24 @@ BenchResult RunLockBench(const BenchConfig& config) {
   }
 
   sim::Engine engine(machine.topology, machine.platform);
+  engine.SetEventSink(config.trace_sink);
   auto lock = registry.Make(config.lock_name, config.hierarchy, config.params);
   SharedState shared(config.profile);
 
   const sim::Time end = sim::PsFromNs(config.duration_ms * 1e6);
+  const int num_levels = machine.topology.num_levels();
   std::vector<uint64_t> ops(config.num_threads, 0);
+
+  BenchResult result;
+  result.handovers_by_level.assign(trace::NumLevelBuckets(num_levels), 0);
+  // Host-side handover bookkeeping. Fibers run on one host thread and critical sections
+  // are mutually exclusive in virtual time, so a plain variable observes the exact
+  // ownership order without adding any simulated accesses.
+  int last_owner_cpu = -1;
 
   for (int t = 0; t < config.num_threads; ++t) {
     int cpu = config.cpu_assignment.empty() ? t : config.cpu_assignment[t];
-    engine.Spawn(cpu, [&, t] {
+    engine.Spawn(cpu, [&, t, cpu] {
       runtime::Xoshiro256 rng(config.seed * 0x9e3779b97f4a7c15ull + t);
       auto ctx = lock->MakeContext();
       auto& eng = sim::Engine::Current();
@@ -92,7 +121,17 @@ BenchResult RunLockBench(const BenchConfig& config) {
           double jitter = 1.0 + p.think_jitter * (2.0 * rng.NextDouble() - 1.0);
           eng.Work(p.think_ns * jitter);
         }
+        const sim::Time acquire_begin = eng.Now();
         lock->Acquire(*ctx);
+        result.acquire_latency.Record(eng.Now() - acquire_begin);
+        if (last_owner_cpu >= 0) {
+          const int level = last_owner_cpu == cpu
+                                ? topo::Topology::kSameCpu
+                                : machine.topology.SharingLevel(last_owner_cpu, cpu);
+          ++result.handovers_by_level[trace::LevelBucket(level, num_levels)];
+          ++result.total_handovers;
+        }
+        last_owner_cpu = cpu;
         shared.TouchCriticalSection(rng);
         if (p.cs_work_ns > 0.0) {
           eng.Work(p.cs_work_ns);
@@ -103,8 +142,8 @@ BenchResult RunLockBench(const BenchConfig& config) {
     });
   }
   engine.Run();
+  shared.VerifyCounters();
 
-  BenchResult result;
   result.lock_name = config.lock_name;
   result.num_threads = config.num_threads;
   result.per_thread_ops = ops;
@@ -116,7 +155,23 @@ BenchResult RunLockBench(const BenchConfig& config) {
       static_cast<double>(result.total_ops) / (config.duration_ms * 1e3);
   std::vector<double> per_thread(ops.begin(), ops.end());
   result.fairness_index = runtime::JainFairnessIndex(per_thread);
+  result.total_accesses = engine.total_accesses();
+  result.total_line_transfers = engine.total_line_transfers();
+  result.level_metrics = engine.level_metrics();
+  result.lock_level_stats = lock->Stats();
   return result;
+}
+
+double BenchResult::HandoverLocalityAt(int topo_level) const {
+  if (total_handovers == 0 || handovers_by_level.empty()) {
+    return 0.0;
+  }
+  const int num_levels = static_cast<int>(handovers_by_level.size()) - 2;
+  uint64_t local = handovers_by_level[trace::SameCpuBucket(num_levels)];
+  for (int level = 0; level <= topo_level && level < num_levels; ++level) {
+    local += handovers_by_level[level];
+  }
+  return static_cast<double>(local) / static_cast<double>(total_handovers);
 }
 
 BenchResult RunLockBenchMedian(const BenchConfig& config, int runs) {

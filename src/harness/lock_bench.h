@@ -11,6 +11,7 @@
 #include "src/clof/registry.h"
 #include "src/sim/platform.h"
 #include "src/topo/topology.h"
+#include "src/trace/trace.h"
 #include "src/workload/profiles.h"
 
 namespace clof::harness {
@@ -26,6 +27,10 @@ struct BenchConfig {
   double duration_ms = 1.0;                // virtual milliseconds
   uint64_t seed = 42;
   ClofParams params;
+  // Optional event sink installed on the engine for the run (e.g. a trace::TraceBuffer
+  // for Chrome-trace export). Observers never perturb virtual time, so results are
+  // bit-identical with or without one.
+  trace::EventSink* trace_sink = nullptr;
 };
 
 struct BenchResult {
@@ -36,6 +41,26 @@ struct BenchResult {
   double throughput_per_us = 0.0;          // iterations per virtual microsecond
   std::vector<uint64_t> per_thread_ops;
   double fairness_index = 1.0;             // Jain's index over per-thread ops
+
+  // --- Observability (docs/OBSERVABILITY.md) ---
+  // Engine coherence totals and per-level breakdown (trace::LevelBucket layout; the
+  // buckets' line_transfers sum to total_line_transfers).
+  uint64_t total_accesses = 0;
+  uint64_t total_line_transfers = 0;
+  std::vector<trace::LevelMetrics> level_metrics;
+  // Lock handovers bucketed by the topology level separating consecutive owners
+  // (same layout as level_metrics; the same-cpu bucket counts reacquisitions by the
+  // previous owner's CPU). Sums to total_ops minus the first acquisition.
+  std::vector<uint64_t> handovers_by_level;
+  uint64_t total_handovers = 0;
+  // Fraction of handovers that stayed within a `topo_level` cohort (cumulative over
+  // same-cpu and all levels <= topo_level). This is the paper's §5 handover-locality
+  // rate: HC-best compositions win because it is high at the low levels.
+  double HandoverLocalityAt(int topo_level) const;
+  // Virtual-time Acquire() latency (contended and uncontended alike).
+  trace::LatencyHistogram acquire_latency;
+  // The lock's own per-hierarchy-level counters (empty for baselines; see LevelStats).
+  std::vector<LevelStats> lock_level_stats;
 };
 
 // Runs one configuration. Deterministic: identical config => identical result.

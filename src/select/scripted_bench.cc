@@ -22,6 +22,8 @@ SweepResult RunScriptedBenchmark(const SweepConfig& config) {
           ? registry.Names(config.hierarchy.depth(), /*generated_only=*/true)
           : config.lock_names;
 
+  // Lowest hierarchy level: handovers at or below it are "local" for reporting.
+  const int local_level = config.hierarchy.valid() ? config.hierarchy.TopologyLevel(0) : 0;
   int done = 0;
   for (const auto& name : names) {
     LockCurve curve;
@@ -38,8 +40,13 @@ SweepResult RunScriptedBenchmark(const SweepConfig& config) {
       bench.duration_ms = config.duration_ms;
       bench.seed = config.seed;
       bench.params = config.params;
-      curve.throughput.push_back(
-          harness::RunLockBenchMedian(bench, config.runs).throughput_per_us);
+      auto run = harness::RunLockBenchMedian(bench, config.runs);
+      curve.throughput.push_back(run.throughput_per_us);
+      curve.local_handover_rate.push_back(run.HandoverLocalityAt(local_level));
+      curve.transfers_per_op.push_back(
+          run.total_ops == 0 ? 0.0
+                             : static_cast<double>(run.total_line_transfers) /
+                                   static_cast<double>(run.total_ops));
     }
     ++done;
     if (config.on_lock_done) {

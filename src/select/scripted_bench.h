@@ -36,8 +36,19 @@ struct SweepConfig {
 
 struct SweepResult {
   std::vector<int> thread_counts;
-  std::vector<LockCurve> curves;
+  std::vector<LockCurve> curves;  // with handover-locality / transfers-per-op sidecars
   SelectionResult selection;
+
+  // Curve lookup by lock name (e.g. to report why selection.hc_best won); nullptr if
+  // the name was not swept.
+  const LockCurve* Curve(const std::string& name) const {
+    for (const auto& curve : curves) {
+      if (curve.name == name) {
+        return &curve;
+      }
+    }
+    return nullptr;
+  }
 };
 
 SweepResult RunScriptedBenchmark(const SweepConfig& config);

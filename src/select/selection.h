@@ -16,6 +16,12 @@ namespace clof::select {
 struct LockCurve {
   std::string name;
   std::vector<double> throughput;  // one entry per thread-count sweep point
+
+  // Observability sidecars (same indexing as throughput; empty when not collected):
+  // why a composition scores the way it does, not just how fast it went. See
+  // docs/OBSERVABILITY.md and BenchResult in src/harness/lock_bench.h.
+  std::vector<double> local_handover_rate;  // handovers within the lowest hierarchy level
+  std::vector<double> transfers_per_op;     // simulated line transfers per completed op
 };
 
 enum class Policy {

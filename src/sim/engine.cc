@@ -1,5 +1,6 @@
 #include "src/sim/engine.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
@@ -9,10 +10,21 @@ namespace {
 
 thread_local Engine* g_current_engine = nullptr;
 
+// Access events reuse the OpKind encoding (trace::EventKind appends kSpinWakeup).
+static_assert(static_cast<int>(trace::EventKind::kLoad) == static_cast<int>(OpKind::kLoad) &&
+              static_cast<int>(trace::EventKind::kStore) == static_cast<int>(OpKind::kStore) &&
+              static_cast<int>(trace::EventKind::kRmw) == static_cast<int>(OpKind::kRmw) &&
+              static_cast<int>(trace::EventKind::kCmpXchg) == static_cast<int>(OpKind::kCmpXchg) &&
+              static_cast<int>(trace::EventKind::kRmwSpinLoad) ==
+                  static_cast<int>(OpKind::kRmwSpinLoad));
+
 }  // namespace
 
 Engine::Engine(const topo::Topology& topology, PlatformModel platform)
-    : topology_(&topology), platform_(std::move(platform)), main_fiber_(runtime::Fiber::Main()) {
+    : topology_(&topology),
+      platform_(std::move(platform)),
+      main_fiber_(runtime::Fiber::Main()),
+      level_metrics_(trace::NumLevelBuckets(topology.num_levels())) {
   if (topology.num_cpus() > kMaxCpus) {
     throw std::invalid_argument("topology exceeds simulator CPU limit");
   }
@@ -96,13 +108,14 @@ void Engine::Work(double ns) {
 
 Engine::Line& Engine::LineFor(uintptr_t line_addr) { return lines_[line_addr]; }
 
-double Engine::MissLatencyNs(int cpu, const Line& line) const {
+Engine::MissSource Engine::MissFrom(int cpu, const Line& line) const {
+  const int num_levels = topology_->num_levels();
   if (!line.touched) {
-    return platform_.cold_miss_ns;
+    return {platform_.cold_miss_ns, num_levels};
   }
   // Fetch from the closest CPU holding a valid copy (the owner is always a holder after
   // a write; a read-only line has holders but no owner).
-  int best_level = topology_->num_levels();  // worse than any real level
+  int best_level = num_levels;  // worse than any real level
   for (int16_t other : line.holders) {
     if (other < 0 || other == cpu) {
       continue;
@@ -112,13 +125,13 @@ double Engine::MissLatencyNs(int cpu, const Line& line) const {
       best_level = level;
     }
   }
-  if (best_level >= topology_->num_levels()) {
-    return platform_.cold_miss_ns;  // every copy evicted or invalidated
+  if (best_level >= num_levels) {
+    return {platform_.cold_miss_ns, num_levels};  // every copy evicted or invalidated
   }
   if (best_level == topo::Topology::kSameCpu) {
-    return platform_.l1_hit_ns;  // another thread on the same CPU holds it
+    return {platform_.l1_hit_ns, best_level};  // another thread on the same CPU holds it
   }
-  return platform_.LatencyNs(best_level);
+  return {platform_.LatencyNs(best_level), best_level};
 }
 
 Engine::AccessResult Engine::Access(uintptr_t line_addr, OpKind kind,
@@ -128,17 +141,25 @@ Engine::AccessResult Engine::Access(uintptr_t line_addr, OpKind kind,
   ++total_accesses_;
 
   const int cpu = self->cpu;
+  const int num_levels = topology_->num_levels();
   const bool have_copy = line.Holds(cpu);
   const bool is_write = kind != OpKind::kLoad;
   const bool exclusive = line.owner == cpu && have_copy && line.holders[1] < 0;
 
   double cost_ns = 0.0;
   bool transferred = false;
+  // Where the coherence traffic went: the sharing level that serviced the miss, or (for
+  // an upgrade that moved no data) the farthest invalidated sharer. kSameCpu when the
+  // line never left the CPU's private cache.
+  int transfer_level = topo::Topology::kSameCpu;
+  int invalidated_sharers = 0;
   if (!is_write) {
     if (have_copy) {
       cost_ns = platform_.l1_hit_ns;
     } else {
-      cost_ns = MissLatencyNs(cpu, line);
+      MissSource miss = MissFrom(cpu, line);
+      cost_ns = miss.latency_ns;
+      transfer_level = miss.level;
       transferred = true;
     }
     line.TouchBy(cpu);
@@ -152,21 +173,34 @@ Engine::AccessResult Engine::Access(uintptr_t line_addr, OpKind kind,
       // ack cost per additional sharer. Making the invalidation a full round trip is
       // what gives Hemlock's CTR its x86 benefit: RMW-mode spinning keeps the sharer
       // set empty, so the handover store skips the upgrade round (§2.1).
-      double transfer_ns = have_copy ? 0.0 : MissLatencyNs(cpu, line);
+      double transfer_ns = 0.0;
+      if (!have_copy) {
+        MissSource miss = MissFrom(cpu, line);
+        transfer_ns = miss.latency_ns;
+        transfer_level = miss.level;
+      }
       double farthest_inv_ns = 0.0;
-      int other_sharers = 0;
+      int farthest_inv_level = topo::Topology::kSameCpu;
       for (int16_t other : line.holders) {
         if (other < 0 || other == cpu) {
           continue;
         }
-        ++other_sharers;
+        ++invalidated_sharers;
         int level = topology_->SharingLevel(cpu, other);
+        ++level_metrics_[trace::LevelBucket(level, num_levels)].invalidations;
         double lat = level == topo::Topology::kSameCpu ? platform_.l1_hit_ns
                                                        : platform_.LatencyNs(level);
-        farthest_inv_ns = std::max(farthest_inv_ns, lat);
+        if (lat > farthest_inv_ns) {
+          farthest_inv_ns = lat;
+          farthest_inv_level = level;
+        }
       }
-      double extra_acks =
-          other_sharers > 1 ? (other_sharers - 1) * platform_.sharer_invalidation_ns : 0.0;
+      if (have_copy) {
+        transfer_level = farthest_inv_level;  // pure upgrade: attribute to the inv round
+      }
+      double extra_acks = invalidated_sharers > 1
+                              ? (invalidated_sharers - 1) * platform_.sharer_invalidation_ns
+                              : 0.0;
       cost_ns = std::max(transfer_ns, farthest_inv_ns) + extra_acks;
       cost_ns = std::max(cost_ns, platform_.local_rmw_ns);
       if (kind != OpKind::kStore) {
@@ -189,18 +223,34 @@ Engine::AccessResult Engine::Access(uintptr_t line_addr, OpKind kind,
     line.ResetTo(cpu);
   }
   line.touched = true;
-  if (transferred) {
-    ++total_line_transfers_;
-  }
 
   const Time start = std::max(self->time, transferred ? line.next_free : Time{0});
   const Time completion = start + PsFromNs(cost_ns);
+  Time queue_ps = 0;
   if (transferred) {
+    const int bucket = trace::LevelBucket(transfer_level, num_levels);
+    ++total_line_transfers_;
+    ++level_metrics_[bucket].line_transfers;
+    queue_ps = start - self->time;  // time spent queued behind the busy transfer port
+    level_metrics_[bucket].port_queue_ps += queue_ps;
     // The transfer port stays busy for a fraction of the latency, serializing storms.
     line.next_free = start + PsFromNs(cost_ns * platform_.port_occupancy);
   }
 
   const bool changed = apply();
+  if (sink_ != nullptr) {
+    trace::Event event;
+    event.start = start;
+    event.completion = completion;
+    event.line = line_addr;
+    event.cpu = cpu;
+    event.bucket = transferred ? trace::LevelBucket(transfer_level, num_levels) : -1;
+    event.kind = static_cast<trace::EventKind>(kind);
+    event.transferred = transferred;
+    event.invalidated = static_cast<uint16_t>(invalidated_sharers);
+    event.queue_ps = queue_ps;
+    sink_->OnEvent(event);
+  }
   if (is_write && changed) {
     ++line.version;
     if (!line.waiters.empty()) {
@@ -212,6 +262,18 @@ Engine::AccessResult Engine::Access(uintptr_t line_addr, OpKind kind,
         }
         waiter->time = std::max(waiter->time, completion);
         MakeReady(waiter);
+        const int wake_level = topology_->SharingLevel(cpu, waiter->cpu);
+        ++level_metrics_[trace::LevelBucket(wake_level, num_levels)].spin_wakeups;
+        if (sink_ != nullptr) {
+          trace::Event wake;
+          wake.start = waiter->time;
+          wake.completion = waiter->time;
+          wake.line = line_addr;
+          wake.cpu = waiter->cpu;
+          wake.bucket = trace::LevelBucket(wake_level, num_levels);
+          wake.kind = trace::EventKind::kSpinWakeup;
+          sink_->OnEvent(wake);
+        }
       }
       line.waiters.clear();
     }

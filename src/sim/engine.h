@@ -37,6 +37,7 @@
 #include "src/runtime/fiber.h"
 #include "src/sim/platform.h"
 #include "src/topo/topology.h"
+#include "src/trace/trace.h"
 
 namespace clof::sim {
 
@@ -107,6 +108,19 @@ class Engine {
   uint64_t total_accesses() const { return total_accesses_; }
   uint64_t total_line_transfers() const { return total_line_transfers_; }
 
+  // Per-level coherence counters, indexed by the trace::LevelBucket layout (one bucket
+  // per topology level plus same-cpu and cold). Maintained unconditionally: a few
+  // host-side adds per access, never any virtual-time cost. The buckets' line_transfers
+  // always sum to total_line_transfers().
+  const std::vector<trace::LevelMetrics>& level_metrics() const { return level_metrics_; }
+
+  // Installs (or clears, with nullptr) an event sink that receives one trace::Event per
+  // atomic access and per spinner wakeup, in deterministic virtual-time order. The sink
+  // observes metadata the engine computed anyway; with no sink installed the trace path
+  // is a single branch. Sinks must not issue simulated accesses.
+  void SetEventSink(trace::EventSink* sink) { sink_ = sink; }
+  trace::EventSink* event_sink() const { return sink_; }
+
  private:
   struct SimThread {
     std::unique_ptr<runtime::Fiber> fiber;
@@ -168,7 +182,13 @@ class Engine {
   };
 
   Line& LineFor(uintptr_t line_addr);
-  double MissLatencyNs(int cpu, const Line& line) const;
+  // A miss's cost plus where the servicing copy came from: a topology level index,
+  // topo::Topology::kSameCpu, or num_levels() when no valid copy exists (cold).
+  struct MissSource {
+    double latency_ns = 0.0;
+    int level = 0;
+  };
+  MissSource MissFrom(int cpu, const Line& line) const;
   // Yields to the scheduler with the running thread re-queued at its (updated) time.
   // Fast path: keeps running without a context switch if it is still the earliest.
   void YieldRunnable(SimThread* self);
@@ -185,6 +205,8 @@ class Engine {
   uint64_t next_order_ = 0;
   uint64_t total_accesses_ = 0;
   uint64_t total_line_transfers_ = 0;
+  std::vector<trace::LevelMetrics> level_metrics_;  // trace::LevelBucket layout
+  trace::EventSink* sink_ = nullptr;
   int unfinished_ = 0;
   bool running_ = false;
 };

@@ -105,6 +105,9 @@ class Hierarchy {
   const std::string& LevelName(int depth_index) const {
     return topology_->level(level_indices_[depth_index]).name;
   }
+  // Topology level index backing hierarchy depth `depth_index` (for correlating lock
+  // levels with the simulator's per-topology-level metrics).
+  int TopologyLevel(int depth_index) const { return level_indices_[depth_index]; }
 
   // Dash-joined level names low to high, e.g. "core-cache-numa-system".
   std::string Describe() const;

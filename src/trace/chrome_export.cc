@@ -1,0 +1,100 @@
+#include "src/trace/chrome_export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace clof::trace {
+namespace {
+
+// Picoseconds -> microseconds with 6 fractional digits (full ps resolution), formatted
+// from integers so the output is bit-stable across hosts and libc float printers.
+void AppendMicros(std::ostream& out, sim::Time ps) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%06" PRIu64, ps / 1000000u, ps % 1000000u);
+  out << buf;
+}
+
+// Raw line ids are cache-line addresses, which vary with heap layout run to run. The
+// export remaps them to first-appearance ordinals so a given seed always serializes to
+// the same bytes (the event *order* is deterministic, so the numbering is too).
+class LineIds {
+ public:
+  uint64_t Of(uintptr_t line) {
+    auto [it, inserted] = ids_.emplace(line, ids_.size());
+    (void)inserted;
+    return it->second;
+  }
+
+ private:
+  std::unordered_map<uintptr_t, uint64_t> ids_;
+};
+
+void AppendEvent(std::ostream& out, const Event& event, const topo::Topology& topology,
+                 LineIds& lines) {
+  const bool instant = event.kind == EventKind::kSpinWakeup;
+  out << "{\"name\":\"" << EventKindName(event.kind);
+  if (event.bucket >= 0 || !instant) {
+    out << ' ' << BucketName(event.bucket, topology);
+  }
+  out << "\",\"cat\":\"" << (instant ? "wakeup" : "access") << "\",\"ph\":\""
+      << (instant ? 'i' : 'X') << "\",\"ts\":";
+  AppendMicros(out, event.start);
+  if (instant) {
+    out << ",\"s\":\"t\"";
+  } else {
+    out << ",\"dur\":";
+    AppendMicros(out, event.completion - event.start);
+  }
+  out << ",\"pid\":0,\"tid\":" << event.cpu << ",\"args\":{";
+  out << "\"line\":\"L" << lines.Of(event.line) << '"';
+  if (!instant) {
+    out << ",\"transferred\":" << (event.transferred ? "true" : "false");
+    if (event.invalidated > 0) {
+      out << ",\"invalidated\":" << event.invalidated;
+    }
+    if (event.queue_ps > 0) {
+      out << ",\"port_queue_us\":";
+      AppendMicros(out, event.queue_ps);
+    }
+  }
+  out << "}}";
+}
+
+}  // namespace
+
+void WriteChromeTrace(std::ostream& out, const TraceBuffer& buffer,
+                      const topo::Topology& topology) {
+  out << "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"machine\":\"" << topology.name()
+      << "\",\"dropped_events\":" << buffer.dropped() << "},\"traceEvents\":[\n";
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"clof-sim\"}}";
+  LineIds lines;
+  for (const Event& event : buffer.Events()) {
+    out << ",\n";
+    AppendEvent(out, event, topology, lines);
+  }
+  out << "\n]}\n";
+}
+
+std::string ChromeTraceJson(const TraceBuffer& buffer, const topo::Topology& topology) {
+  std::ostringstream out;
+  WriteChromeTrace(out, buffer, topology);
+  return out.str();
+}
+
+void WriteChromeTraceFile(const std::string& path, const TraceBuffer& buffer,
+                          const topo::Topology& topology) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("cannot open trace output file: " + path);
+  }
+  WriteChromeTrace(out, buffer, topology);
+  if (!out.flush()) {
+    throw std::runtime_error("failed writing trace output file: " + path);
+  }
+}
+
+}  // namespace clof::trace

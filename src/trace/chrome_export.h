@@ -1,0 +1,32 @@
+// Chrome trace_event JSON export (the format Perfetto / chrome://tracing load).
+//
+// Each access event becomes a complete ("X") slice on the requesting CPU's track, named
+// "<op> <bucket>" (e.g. "rmw numa"); spin wakeups become instant ("i") events on the
+// woken CPU's track. Timestamps/durations are microseconds with 6 fractional digits —
+// exactly the engine's picosecond resolution — and are formatted from integers, so the
+// same run always serializes to byte-identical JSON (tests/trace_test.cc relies on it).
+#ifndef CLOF_SRC_TRACE_CHROME_EXPORT_H_
+#define CLOF_SRC_TRACE_CHROME_EXPORT_H_
+
+#include <ostream>
+#include <string>
+
+#include "src/topo/topology.h"
+#include "src/trace/trace.h"
+
+namespace clof::trace {
+
+// Serializes the buffer's events (chronological order) as a JSON object with a
+// `traceEvents` array. `topology` supplies the level names for bucket labels.
+void WriteChromeTrace(std::ostream& out, const TraceBuffer& buffer,
+                      const topo::Topology& topology);
+
+std::string ChromeTraceJson(const TraceBuffer& buffer, const topo::Topology& topology);
+
+// Convenience: writes to `path`, throwing std::runtime_error on I/O failure.
+void WriteChromeTraceFile(const std::string& path, const TraceBuffer& buffer,
+                          const topo::Topology& topology);
+
+}  // namespace clof::trace
+
+#endif  // CLOF_SRC_TRACE_CHROME_EXPORT_H_

@@ -1,0 +1,115 @@
+#include "src/trace/trace.h"
+
+#include <algorithm>
+
+namespace clof::trace {
+
+std::string BucketName(int bucket, const topo::Topology& topology) {
+  const int num_levels = topology.num_levels();
+  if (bucket == SameCpuBucket(num_levels)) {
+    return "same-cpu";
+  }
+  if (bucket == ColdBucket(num_levels)) {
+    return "cold";
+  }
+  if (bucket >= 0 && bucket < num_levels) {
+    return topology.level(bucket).name;
+  }
+  return "hit";  // bucket -1: no coherence traffic
+}
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kLoad:
+      return "load";
+    case EventKind::kStore:
+      return "store";
+    case EventKind::kRmw:
+      return "rmw";
+    case EventKind::kCmpXchg:
+      return "cmpxchg";
+    case EventKind::kRmwSpinLoad:
+      return "rmw-read";
+    case EventKind::kSpinWakeup:
+      return "wakeup";
+  }
+  return "?";
+}
+
+TraceBuffer::TraceBuffer(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(std::min<size_t>(capacity_, 4096));
+}
+
+void TraceBuffer::OnEvent(const Event& event) {
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+    return;
+  }
+  ring_[next_] = event;  // overwrite the oldest stored event
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<Event> TraceBuffer::Events() const {
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  out.insert(out.end(), ring_.begin() + static_cast<ptrdiff_t>(next_), ring_.end());
+  out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<ptrdiff_t>(next_));
+  return out;
+}
+
+void TraceBuffer::Clear() {
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+}
+
+namespace {
+
+int BucketIndex(sim::Time duration_ps) {
+  int index = 0;
+  while (duration_ps > 1 && index < LatencyHistogram::kBuckets - 1) {
+    duration_ps >>= 1;
+    ++index;
+  }
+  return index;
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(sim::Time duration_ps) {
+  ++buckets_[static_cast<size_t>(BucketIndex(duration_ps))];
+  ++count_;
+  total_ps_ += duration_ps;
+  max_ps_ = std::max(max_ps_, duration_ps);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+  }
+  count_ += other.count_;
+  total_ps_ += other.total_ps_;
+  max_ps_ = std::max(max_ps_, other.max_ps_);
+}
+
+double LatencyHistogram::MeanNs() const {
+  return count_ == 0 ? 0.0 : sim::NsFromPs(total_ps_) / static_cast<double>(count_);
+}
+
+double LatencyHistogram::PercentileNs(double p) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const auto target = static_cast<uint64_t>(p * static_cast<double>(count_));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<size_t>(i)];
+    if (seen >= target && seen > 0) {
+      return sim::NsFromPs(sim::Time{1} << (i + 1));  // bucket upper bound
+    }
+  }
+  return sim::NsFromPs(max_ps_);
+}
+
+}  // namespace clof::trace

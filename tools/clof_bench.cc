@@ -3,11 +3,14 @@
 //   clof_bench --list[=<levels>]                     list registered locks
 //   clof_bench --discover [--machine=arm]            heatmap + inferred hierarchy (§3.1)
 //   clof_bench --sweep [--levels=cache,numa,system]  scripted benchmark + selection (§4.3)
-//   clof_bench --lock=tkt-clh-tkt [--threads=8,64] [--profile=kyoto] [--stats]
-//                                                    run one lock, print per-level stats
+//   clof_bench --lock=tkt-clh-tkt [--threads=8,64] [--profile=kyoto]
+//              [--stats=per-level]                  run one lock, print per-level stats
+//              [--trace=out.json]                   Chrome trace of the last sweep point
+//                                                   (open in Perfetto / chrome://tracing)
 //
 // Common flags: --machine=x86|arm (default arm), --topology=<spec> (custom machine,
 // see topo::Topology::FromSpec), --levels=<names,comma>, --duration_ms, --seed, --H.
+// docs/OBSERVABILITY.md documents the per-level metrics and the trace workflow.
 #include <cstdio>
 #include <sstream>
 #include <string>
@@ -16,9 +19,10 @@
 #include "bench/bench_util.h"
 #include "src/discover/heatmap.h"
 #include "src/harness/lock_bench.h"
-#include "src/runtime/rng.h"
 #include "src/select/scripted_bench.h"
 #include "src/sim/engine.h"
+#include "src/trace/chrome_export.h"
+#include "src/trace/trace.h"
 
 namespace {
 
@@ -69,6 +73,77 @@ workload::Profile ProfileByName(const std::string& name) {
     return workload::Profile::RawHandover();
   }
   return workload::Profile::LevelDbReadRandom();
+}
+
+// The observability report behind --stats: where handovers landed, what the coherence
+// traffic per level was, and the lock's own per-hierarchy-level counters.
+void PrintObservability(const harness::BenchResult& result, const sim::Machine& machine,
+                        const topo::Hierarchy& hierarchy) {
+  const topo::Topology& topology = machine.topology;
+  const int buckets = static_cast<int>(result.level_metrics.size());
+
+  std::printf("\nlock handovers at %d threads (%llu total):\n", result.num_threads,
+              static_cast<unsigned long long>(result.total_handovers));
+  std::printf("%-10s%12s%10s%12s\n", "level", "handovers", "share", "cumulative");
+  for (int b = 0; b < buckets; ++b) {
+    uint64_t n = b < static_cast<int>(result.handovers_by_level.size())
+                     ? result.handovers_by_level[b]
+                     : 0;
+    if (n == 0) {
+      continue;
+    }
+    double share = result.total_handovers == 0
+                       ? 0.0
+                       : 100.0 * static_cast<double>(n) /
+                             static_cast<double>(result.total_handovers);
+    // Cumulative distance order: same-cpu, then the topology levels low to high.
+    double cumulative =
+        b == trace::SameCpuBucket(topology.num_levels())
+            ? 100.0 * result.HandoverLocalityAt(topo::Topology::kSameCpu)
+            : (b < topology.num_levels() ? 100.0 * result.HandoverLocalityAt(b) : 100.0);
+    std::printf("%-10s%12llu%9.1f%%%11.1f%%\n",
+                trace::BucketName(b, topology).c_str(), static_cast<unsigned long long>(n),
+                share, cumulative);
+  }
+
+  std::printf("\ncoherence traffic per level (%llu accesses, %llu transfers):\n",
+              static_cast<unsigned long long>(result.total_accesses),
+              static_cast<unsigned long long>(result.total_line_transfers));
+  std::printf("%-10s%12s%14s%10s%16s\n", "level", "transfers", "invalidations", "wakeups",
+              "port-queue(us)");
+  for (int b = 0; b < buckets; ++b) {
+    const trace::LevelMetrics& m = result.level_metrics[b];
+    if (m.line_transfers == 0 && m.invalidations == 0 && m.spin_wakeups == 0) {
+      continue;
+    }
+    std::printf("%-10s%12llu%14llu%10llu%16.3f\n", trace::BucketName(b, topology).c_str(),
+                static_cast<unsigned long long>(m.line_transfers),
+                static_cast<unsigned long long>(m.invalidations),
+                static_cast<unsigned long long>(m.spin_wakeups),
+                sim::NsFromPs(m.port_queue_ps) * 1e-3);
+  }
+
+  const trace::LatencyHistogram& lat = result.acquire_latency;
+  std::printf("\nacquire latency: mean %.1f ns, p50 <= %.1f ns, p99 <= %.1f ns, max %.1f ns\n",
+              lat.MeanNs(), lat.PercentileNs(0.5), lat.PercentileNs(0.99),
+              sim::NsFromPs(lat.max_ps()));
+
+  if (!result.lock_level_stats.empty()) {
+    std::printf("\nper-level lock statistics:\n");
+    std::printf("%-10s%14s%12s%12s%12s%12s%12s\n", "level", "acquisitions", "inherited",
+                "passes", "climbs", "H-climbs", "pass-ratio");
+    const auto& stats = result.lock_level_stats;
+    for (size_t level = 0; level < stats.size(); ++level) {
+      std::printf("%-10s%14llu%12llu%12llu%12llu%12llu%11.1f%%\n",
+                  hierarchy.LevelName(static_cast<int>(level)).c_str(),
+                  static_cast<unsigned long long>(stats[level].acquisitions),
+                  static_cast<unsigned long long>(stats[level].inherited),
+                  static_cast<unsigned long long>(stats[level].local_passes),
+                  static_cast<unsigned long long>(stats[level].climbs),
+                  static_cast<unsigned long long>(stats[level].threshold_climbs),
+                  stats[level].LocalPassRatio() * 100.0);
+    }
+  }
 }
 
 int Run(const bench::Flags& flags) {
@@ -131,12 +206,21 @@ int Run(const bench::Flags& flags) {
     config.thread_counts = ParseThreads(flags.GetString("threads", ""), machine.topology);
     auto result = select::RunScriptedBenchmark(config);
     std::printf("swept %zu locks\n", result.curves.size());
-    std::printf("HC-best %-18s (score %.3f)\n", result.selection.hc_best.c_str(),
-                result.selection.hc_best_score);
-    std::printf("LC-best %-18s (score %.3f)\n", result.selection.lc_best.c_str(),
-                result.selection.lc_best_score);
-    std::printf("worst   %-18s (score %.3f)\n", result.selection.worst.c_str(),
-                result.selection.worst_score);
+    // Report *why* a composition ranked where it did, not just its throughput: the
+    // paper's §5 analysis ties HC-best wins to handover locality and low line traffic.
+    auto explain = [&](const char* tag, const std::string& name, double score) {
+      std::printf("%s %-18s (score %.3f)", tag, name.c_str(), score);
+      const select::LockCurve* curve = result.Curve(name);
+      if (curve != nullptr && !curve->local_handover_rate.empty()) {
+        std::printf("  local handover %5.1f%%, %.2f transfers/op at %d threads",
+                    100.0 * curve->local_handover_rate.back(),
+                    curve->transfers_per_op.back(), result.thread_counts.back());
+      }
+      std::printf("\n");
+    };
+    explain("HC-best", result.selection.hc_best, result.selection.hc_best_score);
+    explain("LC-best", result.selection.lc_best, result.selection.lc_best_score);
+    explain("worst  ", result.selection.worst, result.selection.worst_score);
     return 0;
   }
 
@@ -150,6 +234,10 @@ int Run(const bench::Flags& flags) {
   ClofParams params;
   params.keep_local_threshold = static_cast<uint32_t>(flags.GetInt("H", 128));
   auto threads = ParseThreads(flags.GetString("threads", ""), machine.topology);
+  const std::string trace_path = flags.GetString("trace", "");
+  trace::TraceBuffer trace_buffer(
+      static_cast<size_t>(flags.GetInt("trace_capacity", 1 << 20)));
+  harness::BenchResult last;
   std::printf("%-10s%12s%10s\n", "threads", "iter/us", "jain");
   for (int t : threads) {
     harness::BenchConfig config;
@@ -162,41 +250,22 @@ int Run(const bench::Flags& flags) {
     config.duration_ms = duration;
     config.seed = seed;
     config.params = params;
+    if (!trace_path.empty() && t == threads.back()) {
+      config.trace_sink = &trace_buffer;  // trace the most contended sweep point
+    }
     auto result = harness::RunLockBench(config);
     std::printf("%-10d%12.3f%10.3f\n", t, result.throughput_per_us, result.fairness_index);
+    last = std::move(result);
+  }
+  if (!trace_path.empty()) {
+    trace::WriteChromeTraceFile(trace_path, trace_buffer, machine.topology);
+    std::printf("\nwrote %llu events to %s (%llu dropped; open in Perfetto)\n",
+                static_cast<unsigned long long>(trace_buffer.recorded() -
+                                                trace_buffer.dropped()),
+                trace_path.c_str(), static_cast<unsigned long long>(trace_buffer.dropped()));
   }
   if (flags.GetBool("stats")) {
-    // Re-run the max-thread point with a hand-held lock to read its counters.
-    auto lock = registry.Make(lock_name, hierarchy, params);
-    sim::Engine engine(machine.topology, machine.platform);
-    sim::Time end = sim::PsFromNs(duration * 1e6);
-    auto profile = ProfileByName(flags.GetString("profile", "leveldb"));
-    for (int t = 0; t < threads.back(); ++t) {
-      engine.Spawn(t, [&, t] {
-        runtime::Xoshiro256 rng(seed + t);
-        auto ctx = lock->MakeContext();
-        auto& eng = sim::Engine::Current();
-        while (eng.Now() < end) {
-          eng.Work(profile.think_ns * (0.75 + 0.5 * rng.NextDouble()));
-          Lock::Guard guard(*lock, *ctx);
-          eng.Work(profile.cs_work_ns);
-        }
-      });
-    }
-    engine.Run();
-    auto stats = lock->Stats();
-    std::printf("\nper-level statistics at %d threads:\n", threads.back());
-    std::printf("%-10s%14s%12s%12s%12s%12s\n", "level", "acquisitions", "inherited",
-                "passes", "climbs", "pass-ratio");
-    for (size_t level = 0; level < stats.size(); ++level) {
-      std::printf("%-10s%14llu%12llu%12llu%12llu%11.1f%%\n",
-                  hierarchy.LevelName(static_cast<int>(level)).c_str(),
-                  static_cast<unsigned long long>(stats[level].acquisitions),
-                  static_cast<unsigned long long>(stats[level].inherited),
-                  static_cast<unsigned long long>(stats[level].local_passes),
-                  static_cast<unsigned long long>(stats[level].climbs),
-                  stats[level].LocalPassRatio() * 100.0);
-    }
+    PrintObservability(last, machine, hierarchy);
   }
   return 0;
 }
