@@ -31,11 +31,11 @@ void SimPart(double duration) {
     double results[2];
     for (int ctr = 0; ctr < 2; ++ctr) {
       harness::BenchConfig config;
-      config.machine = &cell.machine;
-      config.hierarchy = h1;
+      config.spec.machine = &cell.machine;
+      config.spec.hierarchy = h1;
       config.lock_name = "hem";
-      config.registry = &SimRegistry(ctr == 1);
-      config.profile = workload::Profile::LevelDbReadRandom();
+      config.spec.registry = &SimRegistry(ctr == 1);
+      config.spec.profile = workload::Profile::LevelDbReadRandom();
       config.num_threads = 8;
       std::vector<int> cpus;
       for (int t = 0; t < 8; ++t) {

@@ -29,11 +29,11 @@ int main(int argc, char** argv) {
   // Fairness cost of the fast path at mid contention.
   for (const char* name : {"tkt-clh-tkt-tkt", "fp-tkt-clh-tkt-tkt"}) {
     harness::BenchConfig config;
-    config.machine = &machine;
-    config.hierarchy = h4;
+    config.spec.machine = &machine;
+    config.spec.hierarchy = h4;
     config.lock_name = name;
-    config.registry = options.registry;
-    config.profile = workload::Profile::LevelDbReadRandom();
+    config.spec.registry = options.registry;
+    config.spec.profile = workload::Profile::LevelDbReadRandom();
     config.num_threads = 32;
     config.duration_ms = options.duration_ms;
     auto result = harness::RunLockBench(config);

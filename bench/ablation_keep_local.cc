@@ -55,14 +55,14 @@ int main(int argc, char** argv) {
   std::printf("%-10s%12s%10s%14s\n", "H", "iter/us", "jain", "leaf-pass%");
   for (uint32_t h : thresholds) {
     harness::BenchConfig config;
-    config.machine = &machine;
-    config.hierarchy = h4;
+    config.spec.machine = &machine;
+    config.spec.hierarchy = h4;
     config.lock_name = "tkt-clh-tkt-tkt";
-    config.registry = &SimRegistry(false);
-    config.profile = workload::Profile::LevelDbReadRandom();
+    config.spec.registry = &SimRegistry(false);
+    config.spec.profile = workload::Profile::LevelDbReadRandom();
     config.num_threads = 64;
     config.duration_ms = duration;
-    config.params.keep_local_threshold = h;
+    config.spec.params.keep_local_threshold = h;
     auto result = harness::RunLockBench(config);
     double ratio = LeafPassRatio(machine, h4, h, duration * 0.5);
     std::printf("%-10u%12.3f%10.3f%13.1f%%\n", h, result.throughput_per_us,

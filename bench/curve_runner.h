@@ -1,4 +1,7 @@
 // Helper for figure benches: run labelled (lock, hierarchy) rows across thread counts.
+// Cells execute on the clof::exec work-stealing executor (each is an isolated
+// deterministic simulation), so multi-row figures regenerate in parallel with results
+// identical to a serial run.
 #ifndef CLOF_BENCH_CURVE_RUNNER_H_
 #define CLOF_BENCH_CURVE_RUNNER_H_
 
@@ -6,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/exec/executor.h"
 #include "src/harness/lock_bench.h"
 
 namespace clof::bench {
@@ -22,30 +26,36 @@ struct CurveRunOptions {
   int runs = 1;
   uint64_t seed = 42;
   const Registry* registry = nullptr;  // default per machine arch
+  int jobs = 0;                        // executor workers: 0 = one per host CPU
 };
 
 inline std::vector<std::pair<std::string, std::vector<double>>> RunCurves(
     const sim::Machine& machine, const std::vector<CurveSpec>& specs,
     const std::vector<int>& thread_counts, const workload::Profile& profile,
     const CurveRunOptions& options) {
-  std::vector<std::pair<std::string, std::vector<double>>> rows;
-  for (const auto& spec : specs) {
-    std::vector<double> values;
-    for (int threads : thread_counts) {
-      harness::BenchConfig config;
-      config.machine = &machine;
-      config.hierarchy = spec.hierarchy;
-      config.lock_name = spec.lock_name;
-      config.registry = options.registry;
-      config.profile = profile;
-      config.num_threads = threads;
-      config.duration_ms = options.duration_ms;
-      config.seed = options.seed;
-      config.params = spec.params;
-      values.push_back(harness::RunLockBenchMedian(config, options.runs).throughput_per_us);
-    }
-    rows.emplace_back(spec.label, std::move(values));
+  std::vector<std::pair<std::string, std::vector<double>>> rows(specs.size());
+  for (size_t s = 0; s < specs.size(); ++s) {
+    rows[s].first = specs[s].label;
+    rows[s].second.resize(thread_counts.size());
   }
+  exec::Executor executor(options.jobs);
+  executor.ParallelFor(specs.size() * thread_counts.size(), [&](size_t task) {
+    const size_t s = task / thread_counts.size();
+    const size_t t = task % thread_counts.size();
+    const CurveSpec& spec = specs[s];
+    harness::BenchConfig config;
+    config.spec.machine = &machine;
+    config.spec.hierarchy = spec.hierarchy;
+    config.spec.registry = options.registry;
+    config.spec.profile = profile;
+    config.spec.seed = options.seed;
+    config.spec.params = spec.params;
+    config.lock_name = spec.lock_name;
+    config.num_threads = thread_counts[t];
+    config.duration_ms = options.duration_ms;
+    rows[s].second[t] =
+        harness::RunLockBenchMedian(config, options.runs).throughput_per_us;
+  });
   return rows;
 }
 

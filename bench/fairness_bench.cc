@@ -36,11 +36,11 @@ int main(int argc, char** argv) {
   std::printf("%-32s%10s%10s%10s%10s\n", "lock", "jain", "min", "median", "max");
   for (const auto& row : rows) {
     harness::BenchConfig config;
-    config.machine = &machine;
-    config.hierarchy = *row.hierarchy;
+    config.spec.machine = &machine;
+    config.spec.hierarchy = *row.hierarchy;
     config.lock_name = row.lock;
-    config.registry = &SimRegistry(false);
-    config.profile = workload::Profile::LevelDbReadRandom();
+    config.spec.registry = &SimRegistry(false);
+    config.spec.profile = workload::Profile::LevelDbReadRandom();
     config.num_threads = 64;
     config.duration_ms = duration;
     auto result = harness::RunLockBench(config);

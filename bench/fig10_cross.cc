@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
   bench::CurveRunOptions options;
   options.duration_ms = flags.GetDouble("duration_ms", flags.GetBool("quick") ? 0.3 : 1.0);
   options.runs = flags.GetInt("runs", flags.GetBool("quick") ? 1 : 3);
+  options.jobs = flags.GetInt("jobs", 0);  // 0 = one executor worker per host CPU
 
   auto x86 = sim::Machine::PaperX86();
   auto arm = sim::Machine::PaperArm();

@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
   discover::HeatmapOptions options;
   options.rounds_per_pair = flags.GetInt("rounds", 60);
   options.cpu_stride = flags.GetInt("stride", flags.GetBool("quick") ? 4 : 1);
+  options.jobs = flags.GetInt("jobs", 0);  // 0 = one executor worker per host CPU
   RunMachine("x86", sim::Machine::PaperX86(), options, "fig1_x86.csv");
   RunMachine("Armv8", sim::Machine::PaperArm(), options, "fig1_arm.csv");
   return 0;

@@ -69,11 +69,11 @@ void RunMachine(const char* label, const sim::Machine& machine, double duration_
     std::printf("%-10s", row.name);
     for (const auto& [name, cpus] : cohorts) {
       harness::BenchConfig config;
-      config.machine = &machine;
-      config.hierarchy = h1;
+      config.spec.machine = &machine;
+      config.spec.hierarchy = h1;
       config.lock_name = row.lock;
-      config.registry = row.registry;
-      config.profile = workload::Profile::LevelDbReadRandom();
+      config.spec.registry = row.registry;
+      config.spec.profile = workload::Profile::LevelDbReadRandom();
       config.num_threads = static_cast<int>(cpus.size());
       config.cpu_assignment = cpus;
       config.duration_ms = duration_ms;

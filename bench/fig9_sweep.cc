@@ -12,6 +12,7 @@
 #include <fstream>
 
 #include "bench/bench_util.h"
+#include "bench/curve_runner.h"
 #include "src/select/preselect.h"
 #include "src/select/scripted_bench.h"
 
@@ -21,19 +22,20 @@ using namespace clof;
 
 void RunVariant(const char* tag, const sim::Machine& machine,
                 const std::vector<std::string>& levels, bool ctr_hem, double duration_ms,
-                bool verbose, bool preselect) {
+                bool verbose, bool preselect, int jobs) {
   auto hierarchy = topo::Hierarchy::Select(machine.topology, levels);
   select::SweepConfig config;
-  config.machine = &machine;
-  config.hierarchy = hierarchy;
-  config.registry = &SimRegistry(ctr_hem);
+  config.spec.machine = &machine;
+  config.spec.hierarchy = hierarchy;
+  config.spec.registry = &SimRegistry(ctr_hem);
   config.duration_ms = duration_ms;
+  config.jobs = jobs;
   if (preselect) {
     // §4.3 footnote: prune the search space with the per-level Figure-3 heuristic.
     select::PreselectConfig pre;
     pre.machine = &machine;
     pre.hierarchy = hierarchy;
-    pre.registry = config.registry;
+    pre.registry = config.spec.registry;
     auto chosen = select::PreselectLocks(pre);
     config.lock_names = chosen.combinations;
     std::printf("\npre-selection kept %zu of %d combinations:", config.lock_names.size(),
@@ -55,33 +57,25 @@ void RunVariant(const char* tag, const sim::Machine& machine,
   std::printf("worst:   %-18s (score %.3f)\n", result.selection.worst.c_str(),
               result.selection.worst_score);
 
-  // Print the highlighted curves plus HMCS at the same hierarchy.
-  harness::BenchConfig hmcs;
-  hmcs.machine = &machine;
-  hmcs.hierarchy = hierarchy;
-  hmcs.lock_name = "hmcs";
-  hmcs.registry = config.registry;
-  hmcs.profile = config.profile;
-  hmcs.duration_ms = duration_ms;
-  std::vector<std::pair<std::string, std::vector<double>>> rows;
-  std::vector<double> hmcs_curve;
-  for (int threads : result.thread_counts) {
-    hmcs.num_threads = threads;
-    hmcs_curve.push_back(harness::RunLockBench(hmcs).throughput_per_us);
-  }
+  // Print the highlighted curves plus HMCS at the same hierarchy (run through the same
+  // parallel cell executor as the sweep).
+  bench::CurveRunOptions hmcs_options;
+  hmcs_options.duration_ms = duration_ms;
+  hmcs_options.registry = config.spec.registry;
+  hmcs_options.jobs = jobs;
+  auto hmcs_rows = bench::RunCurves(machine, {{"HMCS", "hmcs", hierarchy, {}}},
+                                    result.thread_counts, config.spec.profile,
+                                    hmcs_options);
   auto find_curve = [&](const std::string& name) {
-    for (const auto& curve : result.curves) {
-      if (curve.name == name) {
-        return curve.throughput;
-      }
-    }
-    return std::vector<double>();
+    const select::LockCurve* curve = result.Curve(name);
+    return curve != nullptr ? curve->throughput : std::vector<double>();
   };
+  std::vector<std::pair<std::string, std::vector<double>>> rows;
   rows.emplace_back("HC-best " + result.selection.hc_best,
                     find_curve(result.selection.hc_best));
   rows.emplace_back("LC-best " + result.selection.lc_best,
                     find_curve(result.selection.lc_best));
-  rows.emplace_back("HMCS", hmcs_curve);
+  rows.emplace_back("HMCS", hmcs_rows[0].second);
   rows.emplace_back("worst " + result.selection.worst, find_curve(result.selection.worst));
   bench::PrintCurveTable("highlighted curves", result.thread_counts, rows);
 
@@ -119,22 +113,25 @@ int main(int argc, char** argv) {
   double duration = flags.GetDouble("duration_ms", flags.GetBool("quick") ? 0.15 : 1.0);
   bool verbose = flags.GetBool("verbose");
   bool preselect = flags.GetBool("preselect");
+  int jobs = flags.GetInt("jobs", 0);  // 0 = one worker per host CPU
   std::string only = flags.GetString("only", "");
   auto x86 = sim::Machine::PaperX86();
   auto arm = sim::Machine::PaperArm();
   if (only.empty() || only == "a") {
     RunVariant("a", x86, {"core", "cache", "numa", "system"}, true, duration, verbose,
-               preselect);
+               preselect, jobs);
   }
   if (only.empty() || only == "b") {
     RunVariant("b", arm, {"cache", "numa", "package", "system"}, false, duration, verbose,
-               preselect);
+               preselect, jobs);
   }
   if (only.empty() || only == "c") {
-    RunVariant("c", x86, {"cache", "numa", "system"}, true, duration, verbose, preselect);
+    RunVariant("c", x86, {"cache", "numa", "system"}, true, duration, verbose, preselect,
+               jobs);
   }
   if (only.empty() || only == "d") {
-    RunVariant("d", arm, {"cache", "numa", "system"}, false, duration, verbose, preselect);
+    RunVariant("d", arm, {"cache", "numa", "system"}, false, duration, verbose, preselect,
+               jobs);
   }
   return 0;
 }

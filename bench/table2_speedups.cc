@@ -12,11 +12,12 @@ namespace {
 
 using namespace clof;
 
-void RunMachine(const char* label, const sim::Machine& machine, int stride,
+void RunMachine(const char* label, const sim::Machine& machine, int stride, int jobs,
                 const std::map<std::string, double>& paper) {
   discover::HeatmapOptions options;
   options.rounds_per_pair = 60;
   options.cpu_stride = stride;
+  options.jobs = jobs;
   discover::Heatmap map = discover::RunPingPongHeatmap(machine, options);
   auto speedups = discover::CohortSpeedups(machine.topology, map);
   std::printf("\n== Table 2 (%s): cohort speedup over system cohort ==\n", label);
@@ -38,11 +39,12 @@ int main(int argc, char** argv) {
   // x86 stride must hit SMT siblings (0/48 stay aligned for even strides) and cache
   // mates (3 consecutive cores): stride 2 preserves both.
   int stride = flags.GetInt("stride", flags.GetBool("quick") ? 2 : 1);
-  RunMachine("x86", sim::Machine::PaperX86(), stride,
+  int jobs = flags.GetInt("jobs", 0);  // 0 = one executor worker per host CPU
+  RunMachine("x86", sim::Machine::PaperX86(), stride, jobs,
              {{"system", 1.00}, {"package", 1.54}, {"numa", 1.54}, {"cache", 9.07},
               {"core", 12.18}});
   // Arm stride must hit same-cache pairs (groups of 4): stride 1 or 2.
-  RunMachine("Armv8", sim::Machine::PaperArm(), std::min(stride, 2),
+  RunMachine("Armv8", sim::Machine::PaperArm(), std::min(stride, 2), jobs,
              {{"system", 1.00}, {"package", 1.76}, {"numa", 2.98}, {"cache", 7.04}});
   return 0;
 }

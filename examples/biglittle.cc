@@ -38,9 +38,9 @@ int main() {
   // 2. Sweep all 2-level compositions and select (§4.3).
   auto hierarchy = topo::Hierarchy::Select(topology, {"cluster", "system"});
   select::SweepConfig sweep;
-  sweep.machine = &machine;
-  sweep.hierarchy = hierarchy;
-  sweep.registry = &SimRegistry(false);  // LL/SC architecture: Hemlock without CTR
+  sweep.spec.machine = &machine;
+  sweep.spec.hierarchy = hierarchy;
+  sweep.spec.registry = &SimRegistry(false);  // LL/SC architecture: Hemlock without CTR
   sweep.thread_counts = {1, 2, 4, 8};
   sweep.duration_ms = 0.4;
   auto result = select::RunScriptedBenchmark(sweep);

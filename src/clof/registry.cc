@@ -28,26 +28,48 @@ std::unique_ptr<Lock> Registry::Make(const std::string& name, const topo::Hierar
   return entry.factory(name, hierarchy, params);
 }
 
-std::vector<std::string> Registry::Names(int levels, bool generated_only) const {
+Registry::LockInfo Registry::Info(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("unknown lock: " + name);
+  }
+  return LockInfo{it->second.levels, it->second.fair, it->second.kind};
+}
+
+std::vector<std::string> Registry::Names(const NameFilter& filter) const {
   std::vector<std::string> names;
   for (const auto& [name, entry] : entries_) {
-    if ((levels == kAnyDepth || entry.levels == levels) &&
-        (!generated_only || entry.kind == Kind::kGenerated)) {
+    if ((filter.levels == kAnyDepth || entry.levels == filter.levels) &&
+        (!filter.generated_only || entry.kind == Kind::kGenerated) &&
+        (!filter.fair_only || entry.fair)) {
       names.push_back(name);
     }
   }
   return names;
 }
 
+namespace {
+
+Registry BuildDescribed(Registry (*build)(), const char* description) {
+  Registry registry = build();
+  registry.set_description(description);
+  return registry;
+}
+
+}  // namespace
+
 const Registry& SimRegistry(bool ctr_hem) {
-  static const Registry with_ctr = internal::BuildSimRegistryCtr();
-  static const Registry without_ctr = internal::BuildSimRegistryNoCtr();
+  static const Registry with_ctr = BuildDescribed(internal::BuildSimRegistryCtr, "sim-ctr");
+  static const Registry without_ctr =
+      BuildDescribed(internal::BuildSimRegistryNoCtr, "sim-noctr");
   return ctr_hem ? with_ctr : without_ctr;
 }
 
 const Registry& NativeRegistry(bool ctr_hem) {
-  static const Registry with_ctr = internal::BuildNativeRegistryCtr();
-  static const Registry without_ctr = internal::BuildNativeRegistryNoCtr();
+  static const Registry with_ctr =
+      BuildDescribed(internal::BuildNativeRegistryCtr, "native-ctr");
+  static const Registry without_ctr =
+      BuildDescribed(internal::BuildNativeRegistryNoCtr, "native-noctr");
   return ctr_hem ? with_ctr : without_ctr;
 }
 

@@ -41,10 +41,34 @@ class Registry {
   std::unique_ptr<Lock> Make(const std::string& name, const topo::Hierarchy& hierarchy,
                              const ClofParams& params = {}) const;
 
-  // All registered names with exactly `levels` levels, sorted. kAnyDepth returns
-  // everything; generated_only restricts to the CLoF-generated compositions.
-  std::vector<std::string> Names(int levels = kAnyDepth, bool generated_only = false) const;
+  // Registration metadata of one lock, as passed to Register(). Callers that need a
+  // lock's depth, fairness or provenance should use Info() instead of parsing the
+  // dash-separated name.
+  struct LockInfo {
+    int levels = kAnyDepth;
+    bool fair = false;
+    Kind kind = Kind::kGenerated;
+  };
+  // Throws std::invalid_argument for unknown names (same contract as Make()).
+  LockInfo Info(const std::string& name) const;
+
+  // Name-listing filter: every field narrows the result, defaults select everything.
+  struct NameFilter {
+    int levels = kAnyDepth;       // exact hierarchy depth, or kAnyDepth
+    bool generated_only = false;  // only the CLoF-generated compositions
+    bool fair_only = false;       // only starvation-free algorithms
+  };
+  // All registered names matching `filter`, sorted.
+  std::vector<std::string> Names(const NameFilter& filter) const;
+  std::vector<std::string> Names() const { return Names(NameFilter()); }
   int size() const { return static_cast<int>(entries_.size()); }
+
+  // Stable identity for content-addressed caching (src/exec/fingerprint.h): two
+  // registries with different descriptions never share cache entries. The builtin
+  // registries set this ("sim-ctr", "sim-noctr", ...); custom registries should pick a
+  // unique string, or keep the default and forgo cross-registry cache safety.
+  const std::string& description() const { return description_; }
+  void set_description(std::string description) { description_ = std::move(description); }
 
  private:
   struct Entry {
@@ -54,12 +78,15 @@ class Registry {
     Kind kind;
   };
   std::map<std::string, Entry> entries_;
+  std::string description_ = "custom";
 };
 
 // Registries with all CLoF combinations of the paper's basic-lock set {tkt, mcs, clh,
 // hem} for depths 1..4, plus all baselines, per memory policy. `ctr_hem` selects the
-// Hemlock CTR optimization (true for x86 platforms, false for Arm). Built once,
-// thread-compatible (callers serialize first use).
+// Hemlock CTR optimization (true for x86 platforms, false for Arm). Built once on
+// first use; safe to call concurrently from multiple host threads (C++ magic-static
+// initialization — the parallel sweep executor's workers rely on this, and
+// scripts/check_tsan.sh keeps it honest). The returned registry is immutable.
 const Registry& SimRegistry(bool ctr_hem);
 const Registry& NativeRegistry(bool ctr_hem);
 

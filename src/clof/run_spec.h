@@ -1,0 +1,38 @@
+// The shared "what to run" half of every benchmark configuration.
+//
+// BenchConfig (one lock, one thread count) and SweepConfig (the scripted benchmark over
+// many locks and thread counts) used to duplicate these six fields; extracting them
+// into one struct gives the sweep executor a single canonical value to fingerprint for
+// the content-addressed result cache (src/exec/fingerprint.h) instead of two divergent
+// copies that could silently drift apart.
+#ifndef CLOF_SRC_CLOF_RUN_SPEC_H_
+#define CLOF_SRC_CLOF_RUN_SPEC_H_
+
+#include <cstdint>
+
+#include "src/clof/registry.h"
+#include "src/sim/platform.h"
+#include "src/topo/topology.h"
+#include "src/workload/profiles.h"
+
+namespace clof {
+
+struct RunSpec {
+  const sim::Machine* machine = nullptr;  // required
+  topo::Hierarchy hierarchy;              // hierarchy for lock construction
+  const Registry* registry = nullptr;     // default: SimRegistry(arch == x86)
+  workload::Profile profile = workload::Profile::LevelDbReadRandom();
+  uint64_t seed = 42;
+  ClofParams params;
+
+  // The registry this spec runs against: `registry` if set, else the simulated
+  // registry matching the machine's architecture. `machine` must be non-null.
+  const Registry& ResolveRegistry() const {
+    return registry != nullptr ? *registry
+                               : SimRegistry(machine->platform.arch == sim::Arch::kX86);
+  }
+};
+
+}  // namespace clof
+
+#endif  // CLOF_SRC_CLOF_RUN_SPEC_H_

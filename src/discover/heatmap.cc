@@ -7,6 +7,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "src/exec/executor.h"
 #include "src/mem/sim_memory.h"
 #include "src/sim/engine.h"
 
@@ -50,13 +51,21 @@ Heatmap RunPingPongHeatmap(const sim::Machine& machine, const HeatmapOptions& op
   Heatmap map;
   map.num_cpus = machine.topology.num_cpus();
   map.throughput.assign(static_cast<size_t>(map.num_cpus) * map.num_cpus, 0.0);
+  std::vector<std::pair<int, int>> pairs;
   for (int a = 0; a < map.num_cpus; a += options.cpu_stride) {
     for (int b = a + options.cpu_stride; b < map.num_cpus; b += options.cpu_stride) {
-      double tput = RunPair(machine, a, b, options.rounds_per_pair);
-      map.At(a, b) = tput;
-      map.At(b, a) = tput;
+      pairs.emplace_back(a, b);
     }
   }
+  // Each pair runs on its own engine and writes only its own two (symmetric) tiles, so
+  // sharding pairs across host threads cannot change the resulting heatmap.
+  exec::Executor executor(options.jobs);
+  executor.ParallelFor(pairs.size(), [&](size_t i) {
+    auto [a, b] = pairs[i];
+    double tput = RunPair(machine, a, b, options.rounds_per_pair);
+    map.At(a, b) = tput;
+    map.At(b, a) = tput;
+  });
   return map;
 }
 

@@ -34,6 +34,9 @@ struct HeatmapOptions {
   // run exactly deterministic and guarantees clean termination of both threads.
   int rounds_per_pair = 200;
   int cpu_stride = 1;  // measure every stride-th CPU (coarser but faster)
+  // Host worker threads for the pair executor (each pair is an isolated deterministic
+  // simulation): 0 = one per host CPU, 1 = serial. The heatmap is identical either way.
+  int jobs = 0;
 };
 
 // Runs the ping-pong microbenchmark for every (ordered) CPU pair on the machine.

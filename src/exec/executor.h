@@ -1,0 +1,48 @@
+// Host-thread work-stealing executor for embarrassingly-parallel simulation batches.
+//
+// Every simulated run in this codebase (a lock-bench cell, a heatmap ping-pong pair) is
+// a self-contained deterministic computation: it builds its own sim::Engine, touches no
+// global mutable state, and produces a value that depends only on its inputs. The
+// executor exploits that: it shards a fixed index range across host worker threads so
+// campaign-style evaluation (the §4.3 scripted benchmark, figure regeneration) scales
+// with host cores — while the *results* stay byte-identical to a serial run, because
+// each task writes only its own pre-allocated output slot and task inputs never depend
+// on scheduling order. docs/PARALLEL_SWEEP.md spells out the determinism argument.
+//
+// Scheduling: tasks are dealt round-robin into per-worker deques; a worker pops from
+// the back of its own deque and, when empty, steals from the front of the others. The
+// calling thread participates as worker 0, so jobs=1 degenerates to a plain inline
+// loop with no threads spawned and no synchronization.
+#ifndef CLOF_SRC_EXEC_EXECUTOR_H_
+#define CLOF_SRC_EXEC_EXECUTOR_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace clof::exec {
+
+// Resolves a --jobs style request: n >= 1 is taken literally, anything else (0 or
+// negative, the "auto" setting) becomes std::thread::hardware_concurrency (at least 1).
+int ResolveJobs(int jobs);
+
+class Executor {
+ public:
+  // `jobs` as for ResolveJobs: 0 (the default) means one worker per host CPU.
+  explicit Executor(int jobs = 0);
+
+  int jobs() const { return jobs_; }
+
+  // Runs fn(i) for every i in [0, count), sharded across jobs() workers, and blocks
+  // until all tasks finished. With one worker (or one task) this is an inline loop in
+  // index order. Tasks may run concurrently and in any order: they must only write
+  // state that no other task touches. If tasks throw, one of the exceptions is
+  // rethrown here after every worker has drained (the remaining tasks still run).
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn) const;
+
+ private:
+  int jobs_;
+};
+
+}  // namespace clof::exec
+
+#endif  // CLOF_SRC_EXEC_EXECUTOR_H_

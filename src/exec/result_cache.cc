@@ -1,0 +1,118 @@
+#include "src/exec/result_cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+namespace clof::exec {
+namespace {
+
+constexpr char kMagic[] = "clof-cell-cache";
+
+// Exact hex-float round-trip companions to Fingerprint::Add(double).
+std::string DoubleToText(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);
+  return buffer;
+}
+
+bool TextToDouble(const std::string& text, double* out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec || !std::filesystem::is_directory(dir_)) {
+    throw std::runtime_error("ResultCache: cannot create directory " + dir_);
+  }
+}
+
+std::string ResultCache::EntryPath(const Fingerprint& fp) const {
+  return dir_ + "/" + fp.HashHex() + ".cell";
+}
+
+std::optional<CellResult> ResultCache::Lookup(const Fingerprint& fp) {
+  auto miss = [this]() -> std::optional<CellResult> {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  };
+
+  std::ifstream in(EntryPath(fp), std::ios::binary);
+  if (!in) {
+    return miss();
+  }
+  std::string magic, version, hash;
+  std::string t_throughput, t_local, t_transfers;
+  size_t fingerprint_bytes = 0;
+  in >> magic >> version >> hash >> t_throughput >> t_local >> t_transfers >>
+      fingerprint_bytes;
+  if (!in || magic != kMagic || version != "v" + std::to_string(kCellSchemaVersion) ||
+      hash != fp.HashHex()) {
+    return miss();
+  }
+  in.get();  // the single newline separating header and transcript
+  std::string transcript(fingerprint_bytes, '\0');
+  in.read(transcript.data(), static_cast<std::streamsize>(fingerprint_bytes));
+  // Byte-for-byte transcript match: a hash collision or stale schema is a miss, not a
+  // wrong answer.
+  if (!in || transcript != fp.text()) {
+    return miss();
+  }
+  CellResult result;
+  if (!TextToDouble(t_throughput, &result.throughput_per_us) ||
+      !TextToDouble(t_local, &result.local_handover_rate) ||
+      !TextToDouble(t_transfers, &result.transfers_per_op)) {
+    return miss();
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+void ResultCache::Store(const Fingerprint& fp, const CellResult& value) {
+  const std::string path = EntryPath(fp);
+  std::ostringstream tmp_name;
+  tmp_name << path << ".tmp." << std::this_thread::get_id();
+  const std::string tmp = tmp_name.str();
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return;
+    }
+    out << kMagic << ' ' << 'v' << kCellSchemaVersion << ' ' << fp.HashHex() << ' '
+        << DoubleToText(value.throughput_per_us) << ' '
+        << DoubleToText(value.local_handover_rate) << ' '
+        << DoubleToText(value.transfers_per_op) << ' ' << fp.text().size() << '\n'
+        << fp.text();
+    if (!out.good()) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return;
+  }
+  stores_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace clof::exec

@@ -1,0 +1,70 @@
+// Content-addressed on-disk cache of sweep-cell results.
+//
+// Every cell of the scripted benchmark (one lock at one thread count, median of R runs)
+// is deterministic: its result is a pure function of its CellFingerprint. The cache
+// stores that function's value under the fingerprint's hash, so re-running a sweep or
+// regenerating a figure over an unchanged configuration skips the simulation entirely
+// and any change to any input field (see src/exec/fingerprint.h) naturally misses.
+//
+// Layout: one `<dir>/<hash16>.cell` text file per cell, holding a header, the payload
+// values as hex floats, and the complete fingerprint transcript. Lookup re-verifies the
+// transcript byte-for-byte, so hash collisions, truncated writes, and hand-edited files
+// all degrade to a miss (the cell is recomputed and the entry rewritten). Writes go
+// through a temp file + rename, so a concurrent reader never sees a partial entry.
+//
+// Thread-safety: Lookup/Store may be called concurrently from executor workers.
+// Distinct cells touch distinct files; the hit/miss/store counters are atomic.
+#ifndef CLOF_SRC_EXEC_RESULT_CACHE_H_
+#define CLOF_SRC_EXEC_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/exec/fingerprint.h"
+
+namespace clof::exec {
+
+// The cached payload of one sweep cell — exactly the values RunScriptedBenchmark
+// appends to a LockCurve (throughput plus the observability sidecars).
+struct CellResult {
+  double throughput_per_us = 0.0;
+  double local_handover_rate = 0.0;
+  double transfers_per_op = 0.0;
+
+  bool operator==(const CellResult& other) const = default;
+};
+
+class ResultCache {
+ public:
+  // Creates `dir` (and parents) if missing; throws std::runtime_error on failure.
+  explicit ResultCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  // Returns the cached value for `fp`, or nullopt (counted as a miss) when the entry
+  // is absent, unreadable, corrupt, or belongs to a different fingerprint.
+  std::optional<CellResult> Lookup(const Fingerprint& fp);
+
+  // Persists `value` under `fp`, overwriting any existing (possibly corrupt) entry.
+  // Failures to write are swallowed: the cache is an accelerator, never a correctness
+  // dependency — a run that cannot persist still returns correct results.
+  void Store(const Fingerprint& fp, const CellResult& value);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t stores() const { return stores_.load(std::memory_order_relaxed); }
+
+ private:
+  std::string EntryPath(const Fingerprint& fp) const;
+
+  std::string dir_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> stores_{0};
+};
+
+}  // namespace clof::exec
+
+#endif  // CLOF_SRC_EXEC_RESULT_CACHE_H_

@@ -75,16 +75,14 @@ class SharedState {
 }  // namespace
 
 BenchResult RunLockBench(const BenchConfig& config) {
-  if (config.machine == nullptr) {
-    throw std::invalid_argument("BenchConfig.machine is required");
+  if (config.spec.machine == nullptr) {
+    throw std::invalid_argument("BenchConfig.spec.machine is required");
   }
-  if (!config.hierarchy.valid()) {
-    throw std::invalid_argument("BenchConfig.hierarchy is required");
+  if (!config.spec.hierarchy.valid()) {
+    throw std::invalid_argument("BenchConfig.spec.hierarchy is required");
   }
-  const sim::Machine& machine = *config.machine;
-  const Registry& registry = config.registry != nullptr
-                                 ? *config.registry
-                                 : SimRegistry(machine.platform.arch == sim::Arch::kX86);
+  const sim::Machine& machine = *config.spec.machine;
+  const Registry& registry = config.spec.ResolveRegistry();
   if (config.num_threads < 1 || config.num_threads > machine.topology.num_cpus()) {
     throw std::invalid_argument("num_threads out of range for machine");
   }
@@ -95,8 +93,8 @@ BenchResult RunLockBench(const BenchConfig& config) {
 
   sim::Engine engine(machine.topology, machine.platform);
   engine.SetEventSink(config.trace_sink);
-  auto lock = registry.Make(config.lock_name, config.hierarchy, config.params);
-  SharedState shared(config.profile);
+  auto lock = registry.Make(config.lock_name, config.spec.hierarchy, config.spec.params);
+  SharedState shared(config.spec.profile);
 
   const sim::Time end = sim::PsFromNs(config.duration_ms * 1e6);
   const int num_levels = machine.topology.num_levels();
@@ -112,10 +110,10 @@ BenchResult RunLockBench(const BenchConfig& config) {
   for (int t = 0; t < config.num_threads; ++t) {
     int cpu = config.cpu_assignment.empty() ? t : config.cpu_assignment[t];
     engine.Spawn(cpu, [&, t, cpu] {
-      runtime::Xoshiro256 rng(config.seed * 0x9e3779b97f4a7c15ull + t);
+      runtime::Xoshiro256 rng(config.spec.seed * 0x9e3779b97f4a7c15ull + t);
       auto ctx = lock->MakeContext();
       auto& eng = sim::Engine::Current();
-      const workload::Profile& p = config.profile;
+      const workload::Profile& p = config.spec.profile;
       while (eng.Now() < end) {
         if (p.think_ns > 0.0) {
           double jitter = 1.0 + p.think_jitter * (2.0 * rng.NextDouble() - 1.0);
@@ -179,7 +177,7 @@ BenchResult RunLockBenchMedian(const BenchConfig& config, int runs) {
   results.reserve(runs);
   for (int r = 0; r < runs; ++r) {
     BenchConfig cfg = config;
-    cfg.seed = config.seed + static_cast<uint64_t>(r) * 7919;
+    cfg.spec.seed = config.spec.seed + static_cast<uint64_t>(r) * 7919;
     results.push_back(RunLockBench(cfg));
   }
   std::sort(results.begin(), results.end(), [](const BenchResult& a, const BenchResult& b) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/clof/registry.h"
+#include "src/clof/run_spec.h"
 #include "src/sim/platform.h"
 #include "src/topo/topology.h"
 #include "src/trace/trace.h"
@@ -17,16 +18,13 @@
 namespace clof::harness {
 
 struct BenchConfig {
-  const sim::Machine* machine = nullptr;   // required
-  topo::Hierarchy hierarchy;               // hierarchy for lock construction
-  std::string lock_name;                   // name in `registry`
-  const Registry* registry = nullptr;      // default: SimRegistry(arch == x86)
-  workload::Profile profile;
+  // What to run: machine, hierarchy, registry, profile, seed, ClofParams. Shared with
+  // SweepConfig so the sweep executor fingerprints one canonical value.
+  RunSpec spec;
+  std::string lock_name;                   // name in `spec.registry`
   int num_threads = 1;                     // thread i runs on virtual CPU i...
   std::vector<int> cpu_assignment;         // ...unless set: thread i -> cpu_assignment[i]
   double duration_ms = 1.0;                // virtual milliseconds
-  uint64_t seed = 42;
-  ClofParams params;
   // Optional event sink installed on the engine for the run (e.g. a trace::TraceBuffer
   // for Chrome-trace export). Observers never perturb virtual time, so results are
   // bit-identical with or without one.

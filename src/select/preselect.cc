@@ -52,15 +52,15 @@ PreselectResult PreselectLocks(const PreselectConfig& config) {
     std::vector<std::pair<double, std::string>> ranked;
     for (const auto& name : config.basic_locks) {
       harness::BenchConfig bench;
-      bench.machine = config.machine;
-      bench.hierarchy = flat;
+      bench.spec.machine = config.machine;
+      bench.spec.hierarchy = flat;
+      bench.spec.registry = &registry;
+      bench.spec.profile = config.profile;
+      bench.spec.seed = config.seed;
       bench.lock_name = name;
-      bench.registry = &registry;
-      bench.profile = config.profile;
       bench.num_threads = static_cast<int>(cpus.size());
       bench.cpu_assignment = cpus;
       bench.duration_ms = config.duration_ms;
-      bench.seed = config.seed;
       ranked.emplace_back(harness::RunLockBench(bench).throughput_per_us, name);
     }
     std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {

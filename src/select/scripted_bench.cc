@@ -1,60 +1,143 @@
 #include "src/select/scripted_bench.h"
 
+#include <atomic>
+#include <mutex>
 #include <stdexcept>
 
+#include "src/exec/executor.h"
+#include "src/exec/fingerprint.h"
+
 namespace clof::select {
+namespace {
+
+// Runs (or serves from cache) one sweep cell: `lock` at `threads`, median of `runs`.
+exec::CellResult EvaluateCell(const SweepConfig& config, const RunSpec& spec,
+                              const std::string& lock, int threads, int local_level) {
+  exec::Fingerprint fp;
+  if (config.cache != nullptr) {
+    fp = exec::CellFingerprint(spec, lock, threads, config.duration_ms, config.runs);
+    if (auto cached = config.cache->Lookup(fp)) {
+      return *cached;
+    }
+  }
+  harness::BenchConfig bench;
+  bench.spec = spec;
+  bench.lock_name = lock;
+  bench.num_threads = threads;
+  bench.duration_ms = config.duration_ms;
+  auto run = harness::RunLockBenchMedian(bench, config.runs);
+  exec::CellResult cell;
+  cell.throughput_per_us = run.throughput_per_us;
+  cell.local_handover_rate = run.HandoverLocalityAt(local_level);
+  cell.transfers_per_op = run.total_ops == 0
+                              ? 0.0
+                              : static_cast<double>(run.total_line_transfers) /
+                                    static_cast<double>(run.total_ops);
+  if (config.cache != nullptr) {
+    config.cache->Store(fp, cell);
+  }
+  return cell;
+}
+
+}  // namespace
+
+const LockCurve* SweepResult::Curve(const std::string& name) const {
+  if (!curve_index_.empty()) {
+    auto it = curve_index_.find(name);
+    return it == curve_index_.end() ? nullptr : &curves[it->second];
+  }
+  for (const auto& curve : curves) {
+    if (curve.name == name) {
+      return &curve;
+    }
+  }
+  return nullptr;
+}
+
+void SweepResult::IndexCurves() {
+  curve_index_.clear();
+  curve_index_.reserve(curves.size());
+  for (size_t i = 0; i < curves.size(); ++i) {
+    curve_index_.emplace(curves[i].name, i);
+  }
+}
 
 SweepResult RunScriptedBenchmark(const SweepConfig& config) {
-  if (config.machine == nullptr) {
-    throw std::invalid_argument("SweepConfig.machine is required");
+  if (config.spec.machine == nullptr) {
+    throw std::invalid_argument("SweepConfig.spec.machine is required");
   }
-  const Registry& registry =
-      config.registry != nullptr
-          ? *config.registry
-          : SimRegistry(config.machine->platform.arch == sim::Arch::kX86);
+  // Resolve the spec once, outside the workers: the executor fingerprints exactly this
+  // value, and every cell sees the same registry pointer.
+  RunSpec spec = config.spec;
+  spec.registry = &config.spec.ResolveRegistry();
 
   SweepResult result;
-  result.thread_counts = config.thread_counts.empty()
-                             ? harness::PaperThreadCounts(config.machine->topology)
-                             : config.thread_counts;
-  std::vector<std::string> names =
+  result.thread_counts =
+      config.thread_counts.empty()
+          ? harness::PaperThreadCounts(spec.machine->topology)
+          : config.thread_counts;
+  const std::vector<std::string> names =
       config.lock_names.empty()
-          ? registry.Names(config.hierarchy.depth(), /*generated_only=*/true)
+          ? spec.registry->Names({.levels = spec.hierarchy.depth(),
+                                  .generated_only = true})
           : config.lock_names;
 
   // Lowest hierarchy level: handovers at or below it are "local" for reporting.
-  const int local_level = config.hierarchy.valid() ? config.hierarchy.TopologyLevel(0) : 0;
-  int done = 0;
-  for (const auto& name : names) {
-    LockCurve curve;
-    curve.name = name;
-    curve.throughput.reserve(result.thread_counts.size());
-    for (int threads : result.thread_counts) {
-      harness::BenchConfig bench;
-      bench.machine = config.machine;
-      bench.hierarchy = config.hierarchy;
-      bench.lock_name = name;
-      bench.registry = &registry;
-      bench.profile = config.profile;
-      bench.num_threads = threads;
-      bench.duration_ms = config.duration_ms;
-      bench.seed = config.seed;
-      bench.params = config.params;
-      auto run = harness::RunLockBenchMedian(bench, config.runs);
-      curve.throughput.push_back(run.throughput_per_us);
-      curve.local_handover_rate.push_back(run.HandoverLocalityAt(local_level));
-      curve.transfers_per_op.push_back(
-          run.total_ops == 0 ? 0.0
-                             : static_cast<double>(run.total_line_transfers) /
-                                   static_cast<double>(run.total_ops));
-    }
-    ++done;
-    if (config.on_lock_done) {
-      config.on_lock_done(curve, done, static_cast<int>(names.size()));
-    }
-    result.curves.push_back(std::move(curve));
+  const int local_level = spec.hierarchy.valid() ? spec.hierarchy.TopologyLevel(0) : 0;
+
+  const size_t num_locks = names.size();
+  const size_t num_threads = result.thread_counts.size();
+  result.curves.resize(num_locks);
+  for (size_t li = 0; li < num_locks; ++li) {
+    LockCurve& curve = result.curves[li];
+    curve.name = names[li];
+    curve.throughput.resize(num_threads);
+    curve.local_handover_rate.resize(num_threads);
+    curve.transfers_per_op.resize(num_threads);
   }
+
+  // In-order lock-completion callbacks (the on_lock_done contract in the header):
+  // whichever worker finishes a lock's last cell drains the pending callbacks that are
+  // next in sweep order, under one mutex.
+  std::vector<std::atomic<size_t>> cells_remaining(num_locks);
+  for (auto& remaining : cells_remaining) {
+    remaining.store(num_threads, std::memory_order_relaxed);
+  }
+  std::mutex callback_mutex;
+  std::vector<char> lock_done(num_locks, 0);
+  size_t next_callback = 0;
+  auto deliver_in_order = [&](size_t finished_lock) {
+    if (!config.on_lock_done) {
+      return;
+    }
+    std::lock_guard<std::mutex> guard(callback_mutex);
+    lock_done[finished_lock] = 1;
+    while (next_callback < num_locks && lock_done[next_callback]) {
+      config.on_lock_done(result.curves[next_callback],
+                          static_cast<int>(next_callback) + 1,
+                          static_cast<int>(num_locks));
+      ++next_callback;
+    }
+  };
+
+  // One task per sweep cell, lock-major so a serial run keeps the historical order.
+  exec::Executor executor(config.jobs);
+  executor.ParallelFor(num_locks * num_threads, [&](size_t task) {
+    const size_t li = task / num_threads;
+    const size_t ti = task % num_threads;
+    exec::CellResult cell = EvaluateCell(config, spec, names[li],
+                                         result.thread_counts[ti], local_level);
+    LockCurve& curve = result.curves[li];  // each task writes only its own slots
+    curve.throughput[ti] = cell.throughput_per_us;
+    curve.local_handover_rate[ti] = cell.local_handover_rate;
+    curve.transfers_per_op[ti] = cell.transfers_per_op;
+    if (cells_remaining[li].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      deliver_in_order(li);
+    }
+  });
+
   result.selection = SelectBest(result.curves, result.thread_counts);
+  result.IndexCurves();
   return result;
 }
 

@@ -1,15 +1,26 @@
 // The scripted benchmark (paper §4.3): evaluates every generated CLoF lock across the
 // contention sweep and feeds the selection policies. This is the automated part of the
 // CLoF workflow in Figure 5.
+//
+// The sweep is the expensive part of the workflow (all N^M locks x every thread count x
+// `runs` repetitions), so it executes on the clof::exec layer: cells are sharded across
+// host worker threads (`jobs`) and can be served from a content-addressed result cache
+// (`cache`). Both are pure accelerators — because every cell is a self-contained
+// deterministic simulation, the SweepResult is byte-identical for any worker count and
+// for cached vs computed cells (tests/parallel_sweep_test.cc asserts this). See
+// docs/PARALLEL_SWEEP.md.
 #ifndef CLOF_SRC_SELECT_SCRIPTED_BENCH_H_
 #define CLOF_SRC_SELECT_SCRIPTED_BENCH_H_
 
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/clof/registry.h"
+#include "src/clof/run_spec.h"
+#include "src/exec/result_cache.h"
 #include "src/harness/lock_bench.h"
 #include "src/select/selection.h"
 #include "src/sim/platform.h"
@@ -19,18 +30,27 @@
 namespace clof::select {
 
 struct SweepConfig {
-  const sim::Machine* machine = nullptr;  // required
-  topo::Hierarchy hierarchy;
-  const Registry* registry = nullptr;     // default: SimRegistry(arch == x86)
+  // What to run: machine, hierarchy, registry, profile, seed, ClofParams. Shared with
+  // BenchConfig; the executor fingerprints this one canonical value per sweep.
+  RunSpec spec;
   // Locks to sweep; empty = every generated lock of hierarchy.depth() levels.
   std::vector<std::string> lock_names;
-  workload::Profile profile = workload::Profile::LevelDbReadRandom();
   std::vector<int> thread_counts;         // empty = PaperThreadCounts(machine)
   double duration_ms = 0.5;               // §5.2 uses quick 1-run evaluations
   int runs = 1;
-  uint64_t seed = 42;
-  ClofParams params;
-  // Called after each lock completes (progress reporting); may be null.
+  // Host worker threads for the cell executor: 0 = one per host CPU, 1 = serial
+  // (inline, no threads spawned). Any value produces byte-identical results.
+  int jobs = 0;
+  // Optional content-addressed result cache; cells whose fingerprint matches a stored
+  // entry are served without simulating. Never changes results.
+  exec::ResultCache* cache = nullptr;
+  // Progress callback, invoked once per completed lock; may be null.
+  //
+  // Contract (independent of `jobs`): calls are serialized (never concurrent with each
+  // other), delivered in sweep order — curve for lock_names[i] arrives i-th, with
+  // `done` counting 1..total — and each curve is complete (all thread counts) when
+  // delivered. The invoking thread is unspecified when jobs > 1 (whichever worker
+  // finished the gating cell); with jobs == 1 it is the caller's thread.
   std::function<void(const LockCurve&, int done, int total)> on_lock_done;
 };
 
@@ -40,15 +60,14 @@ struct SweepResult {
   SelectionResult selection;
 
   // Curve lookup by lock name (e.g. to report why selection.hc_best won); nullptr if
-  // the name was not swept.
-  const LockCurve* Curve(const std::string& name) const {
-    for (const auto& curve : curves) {
-      if (curve.name == name) {
-        return &curve;
-      }
-    }
-    return nullptr;
-  }
+  // the name was not swept. O(1): backed by a name -> index map built once by
+  // RunScriptedBenchmark (call IndexCurves() after assembling a SweepResult by hand;
+  // unindexed lookups fall back to a linear scan).
+  const LockCurve* Curve(const std::string& name) const;
+  void IndexCurves();
+
+ private:
+  std::unordered_map<std::string, size_t> curve_index_;
 };
 
 SweepResult RunScriptedBenchmark(const SweepConfig& config);

@@ -1,0 +1,361 @@
+// Unit tests for the clof::exec layer: the work-stealing ParallelFor executor, the
+// canonical configuration fingerprint, and the content-addressed result cache.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/clof/run_spec.h"
+#include "src/exec/executor.h"
+#include "src/exec/fingerprint.h"
+#include "src/exec/result_cache.h"
+#include "src/sim/platform.h"
+
+namespace clof::exec {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+TEST(ExecutorTest, ResolveJobsTreatsNonPositiveAsAuto) {
+  EXPECT_GE(ResolveJobs(0), 1);
+  EXPECT_GE(ResolveJobs(-3), 1);
+  EXPECT_EQ(ResolveJobs(1), 1);
+  EXPECT_EQ(ResolveJobs(7), 7);
+}
+
+TEST(ExecutorTest, EveryIndexRunsExactlyOnce) {
+  constexpr size_t kCount = 1000;
+  std::vector<std::atomic<int>> runs(kCount);
+  Executor executor(4);
+  EXPECT_EQ(executor.jobs(), 4);
+  executor.ParallelFor(kCount, [&](size_t i) { runs[i].fetch_add(1); });
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(runs[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ExecutorTest, ZeroTasksIsANoOp) {
+  Executor executor(4);
+  executor.ParallelFor(0, [&](size_t) { FAIL() << "no task should run"; });
+}
+
+TEST(ExecutorTest, SingleWorkerRunsInlineInIndexOrder) {
+  Executor executor(1);
+  std::vector<size_t> order;
+  auto caller = std::this_thread::get_id();
+  executor.ParallelFor(5, [&](size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ExecutorTest, SkewedTaskCostsStillCoverAllIndices) {
+  // Front-loaded costs exercise stealing: worker 0 gets the expensive tasks.
+  constexpr size_t kCount = 64;
+  std::vector<std::atomic<int>> runs(kCount);
+  Executor executor(4);
+  executor.ParallelFor(kCount, [&](size_t i) {
+    if (i < 4) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    runs[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(runs[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ExecutorTest, ExceptionIsRethrownAfterAllWorkersDrain) {
+  constexpr size_t kCount = 100;
+  std::vector<std::atomic<int>> runs(kCount);
+  Executor executor(3);
+  EXPECT_THROW(
+      executor.ParallelFor(kCount,
+                           [&](size_t i) {
+                             runs[i].fetch_add(1);
+                             if (i == 17) {
+                               throw std::runtime_error("boom");
+                             }
+                           }),
+      std::runtime_error);
+  // The contract says remaining tasks still run before the rethrow.
+  int total = 0;
+  for (size_t i = 0; i < kCount; ++i) {
+    total += runs[i].load();
+  }
+  EXPECT_EQ(total, static_cast<int>(kCount));
+}
+
+TEST(ExecutorTest, MoreWorkersThanTasks) {
+  std::vector<std::atomic<int>> runs(3);
+  Executor executor(16);
+  executor.ParallelFor(3, [&](size_t i) { runs[i].fetch_add(1); });
+  EXPECT_EQ(runs[0].load() + runs[1].load() + runs[2].load(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint
+// ---------------------------------------------------------------------------
+
+RunSpec ArmSpec(const sim::Machine& machine) {
+  RunSpec spec;
+  spec.machine = &machine;
+  spec.hierarchy = topo::Hierarchy::Select(machine.topology, {"numa", "system"});
+  spec.registry = &SimRegistry(false);
+  return spec;
+}
+
+TEST(FingerprintTest, TranscriptIsKeyValueLines) {
+  Fingerprint fp;
+  fp.Add("alpha", 3);
+  fp.Add("beta", "x");
+  fp.Add("gamma", true);
+  EXPECT_EQ(fp.text(), "alpha=3\nbeta=x\ngamma=1\n");
+  EXPECT_EQ(fp.HashHex().size(), 16u);
+  EXPECT_EQ(fp.HashHex().find_first_not_of("0123456789abcdef"), std::string::npos);
+}
+
+TEST(FingerprintTest, HashMatchesFnv1aReference) {
+  // Reference value for FNV-1a 64 of the empty string is the offset basis.
+  Fingerprint empty;
+  EXPECT_EQ(empty.Hash(), 0xcbf29ce484222325ull);
+}
+
+TEST(FingerprintTest, DoubleRoundTripsExactly) {
+  Fingerprint a, b;
+  a.Add("x", 0.1);
+  b.Add("x", 0.1 + 1e-17);  // adjacent representable value territory
+  // 0.1 + 1e-17 rounds to a double; if it is bit-identical to 0.1 the transcripts
+  // must match, otherwise they must differ. Either way the rendering is injective.
+  EXPECT_EQ(a.text() == b.text(), 0.1 == 0.1 + 1e-17);
+  Fingerprint c;
+  c.Add("x", 0.30000000000000004);
+  Fingerprint d;
+  d.Add("x", 0.3);
+  EXPECT_NE(c.text(), d.text());
+}
+
+TEST(FingerprintTest, CellFingerprintIsDeterministic) {
+  auto machine = sim::Machine::PaperArm();
+  RunSpec spec = ArmSpec(machine);
+  Fingerprint a = CellFingerprint(spec, "mcs-mcs", 8, 0.5, 1);
+  Fingerprint b = CellFingerprint(spec, "mcs-mcs", 8, 0.5, 1);
+  EXPECT_EQ(a.text(), b.text());
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(FingerprintTest, EverySingleFieldChangeChangesTheHash) {
+  auto machine = sim::Machine::PaperArm();
+  RunSpec base_spec = ArmSpec(machine);
+  Fingerprint base = CellFingerprint(base_spec, "mcs-mcs", 8, 0.5, 1);
+
+  std::vector<Fingerprint> variants;
+  variants.push_back(CellFingerprint(base_spec, "clh-clh", 8, 0.5, 1));  // lock
+  variants.push_back(CellFingerprint(base_spec, "mcs-mcs", 16, 0.5, 1));  // threads
+  variants.push_back(CellFingerprint(base_spec, "mcs-mcs", 8, 1.0, 1));  // duration
+  variants.push_back(CellFingerprint(base_spec, "mcs-mcs", 8, 0.5, 3));  // runs
+
+  {
+    RunSpec s = base_spec;  // seed
+    s.seed = 43;
+    variants.push_back(CellFingerprint(s, "mcs-mcs", 8, 0.5, 1));
+  }
+  {
+    RunSpec s = base_spec;  // ClofParams
+    s.params.keep_local_threshold = 64;
+    variants.push_back(CellFingerprint(s, "mcs-mcs", 8, 0.5, 1));
+  }
+  {
+    RunSpec s = base_spec;  // workload profile
+    s.profile.cs_work_ns = 200.0;
+    variants.push_back(CellFingerprint(s, "mcs-mcs", 8, 0.5, 1));
+  }
+  {
+    RunSpec s = base_spec;  // registry identity
+    s.registry = &SimRegistry(true);
+    variants.push_back(CellFingerprint(s, "mcs-mcs", 8, 0.5, 1));
+  }
+  {
+    RunSpec s = base_spec;  // hierarchy: pick a different level selection
+    s.hierarchy = topo::Hierarchy::Select(machine.topology, {"cache", "system"});
+    variants.push_back(CellFingerprint(s, "mcs-mcs", 8, 0.5, 1));
+  }
+
+  // Platform cost-model change.
+  sim::Machine tweaked = sim::Machine::PaperArm();
+  tweaked.platform.cold_miss_ns += 1.0;
+  RunSpec tweaked_spec = ArmSpec(tweaked);
+  variants.push_back(CellFingerprint(tweaked_spec, "mcs-mcs", 8, 0.5, 1));
+
+  // Topology change.
+  sim::Machine x86 = sim::Machine::PaperX86();
+  RunSpec x86_spec;
+  x86_spec.machine = &x86;
+  x86_spec.hierarchy = topo::Hierarchy::Select(x86.topology, {"numa", "system"});
+  x86_spec.registry = &SimRegistry(false);
+  variants.push_back(CellFingerprint(x86_spec, "mcs-mcs", 8, 0.5, 1));
+
+  std::vector<uint64_t> hashes{base.Hash()};
+  for (const Fingerprint& v : variants) {
+    EXPECT_NE(v.text(), base.text());
+    hashes.push_back(v.Hash());
+  }
+  // All distinct pairwise, not just distinct from base.
+  std::sort(hashes.begin(), hashes.end());
+  EXPECT_EQ(std::adjacent_find(hashes.begin(), hashes.end()), hashes.end());
+}
+
+TEST(FingerprintTest, SchemaVersionIsPartOfTheKey) {
+  auto machine = sim::Machine::PaperArm();
+  RunSpec spec = ArmSpec(machine);
+  Fingerprint fp = CellFingerprint(spec, "mcs-mcs", 8, 0.5, 1);
+  EXPECT_NE(fp.text().find("schema=" + std::to_string(kCellSchemaVersion)),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache
+// ---------------------------------------------------------------------------
+
+// Fresh (empty) cache directory per test, so reruns never see stale entries.
+std::string CacheDir(const char* name) {
+  std::string dir = std::string(::testing::TempDir()) + "/clof_exec_test_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+Fingerprint TestFp(int salt = 0) {
+  Fingerprint fp;
+  fp.Add("test-key", 123 + salt);
+  return fp;
+}
+
+TEST(ResultCacheTest, MissStoreHitRoundTrip) {
+  ResultCache cache(CacheDir("roundtrip"));
+  Fingerprint fp = TestFp();
+  EXPECT_FALSE(cache.Lookup(fp).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+
+  CellResult value{12.5, 0.75, 1.0625};
+  cache.Store(fp, value);
+  EXPECT_EQ(cache.stores(), 1u);
+
+  auto hit = cache.Lookup(fp);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, value);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(ResultCacheTest, DifferentFingerprintMisses) {
+  ResultCache cache(CacheDir("miss"));
+  cache.Store(TestFp(0), CellResult{1.0, 0.0, 0.0});
+  EXPECT_FALSE(cache.Lookup(TestFp(1)).has_value());
+}
+
+TEST(ResultCacheTest, ValuesSurviveExactly) {
+  // Hex-float payloads must round-trip bit-for-bit, including awkward values.
+  ResultCache cache(CacheDir("exact"));
+  Fingerprint fp = TestFp();
+  CellResult value{0.1 + 0.2, 1.0 / 3.0, 123456.789012345};
+  cache.Store(fp, value);
+  auto hit = cache.Lookup(fp);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, value);  // operator== — bitwise-equal doubles, not near-equal
+}
+
+TEST(ResultCacheTest, CorruptedEntryDegradesToMissAndRecovers) {
+  std::string dir = CacheDir("corrupt");
+  ResultCache cache(dir);
+  Fingerprint fp = TestFp();
+  cache.Store(fp, CellResult{2.0, 0.5, 1.0});
+  ASSERT_TRUE(cache.Lookup(fp).has_value());
+
+  // Clobber the entry with garbage: lookup must miss, not crash or misparse.
+  std::string path = dir + "/" + fp.HashHex() + ".cell";
+  { std::ofstream(path) << "not a cache entry"; }
+  EXPECT_FALSE(cache.Lookup(fp).has_value());
+
+  // Truncated entry (partial write without the tmp+rename protection).
+  { std::ofstream(path) << "clof-cell-cache v1 "; }
+  EXPECT_FALSE(cache.Lookup(fp).has_value());
+
+  // A store overwrites the corrupt entry and the cache recovers.
+  CellResult fresh{3.0, 0.25, 0.5};
+  cache.Store(fp, fresh);
+  auto hit = cache.Lookup(fp);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, fresh);
+}
+
+TEST(ResultCacheTest, TranscriptMismatchUnderSameAddressMisses) {
+  // Simulate a hash collision: an entry stored at fp's address whose transcript is for
+  // a different configuration must be treated as a miss.
+  std::string dir = CacheDir("collision");
+  ResultCache cache(dir);
+  Fingerprint fp = TestFp(0);
+  Fingerprint other = TestFp(1);
+  cache.Store(fp, CellResult{1.0, 0.0, 0.0});
+  std::string fp_path = dir + "/" + fp.HashHex() + ".cell";
+  std::string other_path = dir + "/" + other.HashHex() + ".cell";
+  cache.Store(other, CellResult{9.0, 0.0, 0.0});
+  // Copy other's entry over fp's address: address says fp, transcript says other.
+  {
+    std::ifstream in(other_path, std::ios::binary);
+    std::ofstream out(fp_path, std::ios::binary);
+    out << in.rdbuf();
+  }
+  EXPECT_FALSE(cache.Lookup(fp).has_value());
+}
+
+TEST(ResultCacheTest, PersistsAcrossInstances) {
+  std::string dir = CacheDir("persist");
+  Fingerprint fp = TestFp();
+  CellResult value{7.0, 0.125, 2.0};
+  {
+    ResultCache writer(dir);
+    writer.Store(fp, value);
+  }
+  ResultCache reader(dir);
+  auto hit = reader.Lookup(fp);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, value);
+}
+
+TEST(ResultCacheTest, UnusableDirectoryThrows) {
+  // A path whose parent is a regular file cannot be created.
+  std::string file = CacheDir("blocker-file");
+  { std::ofstream(file) << "x"; }
+  EXPECT_THROW(ResultCache(file + "/sub"), std::runtime_error);
+}
+
+TEST(ResultCacheTest, ConcurrentLookupsAndStoresAreSafe) {
+  ResultCache cache(CacheDir("concurrent"));
+  Executor executor(4);
+  constexpr size_t kCells = 64;
+  executor.ParallelFor(kCells, [&](size_t i) {
+    Fingerprint fp = TestFp(static_cast<int>(i % 8));
+    CellResult value{static_cast<double>(i % 8), 0.0, 0.0};
+    if (!cache.Lookup(fp).has_value()) {
+      cache.Store(fp, value);
+    }
+    auto hit = cache.Lookup(fp);
+    if (hit.has_value()) {
+      EXPECT_EQ(hit->throughput_per_us, static_cast<double>(i % 8));
+    }
+  });
+  EXPECT_EQ(cache.hits() + cache.misses(), 2 * kCells);
+}
+
+}  // namespace
+}  // namespace clof::exec

@@ -7,11 +7,11 @@ namespace {
 
 BenchConfig BaseConfig(const sim::Machine& machine) {
   BenchConfig config;
-  config.machine = &machine;
-  config.hierarchy =
+  config.spec.machine = &machine;
+  config.spec.hierarchy =
       topo::Hierarchy::Select(machine.topology, {"cache", "numa", "system"});
   config.lock_name = "mcs-mcs-mcs";
-  config.profile = workload::Profile::LevelDbReadRandom();
+  config.spec.profile = workload::Profile::LevelDbReadRandom();
   config.num_threads = 8;
   config.duration_ms = 0.2;
   return config;
@@ -30,7 +30,7 @@ TEST(HarnessTest, SeedChangesResultSlightly) {
   auto machine = sim::Machine::PaperArm();
   auto config = BaseConfig(machine);
   auto a = RunLockBench(config);
-  config.seed = 43;
+  config.spec.seed = 43;
   auto b = RunLockBench(config);
   EXPECT_NE(a.per_thread_ops, b.per_thread_ops);  // different think-time jitter
   EXPECT_NEAR(static_cast<double>(a.total_ops), static_cast<double>(b.total_ops),
@@ -91,7 +91,7 @@ TEST(HarnessTest, ValidatesConfig) {
   config.num_threads = 500;
   EXPECT_THROW(RunLockBench(config), std::invalid_argument);
   config.num_threads = 8;
-  config.machine = nullptr;
+  config.spec.machine = nullptr;
   EXPECT_THROW(RunLockBench(config), std::invalid_argument);
 }
 

@@ -49,7 +49,7 @@ TEST_P(StatsInvariantTest, CountersReconcile) {
   EXPECT_EQ(stats[1].local_passes, stats[1].inherited);
 }
 
-std::vector<std::string> AllDepth3() { return SimRegistry(false).Names(3, true); }
+std::vector<std::string> AllDepth3() { return SimRegistry(false).Names({.levels = 3, .generated_only = true}); }
 
 std::string SweepName(const ::testing::TestParamInfo<std::string>& info) {
   std::string name = info.param;

@@ -11,13 +11,13 @@ double Throughput(const sim::Machine& machine, const std::string& lock,
            const topo::Hierarchy& hierarchy, int threads, const Registry* registry = nullptr,
            double duration_ms = 0.4) {
   harness::BenchConfig config;
-  config.machine = &machine;
-  config.hierarchy = hierarchy;
+  config.spec.machine = &machine;
+  config.spec.hierarchy = hierarchy;
   config.lock_name = lock;
-  config.registry = registry != nullptr
+  config.spec.registry = registry != nullptr
                         ? registry
                         : &SimRegistry(machine.platform.arch == sim::Arch::kX86);
-  config.profile = workload::Profile::LevelDbReadRandom();
+  config.spec.profile = workload::Profile::LevelDbReadRandom();
   config.num_threads = threads;
   config.duration_ms = duration_ms;
   return harness::RunLockBench(config).throughput_per_us;
@@ -72,10 +72,10 @@ TEST_F(PaperShapes, Fig3_TicketWinsTwoThreadSystemCohortButLosesNumaCohort) {
   // System cohort: one thread per package (2 threads) — Ticketlock competitive
   // (within a whisker of the queue locks; the paper shows a small margin).
   harness::BenchConfig config;
-  config.machine = &arm_;
-  config.hierarchy = h1;
-  config.registry = &SimRegistry(false);
-  config.profile = workload::Profile::LevelDbReadRandom();
+  config.spec.machine = &arm_;
+  config.spec.hierarchy = h1;
+  config.spec.registry = &SimRegistry(false);
+  config.spec.profile = workload::Profile::LevelDbReadRandom();
   config.duration_ms = 0.4;
   config.num_threads = 2;
   config.cpu_assignment = {0, 64};
@@ -98,11 +98,11 @@ TEST_F(PaperShapes, Fig3_TicketWinsTwoThreadSystemCohortButLosesNumaCohort) {
 TEST_F(PaperShapes, Fig3_HemlockCtrCollapsesOnArmOnly) {
   auto run = [&](const sim::Machine& machine, const Registry& registry) {
     harness::BenchConfig config;
-    config.machine = &machine;
-    config.hierarchy = topo::Hierarchy::Select(machine.topology, {"system"});
+    config.spec.machine = &machine;
+    config.spec.hierarchy = topo::Hierarchy::Select(machine.topology, {"system"});
     config.lock_name = "hem";
-    config.registry = &registry;
-    config.profile = workload::Profile::LevelDbReadRandom();
+    config.spec.registry = &registry;
+    config.spec.profile = workload::Profile::LevelDbReadRandom();
     config.num_threads = 8;
     for (int i = 0; i < 8; ++i) {
       config.cpu_assignment.push_back(i * (machine.topology.num_cpus() / 8));
@@ -145,16 +145,16 @@ TEST_F(PaperShapes, Fig10_KyotoIsTenfoldSlowerButAgreesOnWinners) {
   auto h2 = topo::Hierarchy::Select(arm_.topology, {"numa", "system"});
   auto h4 = topo::Hierarchy::Select(arm_.topology, {"cache", "numa", "package", "system"});
   harness::BenchConfig config;
-  config.machine = &arm_;
-  config.hierarchy = h4;
+  config.spec.machine = &arm_;
+  config.spec.hierarchy = h4;
   config.lock_name = "tkt-clh-tkt-tkt";
-  config.registry = &SimRegistry(false);
-  config.profile = workload::Profile::KyotoMix();
+  config.spec.registry = &SimRegistry(false);
+  config.spec.profile = workload::Profile::KyotoMix();
   config.num_threads = 127;
   config.duration_ms = 5.0;
   double clof_kyoto = harness::RunLockBench(config).throughput_per_us;
   config.lock_name = "cna";
-  config.hierarchy = h2;
+  config.spec.hierarchy = h2;
   double cna_kyoto = harness::RunLockBench(config).throughput_per_us;
   EXPECT_LT(clof_kyoto, 0.3);  // ~10x below the LevelDB numbers (absolute scale)
   EXPECT_GT(clof_kyoto, cna_kyoto);  // and the LevelDB winner still wins
@@ -163,10 +163,10 @@ TEST_F(PaperShapes, Fig10_KyotoIsTenfoldSlowerButAgreesOnWinners) {
 TEST_F(PaperShapes, S523_ClofFairnessMatchesHmcs) {
   auto h4 = topo::Hierarchy::Select(arm_.topology, {"cache", "numa", "package", "system"});
   harness::BenchConfig config;
-  config.machine = &arm_;
-  config.hierarchy = h4;
-  config.registry = &SimRegistry(false);
-  config.profile = workload::Profile::LevelDbReadRandom();
+  config.spec.machine = &arm_;
+  config.spec.hierarchy = h4;
+  config.spec.registry = &SimRegistry(false);
+  config.spec.profile = workload::Profile::LevelDbReadRandom();
   config.num_threads = 64;
   config.duration_ms = 1.0;
   config.lock_name = "tkt-clh-tkt-tkt";

@@ -14,10 +14,10 @@ namespace {
 TEST(RegistryTest, EnumerationCounts) {
   const Registry& reg = SimRegistry(true);
   // 4 + 16 + 64 + 256 generated CLoF locks...
-  EXPECT_EQ(reg.Names(1).size(), 4u);
-  EXPECT_EQ(reg.Names(2).size(), 16u);
-  EXPECT_EQ(reg.Names(3).size(), 64u);
-  EXPECT_EQ(reg.Names(4).size(), 256u + 2u);  // + two 4-level fast-path variants
+  EXPECT_EQ(reg.Names({.levels = 1}).size(), 4u);
+  EXPECT_EQ(reg.Names({.levels = 2}).size(), 16u);
+  EXPECT_EQ(reg.Names({.levels = 3}).size(), 64u);
+  EXPECT_EQ(reg.Names({.levels = 4}).size(), 256u + 2u);  // + two 4-level fast-path variants
   // ... plus the baselines (hmcs, cna, shfl, c-bo-mcs, c-tkt-tkt, ttas, bo) and the
   // three fast-path variants (fp-*, §6 extension).
   EXPECT_EQ(reg.size(), 340 + 7 + 3);
@@ -67,14 +67,14 @@ TEST(RegistryTest, CtrRegistriesDiffer) {
   // check lives in bench/ablation_ctr; here we check the structural invariant).
   const Registry& x86 = SimRegistry(true);
   const Registry& arm = SimRegistry(false);
-  EXPECT_EQ(x86.Names(4), arm.Names(4));
+  EXPECT_EQ(x86.Names({.levels = 4}), arm.Names({.levels = 4}));
 }
 
 TEST(RegistryTest, EveryDepth3LockRunsAndIsMutuallyExclusive) {
   const Registry& reg = SimRegistry(false);
   auto machine = sim::Machine::PaperArm();
   auto h = topo::Hierarchy::Select(machine.topology, {"cache", "numa", "system"});
-  for (const auto& name : reg.Names(3)) {
+  for (const auto& name : reg.Names({.levels = 3})) {
     SCOPED_TRACE(name);
     auto lock = reg.Make(name, h);
     sim::Engine engine(machine.topology, machine.platform);
@@ -101,7 +101,7 @@ TEST(RegistryTest, EveryDepth3LockRunsAndIsMutuallyExclusive) {
 
 TEST(RegistryTest, NativeRegistryHasFeaturedLocks) {
   const Registry& reg = NativeRegistry(true);
-  EXPECT_EQ(reg.Names(3).size(), 64u);
+  EXPECT_EQ(reg.Names({.levels = 3}).size(), 64u);
   EXPECT_TRUE(reg.Contains("hem-hem-mcs-clh"));
   EXPECT_TRUE(reg.Contains("tkt-clh-tkt-tkt"));
   EXPECT_TRUE(reg.Contains("hmcs"));

@@ -20,14 +20,14 @@ struct SweepCase {
 
 std::vector<SweepCase> AllDepth2AndBaselines() {
   std::vector<SweepCase> cases;
-  for (const auto& name : SimRegistry(false).Names(2)) {
+  for (const auto& name : SimRegistry(false).Names({.levels = 2})) {
     cases.push_back({name, false});
   }
   for (const char* name : {"hmcs", "cna", "shfl"}) {
     cases.push_back({name, false});
   }
   // The CTR flavour of every hem-containing depth-2 lock.
-  for (const auto& name : SimRegistry(true).Names(2)) {
+  for (const auto& name : SimRegistry(true).Names({.levels = 2})) {
     if (name.find("hem") != std::string::npos) {
       cases.push_back({name, true});
     }
@@ -71,11 +71,11 @@ TEST_P(LockPropertyTest, MutualExclusionAndProgress) {
 TEST_P(LockPropertyTest, DeterministicThroughput) {
   auto machine = sim::Machine::PaperArm();
   harness::BenchConfig config;
-  config.machine = &machine;
-  config.hierarchy = Hier(machine.topology);
+  config.spec.machine = &machine;
+  config.spec.hierarchy = Hier(machine.topology);
   config.lock_name = GetParam().lock;
-  config.registry = &SimRegistry(GetParam().ctr_registry);
-  config.profile = workload::Profile::LevelDbReadRandom();
+  config.spec.registry = &SimRegistry(GetParam().ctr_registry);
+  config.spec.profile = workload::Profile::LevelDbReadRandom();
   config.num_threads = 12;
   config.duration_ms = 0.1;
   auto a = harness::RunLockBench(config);
@@ -127,11 +127,11 @@ class FairnessPropertyTest : public ::testing::TestWithParam<SweepCase> {};
 TEST_P(FairnessPropertyTest, SymmetricLoadIsBalanced) {
   auto machine = sim::Machine::PaperArm();
   harness::BenchConfig config;
-  config.machine = &machine;
-  config.hierarchy = topo::Hierarchy::Select(machine.topology, {"numa", "system"});
+  config.spec.machine = &machine;
+  config.spec.hierarchy = topo::Hierarchy::Select(machine.topology, {"numa", "system"});
   config.lock_name = GetParam().lock;
-  config.registry = &SimRegistry(false);
-  config.profile = workload::Profile::LevelDbReadRandom();
+  config.spec.registry = &SimRegistry(false);
+  config.spec.profile = workload::Profile::LevelDbReadRandom();
   config.num_threads = 16;
   config.duration_ms = 1.0;
   auto result = harness::RunLockBench(config);
@@ -140,7 +140,7 @@ TEST_P(FairnessPropertyTest, SymmetricLoadIsBalanced) {
 
 std::vector<SweepCase> FairDepth2() {
   std::vector<SweepCase> cases;
-  for (const auto& name : SimRegistry(false).Names(2)) {
+  for (const auto& name : SimRegistry(false).Names({.levels = 2})) {
     cases.push_back({name, false});
   }
   cases.push_back({"hmcs", false});

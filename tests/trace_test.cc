@@ -28,11 +28,11 @@ constexpr uint64_t kGoldenTktClhTktOps = 373;
 
 harness::BenchConfig BaseConfig(const sim::Machine& machine) {
   harness::BenchConfig config;
-  config.machine = &machine;
-  config.hierarchy =
+  config.spec.machine = &machine;
+  config.spec.hierarchy =
       topo::Hierarchy::Select(machine.topology, {"cache", "numa", "system"});
   config.lock_name = "mcs-mcs-mcs";
-  config.profile = workload::Profile::LevelDbReadRandom();
+  config.spec.profile = workload::Profile::LevelDbReadRandom();
   config.num_threads = 8;
   config.duration_ms = 0.2;
   return config;
@@ -170,7 +170,7 @@ TEST(TraceTest, NumaAwareLockHasMoreLocalHandovers) {
   int cache_level = machine.topology.LevelIndexByName("cache");
   auto aware = harness::RunLockBench(config);
 
-  config.hierarchy = topo::Hierarchy::Select(machine.topology, {"system"});
+  config.spec.hierarchy = topo::Hierarchy::Select(machine.topology, {"system"});
   config.lock_name = "tkt";
   auto oblivious = harness::RunLockBench(config);
   EXPECT_GT(aware.HandoverLocalityAt(cache_level),

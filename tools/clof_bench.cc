@@ -1,8 +1,11 @@
 // clof_bench — the swiss-army driver for the CLoF toolkit.
 //
-//   clof_bench --list[=<levels>]                     list registered locks
+//   clof_bench --list[=<levels>]                     list registered locks + metadata
 //   clof_bench --discover [--machine=arm]            heatmap + inferred hierarchy (§3.1)
 //   clof_bench --sweep [--levels=cache,numa,system]  scripted benchmark + selection (§4.3)
+//              [--jobs=N]                            executor workers (0 = all host CPUs)
+//              [--cache=results/cache]               content-addressed result cache:
+//                                                    unchanged cells are served from disk
 //   clof_bench --lock=tkt-clh-tkt [--threads=8,64] [--profile=kyoto]
 //              [--stats=per-level]                  run one lock, print per-level stats
 //              [--trace=out.json]                   Chrome trace of the last sweep point
@@ -10,14 +13,19 @@
 //
 // Common flags: --machine=x86|arm (default arm), --topology=<spec> (custom machine,
 // see topo::Topology::FromSpec), --levels=<names,comma>, --duration_ms, --seed, --H.
-// docs/OBSERVABILITY.md documents the per-level metrics and the trace workflow.
+// docs/OBSERVABILITY.md documents the per-level metrics and the trace workflow;
+// docs/PARALLEL_SWEEP.md documents the executor and the cache key.
 #include <cstdio>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "bench/bench_util.h"
 #include "src/discover/heatmap.h"
+#include "src/exec/executor.h"
+#include "src/exec/result_cache.h"
 #include "src/harness/lock_bench.h"
 #include "src/select/scripted_bench.h"
 #include "src/sim/engine.h"
@@ -167,8 +175,15 @@ int Run(const bench::Flags& flags) {
   if (flags.GetBool("list")) {
     std::string value = flags.GetString("list", "true");  // --list=3 filters by depth
     int levels = value == "true" ? Registry::kAnyDepth : std::stoi(value);
-    for (const auto& name : registry.Names(levels)) {
-      std::printf("%s\n", name.c_str());
+    for (const auto& name : registry.Names({.levels = levels})) {
+      // Registration metadata straight from the registry — no name parsing.
+      Registry::LockInfo info = registry.Info(name);
+      std::printf("%-22s %7s  %-6s  %s\n", name.c_str(),
+                  info.levels == Registry::kAnyDepth
+                      ? "any"
+                      : std::to_string(info.levels).c_str(),
+                  info.fair ? "fair" : "unfair",
+                  info.kind == Registry::Kind::kGenerated ? "generated" : "baseline");
     }
     return 0;
   }
@@ -177,6 +192,7 @@ int Run(const bench::Flags& flags) {
     discover::HeatmapOptions options;
     options.rounds_per_pair = flags.GetInt("rounds", 60);
     options.cpu_stride = flags.GetInt("stride", 2);
+    options.jobs = flags.GetInt("jobs", 0);
     auto heatmap = discover::RunPingPongHeatmap(machine, options);
     std::printf("%s\n", discover::HeatmapToAscii(heatmap).c_str());
     auto inferred = discover::InferTopology(heatmap);
@@ -197,19 +213,36 @@ int Run(const bench::Flags& flags) {
 
   if (flags.GetBool("sweep")) {
     select::SweepConfig config;
-    config.machine = &machine;
-    config.hierarchy = hierarchy;
-    config.registry = &registry;
-    config.profile = ProfileByName(flags.GetString("profile", "leveldb"));
+    config.spec.machine = &machine;
+    config.spec.hierarchy = hierarchy;
+    config.spec.registry = &registry;
+    config.spec.profile = ProfileByName(flags.GetString("profile", "leveldb"));
+    config.spec.seed = seed;
     config.duration_ms = duration;
-    config.seed = seed;
     config.thread_counts = ParseThreads(flags.GetString("threads", ""), machine.topology);
+    config.jobs = flags.GetInt("jobs", 0);
+    std::unique_ptr<exec::ResultCache> cache;
+    const std::string cache_dir = flags.GetString("cache", "");
+    if (!cache_dir.empty()) {
+      cache = std::make_unique<exec::ResultCache>(cache_dir);
+      config.cache = cache.get();
+    }
     auto result = select::RunScriptedBenchmark(config);
-    std::printf("swept %zu locks\n", result.curves.size());
+    const size_t cells = result.curves.size() * result.thread_counts.size();
+    std::printf("swept %zu locks (%zu cells, %d workers)\n", result.curves.size(), cells,
+                exec::ResolveJobs(config.jobs));
+    if (cache != nullptr) {
+      std::printf("cache %s: %llu hits, %llu misses, %llu stored\n", cache->dir().c_str(),
+                  static_cast<unsigned long long>(cache->hits()),
+                  static_cast<unsigned long long>(cache->misses()),
+                  static_cast<unsigned long long>(cache->stores()));
+    }
     // Report *why* a composition ranked where it did, not just its throughput: the
     // paper's §5 analysis ties HC-best wins to handover locality and low line traffic.
     auto explain = [&](const char* tag, const std::string& name, double score) {
-      std::printf("%s %-18s (score %.3f)", tag, name.c_str(), score);
+      Registry::LockInfo info = registry.Info(name);
+      std::printf("%s %-18s (score %.3f, %s)", tag, name.c_str(), score,
+                  info.fair ? "fair" : "unfair");
       const select::LockCurve* curve = result.Curve(name);
       if (curve != nullptr && !curve->local_handover_rate.empty()) {
         std::printf("  local handover %5.1f%%, %.2f transfers/op at %d threads",
@@ -227,8 +260,12 @@ int Run(const bench::Flags& flags) {
   std::string lock_name = flags.GetString("lock", "");
   if (lock_name.empty()) {
     std::fprintf(stderr,
-                 "usage: clof_bench --list | --discover | --sweep | --lock=<name>\n"
-                 "       (see the header of tools/clof_bench.cc)\n");
+                 "usage: clof_bench --list | --discover | --sweep [--jobs=N]"
+                 " [--cache=DIR] | --lock=<name>\n"
+                 "       --jobs=N   executor worker threads (0 = all host CPUs)\n"
+                 "       --cache=DIR  content-addressed sweep result cache\n"
+                 "       (see the header of tools/clof_bench.cc and"
+                 " docs/PARALLEL_SWEEP.md)\n");
     return 2;
   }
   ClofParams params;
@@ -241,15 +278,15 @@ int Run(const bench::Flags& flags) {
   std::printf("%-10s%12s%10s\n", "threads", "iter/us", "jain");
   for (int t : threads) {
     harness::BenchConfig config;
-    config.machine = &machine;
-    config.hierarchy = hierarchy;
+    config.spec.machine = &machine;
+    config.spec.hierarchy = hierarchy;
+    config.spec.registry = &registry;
+    config.spec.profile = ProfileByName(flags.GetString("profile", "leveldb"));
+    config.spec.seed = seed;
+    config.spec.params = params;
     config.lock_name = lock_name;
-    config.registry = &registry;
-    config.profile = ProfileByName(flags.GetString("profile", "leveldb"));
     config.num_threads = t;
     config.duration_ms = duration;
-    config.seed = seed;
-    config.params = params;
     if (!trace_path.empty() && t == threads.back()) {
       config.trace_sink = &trace_buffer;  // trace the most contended sweep point
     }
