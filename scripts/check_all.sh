@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# The full verification ladder in one command: the tier-1 suite on the default preset,
+# then the ASan+UBSan pass (scripts/check_sanitized.sh), then the TSan pass over the
+# host-thread-parallel paths (scripts/check_tsan.sh). Each stage runs even if an
+# earlier one failed, so one invocation reports every broken stage; the exit status is
+# nonzero if any stage failed.
+#
+# Usage: scripts/check_all.sh
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+declare -a names statuses
+
+run_stage() {
+  local name="$1"
+  shift
+  echo
+  echo "=== ${name} ==="
+  "$@"
+  local status=$?
+  names+=("${name}")
+  statuses+=("${status}")
+}
+
+tier1() {
+  cmake --preset default &&
+    cmake --build --preset default -j "$(nproc)" &&
+    ctest --preset default -j "$(nproc)"
+}
+
+run_stage "tier-1 (default preset)" tier1
+run_stage "asan+ubsan" scripts/check_sanitized.sh
+run_stage "tsan" scripts/check_tsan.sh
+
+echo
+echo "=== summary ==="
+failed=0
+for i in "${!names[@]}"; do
+  if [[ "${statuses[$i]}" -eq 0 ]]; then
+    echo "PASS  ${names[$i]}"
+  else
+    echo "FAIL  ${names[$i]} (exit ${statuses[$i]})"
+    failed=1
+  fi
+done
+exit "${failed}"

@@ -3,8 +3,9 @@
 # preset (CMakePresets.json) and runs the tests that exercise real concurrency — the
 # clof::exec work-stealing executor, the content-addressed result cache, the parallel
 # scripted sweep (including its serialized in-order on_lock_done delivery), the
-# parallelized ping-pong heatmap, and the native lock implementations. The simulator
-# itself is single-threaded per cell (one engine per host thread, thread_local current
+# parallel robustness matrix and its fault injectors, the parallelized ping-pong
+# heatmap, and the native lock implementations. The simulator itself is
+# single-threaded per cell (one engine per host thread, thread_local current
 # pointer), so these are exactly the places a data race could hide.
 #
 # Usage: scripts/check_tsan.sh [extra ctest args...]
@@ -14,4 +15,4 @@ cd "$(dirname "$0")/.."
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
 ctest --preset tsan -j "$(nproc)" \
-  -R 'Executor|Fingerprint|ResultCache|ParallelSweep|Heatmap|Native' "$@"
+  -R 'Executor|Fingerprint|ResultCache|ParallelSweep|Heatmap|Native|Fault|Robustness' "$@"

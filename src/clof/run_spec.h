@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "src/clof/registry.h"
+#include "src/fault/fault_plan.h"
 #include "src/sim/platform.h"
 #include "src/topo/topology.h"
 #include "src/workload/profiles.h"
@@ -24,6 +25,9 @@ struct RunSpec {
   workload::Profile profile = workload::Profile::LevelDbReadRandom();
   uint64_t seed = 42;
   ClofParams params;
+  // Deterministic perturbations applied to the run (docs/FAULT_INJECTION.md). The
+  // default plan has every injector disabled and takes the exact non-fault code path.
+  fault::FaultPlan fault;
 
   // The registry this spec runs against: `registry` if set, else the simulated
   // registry matching the machine's architecture. `machine` must be non-null.

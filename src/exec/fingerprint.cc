@@ -110,6 +110,26 @@ void AppendClofParams(Fingerprint& fp, const ClofParams& params) {
   fp.Add("params.use_has_waiters_hook", params.use_has_waiters_hook);
 }
 
+void AppendFaultPlan(Fingerprint& fp, const fault::FaultPlan& plan) {
+  // Every field of every injector: a faulted and an unfaulted run (or two runs with
+  // different perturbation severities) can never share a cache address.
+  fp.Add("fault.seed", plan.seed);
+  fp.Add("fault.preempt.enabled", plan.preempt.enabled);
+  fp.Add("fault.preempt.interval_us", plan.preempt.interval_us);
+  fp.Add("fault.preempt.jitter", plan.preempt.jitter);
+  fp.Add("fault.preempt.stall_us", plan.preempt.stall_us);
+  fp.Add("fault.hetero.enabled", plan.hetero.enabled);
+  fp.Add("fault.hetero.slow_fraction", plan.hetero.slow_fraction);
+  fp.Add("fault.hetero.slow_factor", plan.hetero.slow_factor);
+  fp.Add("fault.interference.enabled", plan.interference.enabled);
+  fp.Add("fault.interference.threads", plan.interference.threads);
+  fp.Add("fault.interference.lines_per_burst", plan.interference.lines_per_burst);
+  fp.Add("fault.interference.gap_ns", plan.interference.gap_ns);
+  fp.Add("fault.churn.enabled", plan.churn.enabled);
+  fp.Add("fault.churn.stop_fraction", plan.churn.stop_fraction);
+  fp.Add("fault.churn.stop_point", plan.churn.stop_point);
+}
+
 void AppendRunSpec(Fingerprint& fp, const RunSpec& spec) {
   AppendTopology(fp, spec.machine->topology);
   AppendPlatform(fp, spec.machine->platform);
@@ -118,6 +138,7 @@ void AppendRunSpec(Fingerprint& fp, const RunSpec& spec) {
   AppendProfile(fp, spec.profile);
   fp.Add("seed", spec.seed);
   AppendClofParams(fp, spec.params);
+  AppendFaultPlan(fp, spec.fault);
 }
 
 Fingerprint CellFingerprint(const RunSpec& spec, const std::string& lock_name,

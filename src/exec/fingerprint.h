@@ -28,7 +28,9 @@ namespace clof::exec {
 
 // Bump whenever the meaning of a cached cell changes (simulator cost model semantics,
 // cell payload layout, ...): old cache entries become unreachable, not wrong.
-inline constexpr int kCellSchemaVersion = 1;
+// v2: RunSpec gained the fault::FaultPlan fields and CellResult the robustness
+// sidecars (p99/p999 acquire latency, starved threads).
+inline constexpr int kCellSchemaVersion = 2;
 
 class Fingerprint {
  public:
@@ -63,6 +65,7 @@ void AppendPlatform(Fingerprint& fp, const sim::PlatformModel& platform);
 void AppendHierarchy(Fingerprint& fp, const topo::Hierarchy& hierarchy);
 void AppendProfile(Fingerprint& fp, const workload::Profile& profile);
 void AppendClofParams(Fingerprint& fp, const ClofParams& params);
+void AppendFaultPlan(Fingerprint& fp, const fault::FaultPlan& plan);
 void AppendRunSpec(Fingerprint& fp, const RunSpec& spec);  // all of the above + seed
 
 // The canonical fingerprint of one sweep cell: schema version + RunSpec + the

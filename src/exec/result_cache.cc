@@ -58,10 +58,10 @@ std::optional<CellResult> ResultCache::Lookup(const Fingerprint& fp) {
     return miss();
   }
   std::string magic, version, hash;
-  std::string t_throughput, t_local, t_transfers;
+  std::string t_throughput, t_local, t_transfers, t_p99, t_p999, t_starved;
   size_t fingerprint_bytes = 0;
-  in >> magic >> version >> hash >> t_throughput >> t_local >> t_transfers >>
-      fingerprint_bytes;
+  in >> magic >> version >> hash >> t_throughput >> t_local >> t_transfers >> t_p99 >>
+      t_p999 >> t_starved >> fingerprint_bytes;
   if (!in || magic != kMagic || version != "v" + std::to_string(kCellSchemaVersion) ||
       hash != fp.HashHex()) {
     return miss();
@@ -77,7 +77,10 @@ std::optional<CellResult> ResultCache::Lookup(const Fingerprint& fp) {
   CellResult result;
   if (!TextToDouble(t_throughput, &result.throughput_per_us) ||
       !TextToDouble(t_local, &result.local_handover_rate) ||
-      !TextToDouble(t_transfers, &result.transfers_per_op)) {
+      !TextToDouble(t_transfers, &result.transfers_per_op) ||
+      !TextToDouble(t_p99, &result.acquire_p99_ns) ||
+      !TextToDouble(t_p999, &result.acquire_p999_ns) ||
+      !TextToDouble(t_starved, &result.starved_threads)) {
     return miss();
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
@@ -97,7 +100,10 @@ void ResultCache::Store(const Fingerprint& fp, const CellResult& value) {
     out << kMagic << ' ' << 'v' << kCellSchemaVersion << ' ' << fp.HashHex() << ' '
         << DoubleToText(value.throughput_per_us) << ' '
         << DoubleToText(value.local_handover_rate) << ' '
-        << DoubleToText(value.transfers_per_op) << ' ' << fp.text().size() << '\n'
+        << DoubleToText(value.transfers_per_op) << ' '
+        << DoubleToText(value.acquire_p99_ns) << ' '
+        << DoubleToText(value.acquire_p999_ns) << ' '
+        << DoubleToText(value.starved_threads) << ' ' << fp.text().size() << '\n'
         << fp.text();
     if (!out.good()) {
       out.close();

@@ -27,11 +27,16 @@
 namespace clof::exec {
 
 // The cached payload of one sweep cell — exactly the values RunScriptedBenchmark
-// appends to a LockCurve (throughput plus the observability sidecars).
+// appends to a LockCurve (throughput plus the observability and robustness sidecars).
 struct CellResult {
   double throughput_per_us = 0.0;
   double local_handover_rate = 0.0;
   double transfers_per_op = 0.0;
+  // Robustness sidecars (docs/FAULT_INJECTION.md). starved_threads is an integer
+  // count stored as a double so the whole payload shares one exact hex-float codec.
+  double acquire_p99_ns = 0.0;
+  double acquire_p999_ns = 0.0;
+  double starved_threads = 0.0;
 
   bool operator==(const CellResult& other) const = default;
 };

@@ -1,0 +1,89 @@
+// clof::fault — deterministic fault & perturbation injection (docs/FAULT_INJECTION.md).
+//
+// A FaultPlan describes a set of perturbations applied to a simulated benchmark run:
+//
+//  * lock-holder preemption  — a thread's virtual clock jumps by a quantum at seeded
+//    points, wherever the thread happens to be, including inside a critical section
+//    (the regime where spin locks degrade hardest: a preempted holder stalls every
+//    waiter behind it);
+//  * heterogeneous CPU speed — a seeded subset of CPUs runs all local computation
+//    (Engine::Work) slower by a constant factor (big.LITTLE, thermal throttling);
+//  * cache interference      — extra fibers hammer the benchmark's shared lines with
+//    writes through the normal simulated-access path, stealing line ownership and
+//    port bandwidth from critical sections;
+//  * thread churn            — a seeded subset of benchmark threads stops acquiring
+//    partway through the run (arrivals/departures, crashed workers).
+//
+// Every decision is a pure function of (plan, run seed, thread id / CPU id), drawn
+// from private xoshiro streams, so a faulted run is exactly as deterministic as an
+// unfaulted one: same plan + same seed => byte-identical results on any host, with any
+// --jobs count, computed or served from the result cache. The plan is part of
+// RunSpec and therefore of the cell fingerprint (src/exec/fingerprint.cc), so a
+// faulted and an unfaulted run can never alias a cache entry.
+//
+// This header is dependency-free (plain structs) so RunSpec can embed a FaultPlan
+// without pulling the engine into every configuration header.
+#ifndef CLOF_SRC_FAULT_FAULT_PLAN_H_
+#define CLOF_SRC_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+
+namespace clof::fault {
+
+// Lock-holder preemption/stall: roughly every `interval_us` of a thread's virtual
+// time (jittered, per-thread seeded stream), its clock jumps by `stall_us`.
+struct PreemptSpec {
+  bool enabled = false;
+  double interval_us = 40.0;  // mean virtual time between preemptions, per thread
+  double jitter = 0.5;        // interval drawn uniform in [1-j, 1+j] * interval_us
+  double stall_us = 30.0;     // quantum the preempted thread loses
+};
+
+// Heterogeneous core speeds: a seeded `slow_fraction` of CPUs multiplies every
+// Engine::Work cost by `slow_factor`. The CPU speed map depends only on the plan seed
+// (the hardware does not change between repetitions of a median run).
+struct HeteroSpec {
+  bool enabled = false;
+  double slow_fraction = 0.5;
+  double slow_factor = 4.0;
+};
+
+// Background cache-line interference: `threads` extra fibers (on seeded CPUs) loop
+// until the end of the run, each burst writing `lines_per_burst` seeded lines of the
+// benchmark's shared pool, with `gap_ns` of local work between bursts.
+struct InterferenceSpec {
+  bool enabled = false;
+  int threads = 4;
+  int lines_per_burst = 4;
+  double gap_ns = 500.0;
+};
+
+// Thread churn: a seeded `stop_fraction` of the benchmark threads stops acquiring at
+// `stop_point` (fraction of the run's virtual duration).
+struct ChurnSpec {
+  bool enabled = false;
+  double stop_fraction = 0.5;
+  double stop_point = 0.5;
+};
+
+struct FaultPlan {
+  // Folded with the RunSpec seed into every injector's RNG stream; lets a perturbation
+  // matrix reuse one RunSpec with differently-seeded plans.
+  uint64_t seed = 1;
+
+  PreemptSpec preempt;
+  HeteroSpec hetero;
+  InterferenceSpec interference;
+  ChurnSpec churn;
+
+  // False for a default-constructed plan: the harness then takes the exact non-fault
+  // code path (no hook installed, no extra fibers), byte-identical to a run with no
+  // fault layer at all.
+  bool AnyEnabled() const {
+    return preempt.enabled || hetero.enabled || interference.enabled || churn.enabled;
+  }
+};
+
+}  // namespace clof::fault
+
+#endif  // CLOF_SRC_FAULT_FAULT_PLAN_H_

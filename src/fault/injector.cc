@@ -1,0 +1,55 @@
+#include "src/fault/injector.h"
+
+namespace clof::fault {
+namespace {
+
+// Distinct stream tags keep the injectors' RNG sequences independent of each other.
+constexpr uint64_t kHeteroStream = 0x5bf03635d1c2a941ull;
+constexpr uint64_t kPreemptStream = 0xd1342543de82ef95ull;
+
+}  // namespace
+
+Injector::Injector(const FaultPlan& plan, uint64_t run_seed, int num_cpus)
+    : plan_(plan), run_seed_(run_seed) {
+  if (plan_.hetero.enabled) {
+    work_scale_.assign(static_cast<size_t>(num_cpus), 1.0);
+    runtime::Xoshiro256 rng(plan_.seed ^ kHeteroStream);
+    for (auto& scale : work_scale_) {
+      if (rng.NextDouble() < plan_.hetero.slow_fraction) {
+        scale = plan_.hetero.slow_factor;
+      }
+    }
+  }
+}
+
+sim::Time Injector::DrawInterval(runtime::Xoshiro256& rng) const {
+  const double jitter =
+      1.0 + plan_.preempt.jitter * (2.0 * rng.NextDouble() - 1.0);
+  return sim::PsFromNs(plan_.preempt.interval_us * 1000.0 * jitter);
+}
+
+sim::Time Injector::PreAccessStall(uint64_t thread_id, int /*cpu*/, sim::Time now) {
+  if (!plan_.preempt.enabled) {
+    return 0;
+  }
+  if (thread_id >= preempt_.size()) {
+    preempt_.resize(thread_id + 1);
+  }
+  PreemptState& state = preempt_[thread_id];
+  if (!state.initialized) {
+    state.rng = runtime::Xoshiro256(plan_.seed * 0x9e3779b97f4a7c15ull ^
+                                    (run_seed_ + thread_id * kPreemptStream));
+    state.next = DrawInterval(state.rng);
+    state.initialized = true;
+  }
+  if (now < state.next) {
+    return 0;
+  }
+  // One quantum per due point; the next point is drawn past the stalled clock so a
+  // long think-time gap charges at most one stall, not a backlog of them.
+  const sim::Time stall = sim::PsFromNs(plan_.preempt.stall_us * 1000.0);
+  state.next = now + stall + DrawInterval(state.rng);
+  return stall;
+}
+
+}  // namespace clof::fault

@@ -1,0 +1,59 @@
+#include "src/fault/scenarios.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace clof::fault {
+namespace {
+
+FaultPlan BasePlan(uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  return plan;
+}
+
+void EnableInjector(FaultPlan& plan, const std::string& name) {
+  if (name == "preempt") {
+    plan.preempt.enabled = true;
+  } else if (name == "hetero") {
+    plan.hetero.enabled = true;
+  } else if (name == "interference") {
+    plan.interference.enabled = true;
+  } else if (name == "churn") {
+    plan.churn.enabled = true;
+  } else if (name == "all" || name == "storm") {
+    plan.preempt.enabled = true;
+    plan.hetero.enabled = true;
+    plan.interference.enabled = true;
+    plan.churn.enabled = true;
+  } else if (name != "none" && !name.empty()) {
+    throw std::invalid_argument("unknown fault injector: " + name +
+                                " (want preempt|hetero|interference|churn|all|none)");
+  }
+}
+
+}  // namespace
+
+std::vector<Scenario> DefaultMatrix(uint64_t seed) {
+  std::vector<Scenario> matrix;
+  for (const char* name : {"preempt", "hetero", "interference", "churn", "storm"}) {
+    Scenario scenario;
+    scenario.name = name;
+    scenario.plan = BasePlan(seed);
+    EnableInjector(scenario.plan, name);
+    matrix.push_back(std::move(scenario));
+  }
+  return matrix;
+}
+
+FaultPlan PlanFromSpec(const std::string& spec, uint64_t seed) {
+  FaultPlan plan = BasePlan(seed);
+  std::stringstream stream(spec);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    EnableInjector(plan, token);
+  }
+  return plan;
+}
+
+}  // namespace clof::fault

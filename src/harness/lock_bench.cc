@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/fault/injector.h"
 #include "src/mem/sim_memory.h"
 #include "src/runtime/rng.h"
 #include "src/runtime/stats.h"
@@ -36,6 +37,18 @@ class SharedState {
     for (int i = 0; i < profile_.cs_random_lines; ++i) {
       auto idx = profile_.cs_hot_lines + rng.NextBounded(profile_.cs_pool_lines);
       Touch(*lines_[idx], rng);
+    }
+  }
+
+  // Interference-injector path (src/fault/): always-written touches to seeded pool
+  // lines, issued by the hammer fibers through the same simulated-access machinery as
+  // the benchmark threads — so they steal line ownership and transfer-port bandwidth
+  // exactly the way a real background task would.
+  void HammerLines(runtime::Xoshiro256& rng, int count) {
+    const auto total = static_cast<uint64_t>(lines_.size());
+    for (int i = 0; i < count; ++i) {
+      lines_[rng.NextBounded(total)]->value.FetchAdd(1, std::memory_order_relaxed);
+      ++writes_issued_;
     }
   }
 
@@ -93,6 +106,15 @@ BenchResult RunLockBench(const BenchConfig& config) {
 
   sim::Engine engine(machine.topology, machine.platform);
   engine.SetEventSink(config.trace_sink);
+  // Fault injection (docs/FAULT_INJECTION.md): only installed when some injector is
+  // enabled, so a disabled plan takes the exact historical code path byte for byte.
+  const fault::FaultPlan& fault_plan = config.spec.fault;
+  std::unique_ptr<fault::Injector> injector;
+  if (fault_plan.AnyEnabled()) {
+    injector = std::make_unique<fault::Injector>(fault_plan, config.spec.seed,
+                                                 machine.topology.num_cpus());
+    engine.SetFaultHook(injector.get());
+  }
   auto lock = registry.Make(config.lock_name, config.spec.hierarchy, config.spec.params);
   SharedState shared(config.spec.profile);
 
@@ -106,22 +128,37 @@ BenchResult RunLockBench(const BenchConfig& config) {
   // are mutually exclusive in virtual time, so a plain variable observes the exact
   // ownership order without adding any simulated accesses.
   int last_owner_cpu = -1;
+  // Raw per-acquire waits for the exact percentile report; the deterministic fiber
+  // interleaving makes the sample order (and therefore the sorted values) reproducible.
+  std::vector<double> latency_ns;
 
   for (int t = 0; t < config.num_threads; ++t) {
     int cpu = config.cpu_assignment.empty() ? t : config.cpu_assignment[t];
-    engine.Spawn(cpu, [&, t, cpu] {
+    // Churn injector: a seeded subset of threads stops acquiring at stop_point.
+    sim::Time thread_end = end;
+    if (fault_plan.churn.enabled) {
+      runtime::Xoshiro256 churn_rng(fault_plan.seed * 0x9e3779b97f4a7c15ull + 0xC0FFEEull +
+                                    static_cast<uint64_t>(t));
+      if (churn_rng.NextDouble() < fault_plan.churn.stop_fraction) {
+        thread_end = static_cast<sim::Time>(static_cast<double>(end) *
+                                            fault_plan.churn.stop_point);
+      }
+    }
+    engine.Spawn(cpu, [&, t, cpu, thread_end] {
       runtime::Xoshiro256 rng(config.spec.seed * 0x9e3779b97f4a7c15ull + t);
       auto ctx = lock->MakeContext();
       auto& eng = sim::Engine::Current();
       const workload::Profile& p = config.spec.profile;
-      while (eng.Now() < end) {
+      while (eng.Now() < thread_end) {
         if (p.think_ns > 0.0) {
           double jitter = 1.0 + p.think_jitter * (2.0 * rng.NextDouble() - 1.0);
           eng.Work(p.think_ns * jitter);
         }
         const sim::Time acquire_begin = eng.Now();
         lock->Acquire(*ctx);
-        result.acquire_latency.Record(eng.Now() - acquire_begin);
+        const sim::Time waited = eng.Now() - acquire_begin;
+        result.acquire_latency.Record(waited);
+        latency_ns.push_back(sim::NsFromPs(waited));
         if (last_owner_cpu >= 0) {
           const int level = last_owner_cpu == cpu
                                 ? topo::Topology::kSameCpu
@@ -138,6 +175,25 @@ BenchResult RunLockBench(const BenchConfig& config) {
         ++ops[t];
       }
     });
+  }
+  if (fault_plan.interference.enabled) {
+    // Interference fibers: spawned after the benchmark threads so thread ids 0..N-1
+    // keep meaning "benchmark thread t" for churn and per-thread ops. They never take
+    // the lock, so they terminate at `end` and cannot deadlock the run.
+    runtime::Xoshiro256 place_rng(fault_plan.seed ^ 0xa24baed4963ee407ull);
+    for (int i = 0; i < fault_plan.interference.threads; ++i) {
+      const int cpu = static_cast<int>(
+          place_rng.NextBounded(static_cast<uint64_t>(machine.topology.num_cpus())));
+      engine.Spawn(cpu, [&, i] {
+        runtime::Xoshiro256 rng(fault_plan.seed * 0x9e3779b97f4a7c15ull + 0xBADCAFEull +
+                                static_cast<uint64_t>(i));
+        auto& eng = sim::Engine::Current();
+        while (eng.Now() < end) {
+          eng.Work(fault_plan.interference.gap_ns);
+          shared.HammerLines(rng, fault_plan.interference.lines_per_burst);
+        }
+      });
+    }
   }
   engine.Run();
   shared.VerifyCounters();
@@ -157,6 +213,15 @@ BenchResult RunLockBench(const BenchConfig& config) {
   result.total_line_transfers = engine.total_line_transfers();
   result.level_metrics = engine.level_metrics();
   result.lock_level_stats = lock->Stats();
+  result.acquire_p50_ns = runtime::Percentile(latency_ns, 0.50);
+  result.acquire_p99_ns = runtime::Percentile(latency_ns, 0.99);
+  result.acquire_p999_ns = runtime::Percentile(latency_ns, 0.999);
+  result.max_acquire_ns = sim::NsFromPs(result.acquire_latency.max_ps());
+  for (uint64_t n : ops) {
+    if (n == 0) {
+      ++result.starved_threads;
+    }
+  }
   return result;
 }
 

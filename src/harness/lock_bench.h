@@ -59,6 +59,18 @@ struct BenchResult {
   trace::LatencyHistogram acquire_latency;
   // The lock's own per-hierarchy-level counters (empty for baselines; see LevelStats).
   std::vector<LevelStats> lock_level_stats;
+
+  // --- Robustness (docs/FAULT_INJECTION.md) ---
+  // Exact nearest-rank percentiles (runtime::Percentile) over the raw per-acquire
+  // latency samples, in nanoseconds; the histogram above holds the same data at
+  // power-of-two bucket resolution. Collected on every run, faulted or not.
+  double acquire_p50_ns = 0.0;
+  double acquire_p99_ns = 0.0;
+  double acquire_p999_ns = 0.0;
+  double max_acquire_ns = 0.0;  // the longest single wait (starvation indicator)
+  // Benchmark threads that completed zero iterations. Churn-stopped threads still
+  // count their pre-stop iterations, so a nonzero value means genuine starvation.
+  int starved_threads = 0;
 };
 
 // Runs one configuration. Deterministic: identical config => identical result.

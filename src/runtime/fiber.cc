@@ -4,6 +4,10 @@
 #include <cstdlib>
 #include <utility>
 
+#if CLOF_FIBER_ASAN
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 // On x86-64 we use a minimal hand-rolled context switch (callee-saved registers + rsp,
 // ~15ns) instead of glibc's swapcontext (~220ns: it makes a sigprocmask syscall). The
 // simulator and model checker switch contexts on every atomic access, so this is the
@@ -67,8 +71,48 @@ Fiber Fiber::Main() { return Fiber(); }
 
 Fiber::Fiber(std::function<void()> fn, Fiber* parent, size_t stack_bytes)
     : stack_(new std::byte[stack_bytes]), stack_bytes_(stack_bytes) {
+#if CLOF_FIBER_ASAN
+  asan_stack_bottom_ = stack_.get();
+  asan_stack_size_ = stack_bytes_;
+#endif
   Reset(std::move(fn), parent);
 }
+
+#if CLOF_FIBER_ASAN
+
+namespace {
+// The fiber being switched away from, recorded so the landing side can back-fill the
+// stack bounds of a Main() fiber — ASan reports them, we never learned them ourselves.
+thread_local Fiber* asan_switch_source = nullptr;
+}  // namespace
+
+// ASan tracks the live stack region to tell genuine frames from dead ones; a raw rsp
+// swap leaves it believing execution is still on the old fiber's stack, and with
+// detect_stack_use_after_return fake stacks it eventually emits spurious
+// stack-use-after-return reports (https://github.com/google/sanitizers/issues/189).
+// This start/finish pair is the documented fiber protocol: announce the target stack
+// before switching, confirm the landing afterwards, and pass a null save slot when the
+// leaving fiber has finished so its fake frames are released for reuse.
+void Fiber::AsanStartSwitch(Fiber& from, Fiber& to) {
+  asan_switch_source = &from;
+  __sanitizer_start_switch_fiber(from.finished_ ? nullptr : &from.asan_fake_stack_,
+                                 to.asan_stack_bottom_, to.asan_stack_size_);
+}
+
+void Fiber::AsanFinishSwitch(Fiber& self) {
+  const void* prev_bottom = nullptr;
+  size_t prev_size = 0;
+  __sanitizer_finish_switch_fiber(self.asan_fake_stack_, &prev_bottom, &prev_size);
+  self.asan_fake_stack_ = nullptr;
+  Fiber* source = asan_switch_source;
+  asan_switch_source = nullptr;
+  if (source != nullptr && source->asan_stack_bottom_ == nullptr) {
+    source->asan_stack_bottom_ = prev_bottom;
+    source->asan_stack_size_ = prev_size;
+  }
+}
+
+#endif  // CLOF_FIBER_ASAN
 
 #if CLOF_FAST_FIBER
 
@@ -92,9 +136,14 @@ void Fiber::Reset(std::function<void()> fn, Fiber* parent) {
   saved_rsp_ = &frame[-7];
 }
 
-void Fiber::Switch(Fiber& from, Fiber& to) { clof_ctx_switch(&from.saved_rsp_, to.saved_rsp_); }
+void Fiber::Switch(Fiber& from, Fiber& to) {
+  AsanStartSwitch(from, to);
+  clof_ctx_switch(&from.saved_rsp_, to.saved_rsp_);
+  AsanFinishSwitch(from);
+}
 
 void Fiber::Run() {
+  AsanFinishSwitch(*this);
   fn_();
   finished_ = true;
   // Return control to the parent (scheduler). This fiber is never resumed again
@@ -126,13 +175,18 @@ void Fiber::Trampoline(unsigned hi, unsigned lo) {
 }
 
 void Fiber::Run() {
+  AsanFinishSwitch(*this);
   fn_();
   finished_ = true;
-  swapcontext(&ctx_, &parent_->ctx_);
+  Switch(*this, *parent_);
   std::abort();
 }
 
-void Fiber::Switch(Fiber& from, Fiber& to) { swapcontext(&from.ctx_, &to.ctx_); }
+void Fiber::Switch(Fiber& from, Fiber& to) {
+  AsanStartSwitch(from, to);
+  swapcontext(&from.ctx_, &to.ctx_);
+  AsanFinishSwitch(from);
+}
 
 #endif  // CLOF_FAST_FIBER
 

@@ -16,6 +16,20 @@
 #include <functional>
 #include <memory>
 
+// Under ASan every stack switch must be announced via the sanitizer fiber API, or its
+// stack bookkeeping (fake stacks, use-after-return detection) misfires on the foreign
+// stack. See the annotation rationale in fiber.cc.
+#if defined(__SANITIZE_ADDRESS__)
+#define CLOF_FIBER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CLOF_FIBER_ASAN 1
+#endif
+#endif
+#ifndef CLOF_FIBER_ASAN
+#define CLOF_FIBER_ASAN 0
+#endif
+
 namespace clof::runtime {
 
 // A single cooperatively-scheduled execution context.
@@ -58,6 +72,14 @@ class Fiber {
  private:
   Fiber();  // main-context constructor
 
+#if CLOF_FIBER_ASAN
+  static void AsanStartSwitch(Fiber& from, Fiber& to);
+  static void AsanFinishSwitch(Fiber& self);
+#else
+  static void AsanStartSwitch(Fiber&, Fiber&) {}
+  static void AsanFinishSwitch(Fiber&) {}
+#endif
+
 #if defined(__x86_64__)
   void* saved_rsp_ = nullptr;
 #else
@@ -69,6 +91,11 @@ class Fiber {
   std::function<void()> fn_;
   Fiber* parent_ = nullptr;
   bool finished_ = false;
+#if CLOF_FIBER_ASAN
+  void* asan_fake_stack_ = nullptr;          // fake-stack handle saved while suspended
+  const void* asan_stack_bottom_ = nullptr;  // lowest address of this fiber's stack
+  size_t asan_stack_size_ = 0;               // (back-filled lazily for Main() fibers)
+#endif
 };
 
 }  // namespace clof::runtime

@@ -21,6 +21,22 @@ inline double Median(std::vector<double> values) {
   return 0.5 * (values[n / 2 - 1] + values[n / 2]);
 }
 
+// Nearest-rank percentile, p in [0, 1]: the smallest element with at least
+// ceil(p * n) values at or below it (so p=0.5 on {1..10} is 5, p=0.99 is 10).
+// Empty-safe like the other helpers; p <= 0 gives the minimum, p >= 1 the maximum.
+inline double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  if (p <= 0.0) {
+    return values.front();
+  }
+  size_t rank = static_cast<size_t>(std::ceil(p * static_cast<double>(values.size())));
+  rank = std::clamp<size_t>(rank, 1, values.size());
+  return values[rank - 1];
+}
+
 inline double Mean(const std::vector<double>& values) {
   if (values.empty()) {
     return 0.0;

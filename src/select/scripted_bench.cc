@@ -1,5 +1,6 @@
 #include "src/select/scripted_bench.h"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <stdexcept>
@@ -33,6 +34,9 @@ exec::CellResult EvaluateCell(const SweepConfig& config, const RunSpec& spec,
                               ? 0.0
                               : static_cast<double>(run.total_line_transfers) /
                                     static_cast<double>(run.total_ops);
+  cell.acquire_p99_ns = run.acquire_p99_ns;
+  cell.acquire_p999_ns = run.acquire_p999_ns;
+  cell.starved_threads = static_cast<double>(run.starved_threads);
   if (config.cache != nullptr) {
     config.cache->Store(fp, cell);
   }
@@ -94,6 +98,7 @@ SweepResult RunScriptedBenchmark(const SweepConfig& config) {
     curve.throughput.resize(num_threads);
     curve.local_handover_rate.resize(num_threads);
     curve.transfers_per_op.resize(num_threads);
+    curve.acquire_p99_ns.resize(num_threads);
   }
 
   // In-order lock-completion callbacks (the on_lock_done contract in the header):
@@ -131,6 +136,7 @@ SweepResult RunScriptedBenchmark(const SweepConfig& config) {
     curve.throughput[ti] = cell.throughput_per_us;
     curve.local_handover_rate[ti] = cell.local_handover_rate;
     curve.transfers_per_op[ti] = cell.transfers_per_op;
+    curve.acquire_p99_ns[ti] = cell.acquire_p99_ns;
     if (cells_remaining[li].fetch_sub(1, std::memory_order_acq_rel) == 1) {
       deliver_in_order(li);
     }
@@ -138,6 +144,117 @@ SweepResult RunScriptedBenchmark(const SweepConfig& config) {
 
   result.selection = SelectBest(result.curves, result.thread_counts);
   result.IndexCurves();
+  return result;
+}
+
+RobustnessResult RunRobustnessBenchmark(const RobustnessConfig& config) {
+  if (config.sweep.spec.fault.AnyEnabled()) {
+    throw std::invalid_argument(
+        "RobustnessConfig.sweep.spec.fault must be all-disabled: the sweep is the "
+        "unperturbed baseline the matrix is compared against");
+  }
+  RobustnessResult result;
+  result.sweep = RunScriptedBenchmark(config.sweep);
+  result.scenarios = config.scenarios.empty()
+                         ? fault::DefaultMatrix(config.sweep.spec.seed)
+                         : config.scenarios;
+  result.probe_threads = config.probe_threads > 0 ? config.probe_threads
+                                                  : result.sweep.thread_counts.back();
+
+  // Candidate set: the top HC-ranked locks plus the LC-best — the locks the ideal
+  // sweep would actually recommend — each carrying its HC score as ranking weight.
+  auto ranked =
+      Rank(result.sweep.curves, result.sweep.thread_counts, Policy::kHighContention);
+  const size_t top_n =
+      std::min<size_t>(static_cast<size_t>(std::max(config.candidates, 1)), ranked.size());
+  std::vector<std::pair<std::string, double>> candidates(ranked.begin(),
+                                                         ranked.begin() + top_n);
+  const std::string& lc_best = result.sweep.selection.lc_best;
+  if (std::none_of(candidates.begin(), candidates.end(),
+                   [&](const auto& c) { return c.first == lc_best; })) {
+    for (const auto& entry : ranked) {
+      if (entry.first == lc_best) {
+        candidates.push_back(entry);
+        break;
+      }
+    }
+  }
+
+  // Baselines come for free when the probe point is a sweep point; otherwise one
+  // extra unfaulted cell per candidate is added to the matrix.
+  int probe_index = -1;
+  for (size_t i = 0; i < result.sweep.thread_counts.size(); ++i) {
+    if (result.sweep.thread_counts[i] == result.probe_threads) {
+      probe_index = static_cast<int>(i);
+      break;
+    }
+  }
+  const bool need_baseline = probe_index < 0;
+
+  RunSpec spec = config.sweep.spec;
+  spec.registry = &config.sweep.spec.ResolveRegistry();
+  const int local_level = spec.hierarchy.valid() ? spec.hierarchy.TopologyLevel(0) : 0;
+
+  const size_t num_candidates = candidates.size();
+  const size_t num_scenarios = result.scenarios.size();
+  result.locks.resize(num_candidates);
+  for (size_t ci = 0; ci < num_candidates; ++ci) {
+    LockRobustness& lock = result.locks[ci];
+    lock.name = candidates[ci].first;
+    lock.hc_score = candidates[ci].second;
+    lock.outcomes.resize(num_scenarios);
+    if (!need_baseline) {
+      const LockCurve* curve = result.sweep.Curve(lock.name);
+      lock.baseline_throughput = curve->throughput[static_cast<size_t>(probe_index)];
+      lock.baseline_p99_ns = curve->acquire_p99_ns[static_cast<size_t>(probe_index)];
+    }
+  }
+
+  // One task per (candidate, scenario) cell — plus the baseline cell when needed —
+  // on the same executor/cache machinery as the sweep. Each task writes only its own
+  // slots, so any worker count produces byte-identical results.
+  const size_t cells_per_candidate = num_scenarios + (need_baseline ? 1 : 0);
+  exec::Executor executor(config.sweep.jobs);
+  executor.ParallelFor(num_candidates * cells_per_candidate, [&](size_t task) {
+    const size_t ci = task / cells_per_candidate;
+    const size_t si = task % cells_per_candidate;
+    LockRobustness& lock = result.locks[ci];
+    RunSpec cell_spec = spec;
+    if (si == num_scenarios) {  // the extra unfaulted baseline cell
+      exec::CellResult cell = EvaluateCell(config.sweep, cell_spec, lock.name,
+                                           result.probe_threads, local_level);
+      lock.baseline_throughput = cell.throughput_per_us;
+      lock.baseline_p99_ns = cell.acquire_p99_ns;
+      return;
+    }
+    cell_spec.fault = result.scenarios[si].plan;
+    exec::CellResult cell = EvaluateCell(config.sweep, cell_spec, lock.name,
+                                         result.probe_threads, local_level);
+    ScenarioOutcome& outcome = lock.outcomes[si];
+    outcome.scenario = result.scenarios[si].name;
+    outcome.throughput_per_us = cell.throughput_per_us;
+    outcome.acquire_p99_ns = cell.acquire_p99_ns;
+    outcome.starved_threads = static_cast<int>(cell.starved_threads);
+  });
+
+  // Retention and ranking are pure post-processing over the barrier'd cells.
+  for (LockRobustness& lock : result.locks) {
+    for (ScenarioOutcome& outcome : lock.outcomes) {
+      outcome.retention = lock.baseline_throughput > 0.0
+                              ? outcome.throughput_per_us / lock.baseline_throughput
+                              : 0.0;
+      lock.worst_retention = std::min(lock.worst_retention, outcome.retention);
+    }
+    lock.robust_score = lock.hc_score * lock.worst_retention;
+  }
+  std::sort(result.locks.begin(), result.locks.end(),
+            [](const LockRobustness& a, const LockRobustness& b) {
+              return a.robust_score != b.robust_score ? a.robust_score > b.robust_score
+                                                      : a.name < b.name;
+            });
+  result.robust_best = result.locks.front().name;
+  result.robust_best_score = result.locks.front().robust_score;
+  result.winner_changed = result.robust_best != result.sweep.selection.hc_best;
   return result;
 }
 

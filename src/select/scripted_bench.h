@@ -21,6 +21,7 @@
 #include "src/clof/registry.h"
 #include "src/clof/run_spec.h"
 #include "src/exec/result_cache.h"
+#include "src/fault/scenarios.h"
 #include "src/harness/lock_bench.h"
 #include "src/select/selection.h"
 #include "src/sim/platform.h"
@@ -71,6 +72,62 @@ struct SweepResult {
 };
 
 SweepResult RunScriptedBenchmark(const SweepConfig& config);
+
+// --- Robustness mode (docs/FAULT_INJECTION.md) ---
+//
+// The throughput sweep above evaluates every lock under ideal conditions; the
+// robustness mode re-evaluates the sweep's winners under a matrix of deterministic
+// perturbations (src/fault/scenarios.h) and re-ranks them on how much throughput they
+// retain. A lock that wins the ideal sweep but collapses under lock-holder preemption
+// or background interference is exactly the selection mistake this mode catches.
+
+// One candidate lock under one perturbation scenario, at the probe thread count.
+struct ScenarioOutcome {
+  std::string scenario;
+  double throughput_per_us = 0.0;
+  double retention = 0.0;        // faulted throughput / unfaulted throughput
+  double acquire_p99_ns = 0.0;   // exact nearest-rank p99 under the perturbation
+  int starved_threads = 0;
+};
+
+struct LockRobustness {
+  std::string name;
+  double hc_score = 0.0;               // the ideal-sweep HC score (ranking weight)
+  double baseline_throughput = 0.0;    // unfaulted, at the probe thread count
+  double baseline_p99_ns = 0.0;
+  std::vector<ScenarioOutcome> outcomes;  // one per scenario, matrix order
+  double worst_retention = 1.0;        // min retention over the matrix
+  // Robustness-aware ranking weight: the ideal HC score discounted by the worst-case
+  // retention. A fragile lock keeps its throughput credit only if it survives.
+  double robust_score = 0.0;
+};
+
+struct RobustnessConfig {
+  // The base sweep (its spec.fault must be all-disabled: the sweep is the baseline).
+  SweepConfig sweep;
+  // Perturbations to apply; empty = fault::DefaultMatrix(sweep.spec.seed).
+  std::vector<fault::Scenario> scenarios;
+  // How many of the top HC-ranked locks to re-evaluate (the LC-best is always added).
+  int candidates = 5;
+  // Thread count the matrix runs at; 0 = the highest sweep point (most contended).
+  int probe_threads = 0;
+};
+
+struct RobustnessResult {
+  SweepResult sweep;                    // the unperturbed sweep + its selection
+  std::vector<fault::Scenario> scenarios;
+  int probe_threads = 0;
+  std::vector<LockRobustness> locks;    // candidates, best robust_score first
+  std::string robust_best;              // argmax robust_score
+  double robust_best_score = 0.0;
+  bool winner_changed = false;          // robust_best != sweep.selection.hc_best
+};
+
+// Runs the scripted benchmark, then the perturbation matrix over its winners. Cells
+// execute on the same executor/cache machinery as the sweep (the FaultPlan is part of
+// each cell's fingerprint), so robustness runs are byte-identical for any `jobs` and
+// cache-served on repetition. Deterministic: same config => identical result.
+RobustnessResult RunRobustnessBenchmark(const RobustnessConfig& config);
 
 }  // namespace clof::select
 

@@ -22,6 +22,7 @@ struct LockCurve {
   // docs/OBSERVABILITY.md and BenchResult in src/harness/lock_bench.h.
   std::vector<double> local_handover_rate;  // handovers within the lowest hierarchy level
   std::vector<double> transfers_per_op;     // simulated line transfers per completed op
+  std::vector<double> acquire_p99_ns;       // exact nearest-rank p99 acquire latency
 };
 
 enum class Policy {

@@ -102,6 +102,9 @@ Time Engine::Now() const { return current_->time; }
 
 void Engine::Work(double ns) {
   SimThread* self = current_;
+  if (fault_hook_ != nullptr) {
+    ns *= fault_hook_->WorkScale(self->cpu);  // heterogeneous core speed (src/fault/)
+  }
   self->time += PsFromNs(ns);
   YieldRunnable(self);
 }
@@ -137,6 +140,11 @@ Engine::MissSource Engine::MissFrom(int cpu, const Line& line) const {
 Engine::AccessResult Engine::Access(uintptr_t line_addr, OpKind kind,
                                     const std::function<bool()>& apply) {
   SimThread* self = current_;
+  if (fault_hook_ != nullptr) {
+    // Preemption stall: the jump precedes the access's linearization, so a preempted
+    // lock holder delays every waiter queued behind its next handover store.
+    self->time += fault_hook_->PreAccessStall(self->id, self->cpu, self->time);
+  }
   Line& line = LineFor(line_addr);
   ++total_accesses_;
 

@@ -55,6 +55,23 @@ enum class OpKind {
   kRmwSpinLoad,  // read implemented as fetch_add(x, 0): takes the line exclusive (CTR)
 };
 
+// Perturbation hook (implemented by fault::Injector, src/fault/injector.h), consulted
+// on the simulated-thread hot paths when installed. Same zero-cost-when-off discipline
+// as the event sink: with no hook installed each call site is a single branch.
+// Implementations must be deterministic functions of their own seeded state and must
+// not issue simulated accesses.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+  // Multiplies the cost of Work(ns) on `cpu` (heterogeneous core speeds). Must be a
+  // fixed per-CPU value for the whole run.
+  virtual double WorkScale(int cpu) = 0;
+  // Extra stall (ps) charged to thread `thread_id` immediately before its next access
+  // linearizes — the clock jump lands wherever the thread happens to be, including
+  // while it holds a lock (lock-holder preemption). `now` is the thread's local clock.
+  virtual Time PreAccessStall(uint64_t thread_id, int cpu, Time now) = 0;
+};
+
 class Engine {
  public:
   static constexpr int kMaxCpus = 256;
@@ -120,6 +137,13 @@ class Engine {
   // is a single branch. Sinks must not issue simulated accesses.
   void SetEventSink(trace::EventSink* sink) { sink_ = sink; }
   trace::EventSink* event_sink() const { return sink_; }
+
+  // Installs (or clears, with nullptr) a fault-injection hook (src/fault/). With no
+  // hook the perturbation paths cost one branch each; a hook whose callbacks return
+  // the identity (scale 1.0, stall 0) leaves every virtual-time result bit-identical
+  // to an uninstrumented run (tests/fault_test.cc asserts this).
+  void SetFaultHook(FaultHook* hook) { fault_hook_ = hook; }
+  FaultHook* fault_hook() const { return fault_hook_; }
 
  private:
   struct SimThread {
@@ -207,6 +231,7 @@ class Engine {
   uint64_t total_line_transfers_ = 0;
   std::vector<trace::LevelMetrics> level_metrics_;  // trace::LevelBucket layout
   trace::EventSink* sink_ = nullptr;
+  FaultHook* fault_hook_ = nullptr;
   int unfinished_ = 0;
   bool running_ = false;
 };

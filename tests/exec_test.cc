@@ -216,6 +216,44 @@ TEST(FingerprintTest, EverySingleFieldChangeChangesTheHash) {
   EXPECT_EQ(std::adjacent_find(hashes.begin(), hashes.end()), hashes.end());
 }
 
+TEST(FingerprintTest, EveryFaultPlanFieldChangeChangesTheHash) {
+  // The fault plan is part of the cell key (schema v2): a faulted cell must never
+  // alias an unfaulted one, and every severity knob must produce a distinct key.
+  auto machine = sim::Machine::PaperArm();
+  RunSpec base_spec = ArmSpec(machine);
+  Fingerprint base = CellFingerprint(base_spec, "mcs-mcs", 8, 0.5, 1);
+
+  std::vector<Fingerprint> variants;
+  auto variant = [&](auto&& mutate) {
+    RunSpec s = base_spec;
+    mutate(s.fault);
+    variants.push_back(CellFingerprint(s, "mcs-mcs", 8, 0.5, 1));
+  };
+  variant([](fault::FaultPlan& f) { f.seed = 2; });
+  variant([](fault::FaultPlan& f) { f.preempt.enabled = true; });
+  variant([](fault::FaultPlan& f) { f.preempt.interval_us = 20.0; });
+  variant([](fault::FaultPlan& f) { f.preempt.jitter = 0.25; });
+  variant([](fault::FaultPlan& f) { f.preempt.stall_us = 60.0; });
+  variant([](fault::FaultPlan& f) { f.hetero.enabled = true; });
+  variant([](fault::FaultPlan& f) { f.hetero.slow_fraction = 0.25; });
+  variant([](fault::FaultPlan& f) { f.hetero.slow_factor = 8.0; });
+  variant([](fault::FaultPlan& f) { f.interference.enabled = true; });
+  variant([](fault::FaultPlan& f) { f.interference.threads = 8; });
+  variant([](fault::FaultPlan& f) { f.interference.lines_per_burst = 2; });
+  variant([](fault::FaultPlan& f) { f.interference.gap_ns = 250.0; });
+  variant([](fault::FaultPlan& f) { f.churn.enabled = true; });
+  variant([](fault::FaultPlan& f) { f.churn.stop_fraction = 0.75; });
+  variant([](fault::FaultPlan& f) { f.churn.stop_point = 0.25; });
+
+  std::vector<uint64_t> hashes{base.Hash()};
+  for (const Fingerprint& v : variants) {
+    EXPECT_NE(v.text(), base.text());
+    hashes.push_back(v.Hash());
+  }
+  std::sort(hashes.begin(), hashes.end());
+  EXPECT_EQ(std::adjacent_find(hashes.begin(), hashes.end()), hashes.end());
+}
+
 TEST(FingerprintTest, SchemaVersionIsPartOfTheKey) {
   auto machine = sim::Machine::PaperArm();
   RunSpec spec = ArmSpec(machine);

@@ -40,7 +40,7 @@ void ExpectBitIdentical(const SweepResult& a, const SweepResult& b,
     const LockCurve& cb = b.curves[i];
     EXPECT_EQ(ca.name, cb.name) << label;
     for (auto field : {&LockCurve::throughput, &LockCurve::local_handover_rate,
-                       &LockCurve::transfers_per_op}) {
+                       &LockCurve::transfers_per_op, &LockCurve::acquire_p99_ns}) {
       const std::vector<double>& va = ca.*field;
       const std::vector<double>& vb = cb.*field;
       ASSERT_EQ(va.size(), vb.size()) << label << " curve " << ca.name;

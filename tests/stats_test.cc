@@ -3,11 +3,14 @@
 // probe of the lock-passing machinery.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "src/clof/clof_tree.h"
 #include "src/clof/registry.h"
 #include "src/locks/mcs.h"
 #include "src/locks/ticket.h"
 #include "src/mem/sim_memory.h"
+#include "src/runtime/stats.h"
 #include "src/sim/engine.h"
 
 namespace clof {
@@ -117,6 +120,35 @@ TEST(StatsTest, LocalPassRatioHelper) {
   stats.local_passes = 3;
   stats.climbs = 1;
   EXPECT_DOUBLE_EQ(stats.LocalPassRatio(), 0.75);
+}
+
+// runtime::Percentile is the exact nearest-rank percentile behind the harness's
+// p50/p99/p999 reporting (docs/FAULT_INJECTION.md).
+
+TEST(PercentileTest, EmptyAndSingleElement) {
+  EXPECT_EQ(runtime::Percentile({}, 0.99), 0.0);
+  EXPECT_EQ(runtime::Percentile({7.5}, 0.0), 7.5);
+  EXPECT_EQ(runtime::Percentile({7.5}, 0.5), 7.5);
+  EXPECT_EQ(runtime::Percentile({7.5}, 1.0), 7.5);
+}
+
+TEST(PercentileTest, NearestRankOnTenElements) {
+  std::vector<double> values = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  // Nearest rank: the smallest element with at least ceil(p*n) values at or below it.
+  EXPECT_EQ(runtime::Percentile(values, 0.50), 5.0);   // ceil(5) -> 5th
+  EXPECT_EQ(runtime::Percentile(values, 0.51), 6.0);   // ceil(5.1) -> 6th
+  EXPECT_EQ(runtime::Percentile(values, 0.90), 9.0);
+  EXPECT_EQ(runtime::Percentile(values, 0.99), 10.0);  // p99 of 10 samples is the max
+  EXPECT_EQ(runtime::Percentile(values, 0.999), 10.0);
+}
+
+TEST(PercentileTest, BoundsAndUnsortedInput) {
+  std::vector<double> values = {42.0, -1.0, 17.0, 3.0};  // deliberately unsorted
+  EXPECT_EQ(runtime::Percentile(values, -0.5), -1.0);  // p <= 0 -> min
+  EXPECT_EQ(runtime::Percentile(values, 0.0), -1.0);
+  EXPECT_EQ(runtime::Percentile(values, 1.0), 42.0);   // p >= 1 -> max
+  EXPECT_EQ(runtime::Percentile(values, 2.0), 42.0);
+  EXPECT_EQ(runtime::Percentile(values, 0.5), 3.0);    // 2nd of 4 sorted
 }
 
 }  // namespace

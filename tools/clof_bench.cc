@@ -6,15 +6,19 @@
 //              [--jobs=N]                            executor workers (0 = all host CPUs)
 //              [--cache=results/cache]               content-addressed result cache:
 //                                                    unchanged cells are served from disk
+//              [--robustness[=K]]                    re-rank the top-K sweep winners under
+//                                                    the fault matrix (docs/FAULT_INJECTION.md)
 //   clof_bench --lock=tkt-clh-tkt [--threads=8,64] [--profile=kyoto]
 //              [--stats=per-level]                  run one lock, print per-level stats
+//              [--fault=preempt,hetero|all|storm]   perturb the run (src/fault/scenarios.h)
 //              [--trace=out.json]                   Chrome trace of the last sweep point
 //                                                   (open in Perfetto / chrome://tracing)
 //
 // Common flags: --machine=x86|arm (default arm), --topology=<spec> (custom machine,
 // see topo::Topology::FromSpec), --levels=<names,comma>, --duration_ms, --seed, --H.
 // docs/OBSERVABILITY.md documents the per-level metrics and the trace workflow;
-// docs/PARALLEL_SWEEP.md documents the executor and the cache key.
+// docs/PARALLEL_SWEEP.md documents the executor and the cache key;
+// docs/FAULT_INJECTION.md documents the perturbation layer and the robustness mode.
 #include <cstdio>
 #include <sstream>
 #include <string>
@@ -24,6 +28,7 @@
 
 #include "bench/bench_util.h"
 #include "src/discover/heatmap.h"
+#include "src/fault/scenarios.h"
 #include "src/exec/executor.h"
 #include "src/exec/result_cache.h"
 #include "src/harness/lock_bench.h"
@@ -131,10 +136,16 @@ void PrintObservability(const harness::BenchResult& result, const sim::Machine& 
                 sim::NsFromPs(m.port_queue_ps) * 1e-3);
   }
 
-  const trace::LatencyHistogram& lat = result.acquire_latency;
-  std::printf("\nacquire latency: mean %.1f ns, p50 <= %.1f ns, p99 <= %.1f ns, max %.1f ns\n",
-              lat.MeanNs(), lat.PercentileNs(0.5), lat.PercentileNs(0.99),
-              sim::NsFromPs(lat.max_ps()));
+  // Exact nearest-rank percentiles over the raw samples (the histogram only bounds
+  // them); these are the numbers the robustness mode ranks on.
+  std::printf("\nacquire latency: mean %.1f ns, p50 %.1f ns, p99 %.1f ns, p99.9 %.1f ns,"
+              " max %.1f ns\n",
+              result.acquire_latency.MeanNs(), result.acquire_p50_ns,
+              result.acquire_p99_ns, result.acquire_p999_ns, result.max_acquire_ns);
+  if (result.starved_threads > 0) {
+    std::printf("starvation: %d thread(s) completed zero operations\n",
+                result.starved_threads);
+  }
 
   if (!result.lock_level_stats.empty()) {
     std::printf("\nper-level lock statistics:\n");
@@ -151,6 +162,38 @@ void PrintObservability(const harness::BenchResult& result, const sim::Machine& 
                   static_cast<unsigned long long>(stats[level].threshold_climbs),
                   stats[level].LocalPassRatio() * 100.0);
     }
+  }
+}
+
+// The robustness report behind --sweep --robustness: per-candidate retention and tail
+// latency under each perturbation, then the robustness-aware re-ranking.
+void PrintRobustness(const select::RobustnessResult& result) {
+  std::printf("\nrobustness matrix at %d threads (%zu candidates x %zu scenarios):\n",
+              result.probe_threads, result.locks.size(), result.scenarios.size());
+  for (const auto& lock : result.locks) {
+    std::printf("\n%-18s baseline %8.3f iter/us, p99 %8.1f ns\n", lock.name.c_str(),
+                lock.baseline_throughput, lock.baseline_p99_ns);
+    std::printf("  %-14s%12s%11s%12s%10s\n", "scenario", "iter/us", "retained",
+                "p99(ns)", "starved");
+    for (const auto& outcome : lock.outcomes) {
+      std::printf("  %-14s%12.3f%10.1f%%%12.1f%10d\n", outcome.scenario.c_str(),
+                  outcome.throughput_per_us, 100.0 * outcome.retention,
+                  outcome.acquire_p99_ns, outcome.starved_threads);
+    }
+  }
+  std::printf("\nrobustness ranking (robust score = HC score x worst retention):\n");
+  std::printf("%-18s%12s%17s%14s\n", "lock", "HC score", "worst retention", "robust score");
+  for (const auto& lock : result.locks) {
+    std::printf("%-18s%12.3f%16.1f%%%14.3f\n", lock.name.c_str(), lock.hc_score,
+                100.0 * lock.worst_retention, lock.robust_score);
+  }
+  if (result.winner_changed) {
+    std::printf("\nrobust winner %s differs from ideal HC-best %s: the ideal winner does"
+                " not survive the perturbation matrix.\n",
+                result.robust_best.c_str(), result.sweep.selection.hc_best.c_str());
+  } else {
+    std::printf("\nrobust winner %s confirms the ideal HC-best.\n",
+                result.robust_best.c_str());
   }
 }
 
@@ -227,6 +270,31 @@ int Run(const bench::Flags& flags) {
       cache = std::make_unique<exec::ResultCache>(cache_dir);
       config.cache = cache.get();
     }
+    if (flags.GetBool("robustness")) {
+      select::RobustnessConfig robustness;
+      robustness.sweep = config;
+      const std::string value = flags.GetString("robustness", "true");
+      if (value != "true") {
+        robustness.candidates = std::stoi(value);  // --robustness=K: top-K candidates
+      }
+      auto result = select::RunRobustnessBenchmark(robustness);
+      std::printf("swept %zu locks; perturbed top %zu under %zu scenarios\n",
+                  result.sweep.curves.size(), result.locks.size(),
+                  result.scenarios.size());
+      std::printf("HC-best %-18s (score %.3f)   LC-best %-18s (score %.3f)\n",
+                  result.sweep.selection.hc_best.c_str(),
+                  result.sweep.selection.hc_best_score,
+                  result.sweep.selection.lc_best.c_str(),
+                  result.sweep.selection.lc_best_score);
+      if (cache != nullptr) {
+        std::printf("cache %s: %llu hits, %llu misses, %llu stored\n",
+                    cache->dir().c_str(), static_cast<unsigned long long>(cache->hits()),
+                    static_cast<unsigned long long>(cache->misses()),
+                    static_cast<unsigned long long>(cache->stores()));
+      }
+      PrintRobustness(result);
+      return 0;
+    }
     auto result = select::RunScriptedBenchmark(config);
     const size_t cells = result.curves.size() * result.thread_counts.size();
     std::printf("swept %zu locks (%zu cells, %d workers)\n", result.curves.size(), cells,
@@ -261,21 +329,38 @@ int Run(const bench::Flags& flags) {
   if (lock_name.empty()) {
     std::fprintf(stderr,
                  "usage: clof_bench --list | --discover | --sweep [--jobs=N]"
-                 " [--cache=DIR] | --lock=<name>\n"
+                 " [--cache=DIR] [--robustness[=K]] | --lock=<name> [--fault=SPEC]\n"
                  "       --jobs=N   executor worker threads (0 = all host CPUs)\n"
                  "       --cache=DIR  content-addressed sweep result cache\n"
-                 "       (see the header of tools/clof_bench.cc and"
-                 " docs/PARALLEL_SWEEP.md)\n");
+                 "       --robustness[=K]  re-rank the top-K sweep winners under the\n"
+                 "                         deterministic fault matrix\n"
+                 "       --fault=SPEC  perturb a single-lock run; SPEC is a csv of\n"
+                 "                     preempt,hetero,interference,churn or all|storm|none\n"
+                 "       (see the header of tools/clof_bench.cc, docs/PARALLEL_SWEEP.md"
+                 " and docs/FAULT_INJECTION.md)\n");
     return 2;
   }
   ClofParams params;
   params.keep_local_threshold = static_cast<uint32_t>(flags.GetInt("H", 128));
   auto threads = ParseThreads(flags.GetString("threads", ""), machine.topology);
   const std::string trace_path = flags.GetString("trace", "");
+  const bool want_stats = flags.GetBool("stats");
+  fault::FaultPlan fault_plan;
+  const std::string fault_spec = flags.GetString("fault", "");
+  if (!fault_spec.empty()) {
+    fault_plan = fault::PlanFromSpec(fault_spec, seed);
+    std::printf("fault plan: %s (seed %llu)\n", fault_spec.c_str(),
+                static_cast<unsigned long long>(fault_plan.seed));
+  }
   trace::TraceBuffer trace_buffer(
       static_cast<size_t>(flags.GetInt("trace_capacity", 1 << 20)));
   harness::BenchResult last;
-  std::printf("%-10s%12s%10s\n", "threads", "iter/us", "jain");
+  if (want_stats) {
+    std::printf("%-10s%12s%10s%12s%12s%12s\n", "threads", "iter/us", "jain", "p50(ns)",
+                "p99(ns)", "p99.9(ns)");
+  } else {
+    std::printf("%-10s%12s%10s\n", "threads", "iter/us", "jain");
+  }
   for (int t : threads) {
     harness::BenchConfig config;
     config.spec.machine = &machine;
@@ -284,6 +369,7 @@ int Run(const bench::Flags& flags) {
     config.spec.profile = ProfileByName(flags.GetString("profile", "leveldb"));
     config.spec.seed = seed;
     config.spec.params = params;
+    config.spec.fault = fault_plan;
     config.lock_name = lock_name;
     config.num_threads = t;
     config.duration_ms = duration;
@@ -291,7 +377,14 @@ int Run(const bench::Flags& flags) {
       config.trace_sink = &trace_buffer;  // trace the most contended sweep point
     }
     auto result = harness::RunLockBench(config);
-    std::printf("%-10d%12.3f%10.3f\n", t, result.throughput_per_us, result.fairness_index);
+    if (want_stats) {
+      std::printf("%-10d%12.3f%10.3f%12.1f%12.1f%12.1f\n", t, result.throughput_per_us,
+                  result.fairness_index, result.acquire_p50_ns, result.acquire_p99_ns,
+                  result.acquire_p999_ns);
+    } else {
+      std::printf("%-10d%12.3f%10.3f\n", t, result.throughput_per_us,
+                  result.fairness_index);
+    }
     last = std::move(result);
   }
   if (!trace_path.empty()) {
@@ -301,7 +394,7 @@ int Run(const bench::Flags& flags) {
                                                 trace_buffer.dropped()),
                 trace_path.c_str(), static_cast<unsigned long long>(trace_buffer.dropped()));
   }
-  if (flags.GetBool("stats")) {
+  if (want_stats) {
     PrintObservability(last, machine, hierarchy);
   }
   return 0;
