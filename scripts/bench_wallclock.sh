@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Times the simulator hot path in wall-clock terms and appends the measurement to the
+# BENCH_wallclock.json trajectory (one JSON object per line, newest last).
+#
+# Builds bench/engine_bench with the `release` preset (-O2 -DNDEBUG; see
+# CMakePresets.json) so the number reflects the shipped hot path, runs the pinned
+# fig9-style sub-sweep, and records {date, label, commit, ...measurement}. Numbers in
+# the trajectory are only comparable when produced by this script on the same class of
+# host.
+#
+# Usage: scripts/bench_wallclock.sh [label] [extra engine_bench flags...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label="${1:-}"
+shift || true
+
+cmake --preset release >/dev/null
+cmake --build --preset release -j "$(nproc)" --target engine_bench >/dev/null
+
+raw="$(./build-release/bench/engine_bench "$@")"
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+# Merge the run metadata into the bench's own JSON object.
+line="{\"date\":\"${date}\",\"commit\":\"${commit}\",\"label\":\"${label}\",${raw#\{}"
+echo "${line}" >> BENCH_wallclock.json
+
+echo "${raw}"
+ops="$(echo "${raw}" | sed -n 's/.*"sim_ops_per_sec":\([0-9.]*\).*/\1/p')"
+echo "bench_wallclock: ${ops} simulated ops/sec (label='${label}', appended to BENCH_wallclock.json)"

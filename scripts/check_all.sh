@@ -5,9 +5,19 @@
 # earlier one failed, so one invocation reports every broken stage; the exit status is
 # nonzero if any stage failed.
 #
-# Usage: scripts/check_all.sh
+# Usage: scripts/check_all.sh [--perf]
+#   --perf  also run the wall-clock perf stage (scripts/bench_wallclock.sh, release
+#           preset): times the engine microbench and appends to BENCH_wallclock.json.
 set -uo pipefail
 cd "$(dirname "$0")/.."
+
+perf=0
+for arg in "$@"; do
+  case "${arg}" in
+    --perf) perf=1 ;;
+    *) echo "unknown argument: ${arg}" >&2; exit 2 ;;
+  esac
+done
 
 declare -a names statuses
 
@@ -31,6 +41,9 @@ tier1() {
 run_stage "tier-1 (default preset)" tier1
 run_stage "asan+ubsan" scripts/check_sanitized.sh
 run_stage "tsan" scripts/check_tsan.sh
+if [[ "${perf}" -eq 1 ]]; then
+  run_stage "perf (release preset)" scripts/bench_wallclock.sh "check_all"
+fi
 
 echo
 echo "=== summary ==="

@@ -17,6 +17,13 @@ struct CancelExecution {};
 
 uint64_t Bit(int tid) { return uint64_t{1} << tid; }
 
+// Stateless apply for SchedulePoint's pending no-op (a FunctionRef target must
+// outlive its calls; a namespace-scope object trivially does).
+struct NoopApply {
+  bool operator()() const { return false; }
+};
+constexpr NoopApply kNoopApply;
+
 }  // namespace
 
 struct Explorer::ThreadState {
@@ -34,7 +41,7 @@ struct Explorer::ThreadState {
   bool has_pending = false;
   uintptr_t pending_addr = 0;
   MckOpKind pending_kind = MckOpKind::kLoad;
-  const std::function<bool()>* pending_apply = nullptr;
+  runtime::FunctionRef<bool()> pending_apply;
   std::function<void()> arrival_probe;
 
   // Sleep-set independence check: can executing (addr, is_write) affect this thread's
@@ -120,7 +127,7 @@ int Explorer::CurrentTid() const { return exec_->current->tid; }
 int Explorer::CurrentCpu() const { return exec_->current->cpu; }
 int Explorer::NumThreads() const { return static_cast<int>(exec_->threads.size()); }
 
-void Explorer::OnAccess(uintptr_t addr, MckOpKind kind, const std::function<bool()>& apply) {
+void Explorer::OnAccess(uintptr_t addr, MckOpKind kind, runtime::FunctionRef<bool()> apply) {
   ExecutionContext& ec = *exec_;
   ThreadState* self = ec.current;
   if (ec.cancelling) {
@@ -138,7 +145,7 @@ void Explorer::OnAccess(uintptr_t addr, MckOpKind kind, const std::function<bool
   self->has_pending = true;
   self->pending_addr = addr;
   self->pending_kind = kind;
-  self->pending_apply = &apply;
+  self->pending_apply = apply;
   self->parked_count = 0;
   runtime::Fiber::Switch(*self->fiber, ec.main_fiber);
   if (ec.cancelling) {
@@ -179,11 +186,10 @@ void Explorer::SchedulePoint() {
   }
   // A pending no-op on a per-thread sentinel address: a real suspension, but
   // independent of every other thread's next operation.
-  static const std::function<bool()> kNoop = [] { return false; };
   self->has_pending = true;
   self->pending_addr = static_cast<uintptr_t>(self->tid) + 1;  // below any real address
   self->pending_kind = MckOpKind::kLoad;
-  self->pending_apply = &kNoop;
+  self->pending_apply = runtime::FunctionRef<bool()>(kNoopApply);
   self->parked_count = 0;
   runtime::Fiber::Switch(*self->fiber, ec.main_fiber);
   if (ec.cancelling) {

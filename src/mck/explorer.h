@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/runtime/fiber.h"
+#include "src/runtime/function_ref.h"
 
 namespace clof::mck {
 
@@ -81,11 +82,12 @@ class Explorer {
   int NumThreads() const;
 
   // Announces one atomic access; the scheduler decides when it executes. `apply` runs
-  // at the linearization point and returns true if it changed the stored value.
-  // Accesses to addresses that only the calling thread has ever touched are applied
-  // immediately without a scheduling point (dynamic escape analysis; sound because no
-  // other thread can observe their placement).
-  void OnAccess(uintptr_t addr, MckOpKind kind, const std::function<bool()>& apply);
+  // at the linearization point and returns true if it changed the stored value. It is
+  // a non-owning FunctionRef, not a std::function: the referenced callable lives in
+  // the calling fiber's frame, which stays alive across the scheduling suspension, and
+  // explorations announce millions of accesses — type-erasing each through an
+  // allocating wrapper dominated exploration wall-clock.
+  void OnAccess(uintptr_t addr, MckOpKind kind, runtime::FunctionRef<bool()> apply);
 
   // An explicit scheduling point with no memory effect, independent of every other
   // thread (harnesses use it to suspend inside a critical section).

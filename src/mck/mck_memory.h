@@ -2,8 +2,12 @@
 // becomes a scheduling point of mck::Explorer; spin loops block until the awaited
 // location changes (version-checked, like the simulator's parking).
 //
-// Outside an exploration every operation degrades to a plain access, so locks can be
-// constructed, inspected and destroyed freely in test code.
+// All operations funnel through Dispatch(): inside an exploration the apply lambda is
+// passed to Explorer::OnAccess as a non-owning FunctionRef (the lambda lives in this
+// fiber's frame, which stays alive across the scheduling suspension, so no allocating
+// type erasure is needed); outside an exploration it degenerates to running the lambda
+// directly — the plain access that lets locks be constructed, inspected and destroyed
+// freely in test code.
 #ifndef CLOF_SRC_MCK_MCK_MEMORY_H_
 #define CLOF_SRC_MCK_MCK_MEMORY_H_
 
@@ -25,11 +29,8 @@ struct MckMemory {
     Atomic& operator=(const Atomic&) = delete;
 
     T Load(std::memory_order = std::memory_order_acquire) const {
-      if (!Explorer::InExploration()) {
-        return value_;
-      }
       T result{};
-      Explorer::Current().OnAccess(Addr(), MckOpKind::kLoad, [&] {
+      Dispatch(Addr(), MckOpKind::kLoad, [&] {
         result = value_;
         return false;
       });
@@ -37,11 +38,7 @@ struct MckMemory {
     }
 
     void Store(T v, std::memory_order = std::memory_order_release) {
-      if (!Explorer::InExploration()) {
-        value_ = v;
-        return;
-      }
-      Explorer::Current().OnAccess(Addr(), MckOpKind::kStore, [&] {
+      Dispatch(Addr(), MckOpKind::kStore, [&] {
         bool changed = value_ != v;
         value_ = v;
         return changed;
@@ -49,13 +46,8 @@ struct MckMemory {
     }
 
     T Exchange(T v, std::memory_order = std::memory_order_acq_rel) {
-      if (!Explorer::InExploration()) {
-        T old = value_;
-        value_ = v;
-        return old;
-      }
       T old{};
-      Explorer::Current().OnAccess(Addr(), MckOpKind::kRmw, [&] {
+      Dispatch(Addr(), MckOpKind::kRmw, [&] {
         old = value_;
         value_ = v;
         return old != v;
@@ -65,18 +57,10 @@ struct MckMemory {
 
     bool CompareExchange(T& expected, T desired,
                          std::memory_order = std::memory_order_acq_rel) {
-      if (!Explorer::InExploration()) {
-        if (value_ == expected) {
-          value_ = desired;
-          return true;
-        }
-        expected = value_;
-        return false;
-      }
       bool success = false;
-      T want = expected;
+      const T want = expected;
       T observed{};
-      Explorer::Current().OnAccess(Addr(), MckOpKind::kCmpXchg, [&] {
+      Dispatch(Addr(), MckOpKind::kCmpXchg, [&] {
         observed = value_;
         if (value_ == want) {
           value_ = desired;
@@ -94,13 +78,8 @@ struct MckMemory {
     T FetchAdd(T delta, std::memory_order = std::memory_order_acq_rel)
       requires std::is_integral_v<T>
     {
-      if (!Explorer::InExploration()) {
-        T old = value_;
-        value_ = static_cast<T>(value_ + delta);
-        return old;
-      }
       T old{};
-      Explorer::Current().OnAccess(Addr(), MckOpKind::kRmw, [&] {
+      Dispatch(Addr(), MckOpKind::kRmw, [&] {
         old = value_;
         value_ = static_cast<T>(value_ + delta);
         return delta != T{0};
@@ -109,11 +88,8 @@ struct MckMemory {
     }
 
     T RmwRead() {
-      if (!Explorer::InExploration()) {
-        return value_;
-      }
       T result{};
-      Explorer::Current().OnAccess(Addr(), MckOpKind::kRmw, [&] {
+      Dispatch(Addr(), MckOpKind::kRmw, [&] {
         result = value_;
         return false;
       });
@@ -123,6 +99,19 @@ struct MckMemory {
     uintptr_t Addr() const { return reinterpret_cast<uintptr_t>(this); }
 
    private:
+    // Routes one atomic operation: a scheduling-point access inside an exploration,
+    // the plain operation (the lambda body alone) otherwise. The lambda outlives the
+    // OnAccess call — it lives in this frame, on the suspended fiber's stack — so
+    // handing the explorer a FunctionRef to it is safe.
+    template <typename Apply>
+    static void Dispatch(uintptr_t addr, MckOpKind kind, Apply&& apply) {
+      if (!Explorer::InExploration()) {
+        (void)apply();
+        return;
+      }
+      Explorer::Current().OnAccess(addr, kind, runtime::FunctionRef<bool()>(apply));
+    }
+
     mutable T value_;
   };
 

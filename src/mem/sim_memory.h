@@ -5,12 +5,20 @@
 // identified by real object addresses (address >> 6), so fields that a lock packs into
 // one cache line genuinely share a simulated line — true and false sharing behave as on
 // hardware. Spin loops park on the line and are woken by value-changing writes.
+//
+// All operations funnel through Dispatch(): in simulation the apply lambda goes to
+// Engine::Access as a template parameter (no std::function, no allocation — the engine
+// invokes it exactly once before Dispatch returns, so a by-reference capture of the
+// caller's frame is safe); outside a simulated region it degenerates to running the
+// lambda directly, which is precisely the plain cost-free access — lock construction,
+// destruction and test assertions happen outside the simulated region.
 #ifndef CLOF_SRC_MEM_SIM_MEMORY_H_
 #define CLOF_SRC_MEM_SIM_MEMORY_H_
 
 #include <atomic>
 #include <cstdint>
 #include <type_traits>
+#include <utility>
 
 #include "src/sim/engine.h"
 
@@ -27,16 +35,9 @@ struct SimMemory {
     Atomic(const Atomic&) = delete;
     Atomic& operator=(const Atomic&) = delete;
 
-    // Every operation falls back to a plain (cost-free) access when no simulation is
-    // running: lock construction, destruction and test assertions happen outside the
-    // simulated region.
-
     T Load(std::memory_order = std::memory_order_acquire) const {
-      if (!sim::Engine::InSimulation()) {
-        return value_;
-      }
       T result{};
-      sim::Engine::Current().Access(LineAddr(), sim::OpKind::kLoad, [&] {
+      Dispatch(LineAddr(), sim::OpKind::kLoad, [&] {
         result = value_;
         return false;
       });
@@ -44,11 +45,7 @@ struct SimMemory {
     }
 
     void Store(T v, std::memory_order = std::memory_order_release) {
-      if (!sim::Engine::InSimulation()) {
-        value_ = v;
-        return;
-      }
-      sim::Engine::Current().Access(LineAddr(), sim::OpKind::kStore, [&] {
+      Dispatch(LineAddr(), sim::OpKind::kStore, [&] {
         bool changed = value_ != v;
         value_ = v;
         return changed;
@@ -56,13 +53,8 @@ struct SimMemory {
     }
 
     T Exchange(T v, std::memory_order = std::memory_order_acq_rel) {
-      if (!sim::Engine::InSimulation()) {
-        T old = value_;
-        value_ = v;
-        return old;
-      }
       T old{};
-      sim::Engine::Current().Access(LineAddr(), sim::OpKind::kRmw, [&] {
+      Dispatch(LineAddr(), sim::OpKind::kRmw, [&] {
         old = value_;
         value_ = v;
         return old != v;
@@ -72,18 +64,10 @@ struct SimMemory {
 
     bool CompareExchange(T& expected, T desired,
                          std::memory_order = std::memory_order_acq_rel) {
-      if (!sim::Engine::InSimulation()) {
-        if (value_ == expected) {
-          value_ = desired;
-          return true;
-        }
-        expected = value_;
-        return false;
-      }
       bool success = false;
-      T want = expected;
+      const T want = expected;
       T observed{};
-      sim::Engine::Current().Access(LineAddr(), sim::OpKind::kCmpXchg, [&] {
+      Dispatch(LineAddr(), sim::OpKind::kCmpXchg, [&] {
         observed = value_;
         if (value_ == want) {
           value_ = desired;
@@ -101,13 +85,8 @@ struct SimMemory {
     T FetchAdd(T delta, std::memory_order = std::memory_order_acq_rel)
       requires std::is_integral_v<T>
     {
-      if (!sim::Engine::InSimulation()) {
-        T old = value_;
-        value_ = static_cast<T>(value_ + delta);
-        return old;
-      }
       T old{};
-      sim::Engine::Current().Access(LineAddr(), sim::OpKind::kRmw, [&] {
+      Dispatch(LineAddr(), sim::OpKind::kRmw, [&] {
         old = value_;
         value_ = static_cast<T>(value_ + delta);
         return delta != T{0};
@@ -118,11 +97,8 @@ struct SimMemory {
     // Read via fetch_add(x, 0): exclusive-taking, used by Hemlock CTR. Feeds the Arm
     // LL/SC penalty model when spinning (see SpinUntilRmw).
     T RmwRead() {
-      if (!sim::Engine::InSimulation()) {
-        return value_;
-      }
       T result{};
-      sim::Engine::Current().Access(LineAddr(), sim::OpKind::kRmwSpinLoad, [&] {
+      Dispatch(LineAddr(), sim::OpKind::kRmwSpinLoad, [&] {
         result = value_;
         return false;
       });
@@ -134,6 +110,7 @@ struct SimMemory {
       uint64_t version;
     };
 
+    // Simulation-only (the version is engine state): used by SpinImpl's park protocol.
     Versioned LoadVersioned(bool rmw_mode) const {
       Versioned out{};
       auto result = sim::Engine::Current().Access(
@@ -148,6 +125,17 @@ struct SimMemory {
     uintptr_t LineAddr() const { return reinterpret_cast<uintptr_t>(this) >> 6; }
 
    private:
+    // Routes one atomic operation: a simulated-cost engine access inside Run(), the
+    // plain operation (the lambda body alone) otherwise.
+    template <typename Apply>
+    static void Dispatch(uintptr_t line_addr, sim::OpKind kind, Apply&& apply) {
+      if (!sim::Engine::InSimulation()) {
+        (void)apply();
+        return;
+      }
+      sim::Engine::Current().Access(line_addr, kind, std::forward<Apply>(apply));
+    }
+
     mutable T value_;
   };
 

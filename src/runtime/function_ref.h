@@ -1,0 +1,52 @@
+// Non-owning, non-allocating callable reference: two words (object pointer + thunk),
+// trivially copyable, never heap-allocates — unlike std::function, whose capture
+// storage falls back to the allocator past the small-buffer size. Used where a callee
+// invokes a caller-supplied callable before returning (or, for the mck explorer,
+// while the caller's fiber frame provably outlives the suspension), so the referenced
+// callable's lifetime always covers every call.
+//
+// The referenced callable must outlive every invocation; FunctionRef stores no copy.
+#ifndef CLOF_SRC_RUNTIME_FUNCTION_REF_H_
+#define CLOF_SRC_RUNTIME_FUNCTION_REF_H_
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace clof::runtime {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  FunctionRef() = default;
+
+  // Binds any callable lvalue (lambdas, function objects, plain functions). Accepting
+  // only lvalues would reject `FunctionRef(SomeLambda{})`-style temporaries outright;
+  // instead the usual reference-wrapper rule applies: binding a temporary is fine only
+  // if the FunctionRef does not outlive the full expression.
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, FunctionRef> &&
+                                        std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor): drop-in for callables
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const { return call_(obj_, std::forward<Args>(args)...); }
+
+  explicit operator bool() const { return call_ != nullptr; }
+
+ private:
+  void* obj_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
+
+}  // namespace clof::runtime
+
+#endif  // CLOF_SRC_RUNTIME_FUNCTION_REF_H_

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace clof::runtime {
@@ -24,16 +25,33 @@ inline double Median(std::vector<double> values) {
 // Nearest-rank percentile, p in [0, 1]: the smallest element with at least
 // ceil(p * n) values at or below it (so p=0.5 on {1..10} is 5, p=0.99 is 10).
 // Empty-safe like the other helpers; p <= 0 gives the minimum, p >= 1 the maximum.
-inline double Percentile(std::vector<double> values, double p) {
+//
+// Two entry points over a caller-owned sample (neither copies the data):
+//   PercentileSorted — O(1) index into an already-sorted sample; sort once, query many.
+//   Percentile       — O(n) selection (nth_element) that partially reorders the buffer.
+
+inline double PercentileSorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  if (p <= 0.0) {
+    return sorted.front();
+  }
+  size_t rank = static_cast<size_t>(std::ceil(p * static_cast<double>(sorted.size())));
+  rank = std::clamp<size_t>(rank, 1, sorted.size());
+  return sorted[rank - 1];
+}
+
+inline double Percentile(std::span<double> values, double p) {
   if (values.empty()) {
     return 0.0;
   }
-  std::sort(values.begin(), values.end());
   if (p <= 0.0) {
-    return values.front();
+    return *std::min_element(values.begin(), values.end());
   }
   size_t rank = static_cast<size_t>(std::ceil(p * static_cast<double>(values.size())));
   rank = std::clamp<size_t>(rank, 1, values.size());
+  std::nth_element(values.begin(), values.begin() + (rank - 1), values.end());
   return values[rank - 1];
 }
 

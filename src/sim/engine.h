@@ -22,16 +22,22 @@
 //
 // Everything is deterministic: same program + same seed => identical virtual-time
 // results, regardless of host machine.
+//
+// The hot path is flat and allocation-free in steady state (docs/SIM_ENGINE.md):
+// lines live in a chunked arena indexed by an open-addressing table (stable references,
+// first-touch index order), the ready queue is an indexed binary min-heap embedded in
+// the thread records, waiter lists are intrusive, and Access() takes its apply callable
+// as a template parameter — never a std::function (tests/engine_alloc_test.cc pins the
+// zero-allocation guarantee; tests/golden_determinism_test.cc pins result identity).
 #ifndef CLOF_SRC_SIM_ENGINE_H_
 #define CLOF_SRC_SIM_ENGINE_H_
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <stdexcept>
-#include <unordered_map>
 #include <vector>
 
 #include "src/runtime/fiber.h"
@@ -90,16 +96,36 @@ class Engine {
   void Run();
 
   // --- Interface for code running inside a simulated thread ---
+  //
+  // These are on the hot path of every simulated atomic access, so they are inline
+  // over an inline thread_local engine pointer (no cross-TU call, no TLS wrapper on
+  // the fast path beyond the initial-exec access).
 
-  static Engine& Current();  // aborts if not inside Run()
-  static bool InSimulation();
+  static Engine& Current() {  // aborts if not inside Run()
+    if (current_engine_ == nullptr) {
+      AbortNoEngine();
+    }
+    return *current_engine_;
+  }
+  static bool InSimulation() {
+    // True only while a simulated thread is running: lock construction/destruction may
+    // also happen around (or between) Run() phases and must use plain accesses.
+    return current_engine_ != nullptr && current_engine_->current_ != nullptr;
+  }
 
-  int Cpu() const;    // virtual CPU of the running thread
-  Time Now() const;   // local virtual clock of the running thread (picoseconds)
+  int Cpu() const { return current_->cpu; }    // virtual CPU of the running thread
+  Time Now() const { return current_->time; }  // running thread's local clock (ps)
   double NowNs() const { return NsFromPs(Now()); }
 
   // Advances the running thread's clock by `ns` of purely local computation.
-  void Work(double ns);
+  void Work(double ns) {
+    SimThread* self = current_;
+    if (fault_hook_ != nullptr) {
+      ns *= fault_hook_->WorkScale(self->cpu);  // heterogeneous core speed (src/fault/)
+    }
+    self->time += PsFromNs(ns);
+    YieldRunnable(self);
+  }
 
   // A short architectural pause inside a retry loop (cpu_relax equivalent).
   void Pause() { Work(platform_.l1_hit_ns); }
@@ -109,10 +135,19 @@ class Engine {
     uint64_t version = 0;  // line version at the linearization point (post-op)
   };
 
-  // Performs one atomic access to the line containing `line_addr`. `apply` runs at the
-  // linearization point (with the whole simulation quiescent) and returns true if it
-  // changed the stored value; value-changing writes wake spinners parked on the line.
-  AccessResult Access(uintptr_t line_addr, OpKind kind, const std::function<bool()>& apply);
+  // Performs one atomic access to the line containing `line_addr`. `apply` is any
+  // callable invoked exactly once at the linearization point (the whole simulation
+  // quiescent, the access's cost already charged, wakeups not yet delivered); it
+  // returns true if it changed the stored value, and value-changing writes wake
+  // spinners parked on the line. The callable is a template parameter rather than a
+  // std::function so the hot path never type-erases or allocates and the apply inlines
+  // into the access (tests/engine_alloc_test.cc).
+  template <typename Apply>
+  AccessResult Access(uintptr_t line_addr, OpKind kind, Apply&& apply) {
+    const PreparedAccess prepared = PrepareAccess(line_addr, kind);
+    const bool changed = apply();
+    return FinishAccess(prepared, changed);
+  }
 
   // Parks the running thread until a value-changing write moves the line's version past
   // `seen_version`. Returns immediately if it already moved (no lost wakeups).
@@ -124,6 +159,13 @@ class Engine {
   const PlatformModel& platform() const { return platform_; }
   uint64_t total_accesses() const { return total_accesses_; }
   uint64_t total_line_transfers() const { return total_line_transfers_; }
+
+  // Distinct simulated lines ever touched. Arena indices 0..num_lines()-1 are assigned
+  // in first-touch order, so any future reporting that walks the line table is
+  // deterministic by construction — unlike the unordered_map this table replaced,
+  // whose iteration order was unspecified (audited before the swap: nothing ever
+  // iterated it, so no report could have depended on the old order).
+  uint32_t num_lines() const { return num_lines_; }
 
   // Per-level coherence counters, indexed by the trace::LevelBucket layout (one bucket
   // per topology level plus same-cpu and cold). Maintained unconditionally: a few
@@ -146,6 +188,8 @@ class Engine {
   FaultHook* fault_hook() const { return fault_hook_; }
 
  private:
+  [[noreturn]] static void AbortNoEngine();  // cold path of Current()
+
   struct SimThread {
     std::unique_ptr<runtime::Fiber> fiber;
     int cpu = 0;
@@ -154,6 +198,12 @@ class Engine {
     bool rmw_spinner = false;
     bool done = false;
     uint64_t id = 0;
+    // Intrusive scheduler state (docs/SIM_ENGINE.md): a thread is parked on at most
+    // one line's waiter list XOR queued in the ready heap, so one link and one slot
+    // suffice — parking and waking never allocate.
+    SimThread* next_waiter = nullptr;  // next in the parked line's FIFO waiter list
+    int32_t heap_slot = -1;            // index in ready_; -1 = not queued
+    uint64_t heap_order = 0;           // FIFO tie-break stamp for equal times
   };
 
   struct Line {
@@ -167,8 +217,12 @@ class Engine {
     bool touched = false;
     Time next_free = 0;    // transfer port availability
     uint64_t version = 0;  // bumped on every value-changing write
-    std::vector<SimThread*> waiters;
-    int rmw_waiters = 0;
+    // Intrusive FIFO of parked spinners (threaded through SimThread::next_waiter;
+    // append at tail so wake order matches park order exactly).
+    SimThread* waiter_head = nullptr;
+    SimThread* waiter_tail = nullptr;
+    int32_t num_waiters = 0;
+    int32_t rmw_waiters = 0;
 
     Line() { holders.fill(-1); }
     bool Holds(int cpu) const {
@@ -196,16 +250,47 @@ class Engine {
     }
   };
 
-  struct HeapEntry {
-    Time time;
-    uint64_t order;
-    SimThread* thread;
-    bool operator>(const HeapEntry& other) const {
-      return time != other.time ? time > other.time : order > other.order;
-    }
+  // --- Line table: open-addressing index over a chunked arena ---
+  //
+  // The index maps line address -> arena slot and only ever moves its own 16-byte
+  // entries when it grows; Line records live in fixed-size chunks and never move, so a
+  // Line& taken before an insertion (e.g. across an apply callback) stays valid —
+  // the property the old unordered_map provided, without its per-node allocation or
+  // pointer-chasing lookups.
+  static constexpr uint32_t kNoLine = 0xffffffffu;
+  static constexpr uint32_t kLinesPerChunk = 64;
+  struct LineSlot {
+    uintptr_t addr = 0;
+    uint32_t index = kNoLine;
   };
 
-  Line& LineFor(uintptr_t line_addr);
+  // Fibonacci multiplicative hash: line addresses are cache-line indices
+  // (pointer >> 6), so low bits carry all the entropy; the multiply spreads them
+  // across the table.
+  static size_t HashLineAddr(uintptr_t line_addr) {
+    return static_cast<size_t>(line_addr * 0x9e3779b97f4a7c15ull);
+  }
+  Line& LineAt(uint32_t index) {
+    return line_chunks_[index / kLinesPerChunk][index % kLinesPerChunk];
+  }
+  Line& LineFor(uintptr_t line_addr);     // find-or-create (first touch claims a slot)
+  Line& AddLine(uintptr_t line_addr, size_t slot);  // cold: first-touch claim
+  void GrowLineIndex();
+
+  // --- Ready queue: indexed binary min-heap ---
+  //
+  // Keyed by (time, heap_order); positions live in SimThread::heap_slot, so membership
+  // is O(1) and a queued thread whose key changes is re-sifted in place (decrease-key)
+  // instead of pushed as a lazy duplicate. Each thread occupies at most one slot, so
+  // one reserve() at Run() start makes the heap allocation-free for the whole run.
+  static bool ReadyBefore(const SimThread* a, const SimThread* b) {
+    return a->time != b->time ? a->time < b->time : a->heap_order < b->heap_order;
+  }
+  void HeapSiftUp(size_t slot);
+  void HeapSiftDown(size_t slot);
+  SimThread* HeapPop();
+  void MakeReady(SimThread* thread);
+
   // A miss's cost plus where the servicing copy came from: a topology level index,
   // topo::Topology::kSameCpu, or num_levels() when no valid copy exists (cold).
   struct MissSource {
@@ -213,17 +298,57 @@ class Engine {
     int level = 0;
   };
   MissSource MissFrom(int cpu, const Line& line) const;
-  // Yields to the scheduler with the running thread re-queued at its (updated) time.
-  // Fast path: keeps running without a context switch if it is still the earliest.
-  void YieldRunnable(SimThread* self);
-  void MakeReady(SimThread* thread);
+
+  // The two non-template halves of Access(): PrepareAccess charges the cache-model
+  // cost and updates coherence state, FinishAccess emits trace events, delivers
+  // wakeups for value-changing writes, and advances the clock. The apply callable
+  // runs between them, at the linearization point. Both are defined inline (bottom of
+  // this header) so each Access instantiation specializes them for its compile-time
+  // OpKind — the write-path cost model compiles out of every load site and vice
+  // versa; only the cold tails (waiter wakeup, reschedule) stay in engine.cc.
+  struct PreparedAccess {
+    Line* line = nullptr;
+    uintptr_t line_addr = 0;
+    OpKind kind = OpKind::kLoad;
+    int cpu = 0;
+    Time start = 0;
+    Time completion = 0;
+    Time queue_ps = 0;
+    int transfer_level = topo::Topology::kSameCpu;
+    uint16_t invalidated = 0;
+    bool transferred = false;
+    bool is_write = false;
+  };
+  PreparedAccess PrepareAccess(uintptr_t line_addr, OpKind kind);
+  AccessResult FinishAccess(const PreparedAccess& prepared, bool changed);
+
+  // Yields with the running thread re-queued at its (updated) time. Fast path
+  // (inline): keeps running without a context switch if it is still the earliest.
+  // Slow path: direct fiber handoff to the earliest queued thread — the main fiber is
+  // only resumed when a thread finishes or nothing is runnable, not on every
+  // reschedule.
+  void YieldRunnable(SimThread* self) {
+    if (ready_.empty() || ready_.front()->time > self->time) {
+      return;
+    }
+    HandOff(self);
+  }
+  void HandOff(SimThread* self);
   void SwitchToScheduler(SimThread* self);
+  void WakeWaiters(Line& line, const PreparedAccess& prepared);
+  void EmitAccessEvent(const PreparedAccess& prepared);  // cold: sink installed
+
+  // The engine running on this host thread, set for the duration of Run(). An inline
+  // member so the hot-path accessors above compile to direct TLS loads.
+  static inline thread_local Engine* current_engine_ = nullptr;
 
   const topo::Topology* topology_;
   PlatformModel platform_;
   std::vector<std::unique_ptr<SimThread>> threads_;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> ready_;
-  std::unordered_map<uintptr_t, Line> lines_;
+  std::vector<SimThread*> ready_;                     // indexed binary min-heap
+  std::vector<LineSlot> line_index_;                  // open addressing, power-of-two
+  std::vector<std::unique_ptr<Line[]>> line_chunks_;  // arena: references never move
+  uint32_t num_lines_ = 0;
   runtime::Fiber main_fiber_;
   SimThread* current_ = nullptr;
   uint64_t next_order_ = 0;
@@ -235,6 +360,198 @@ class Engine {
   int unfinished_ = 0;
   bool running_ = false;
 };
+
+// --- Inline hot-path definitions ---
+//
+// Everything below runs once (or more) per simulated atomic access. Defining it here
+// rather than in engine.cc lets each Access<Apply> instantiation inline the pipeline
+// with `kind` as a compile-time constant: load call sites compile the write-path cost
+// model away entirely and vice versa, and the apply callable fuses into the middle.
+// Cold tails — first-touch line claims, index growth, trace emission, waiter wakeup,
+// the actual fiber switch — stay out-of-line in engine.cc.
+
+inline Engine::Line& Engine::LineFor(uintptr_t line_addr) {
+  const size_t mask = line_index_.size() - 1;
+  size_t slot = HashLineAddr(line_addr) & mask;
+  while (true) {
+    const LineSlot& entry = line_index_[slot];
+    if (entry.index == kNoLine) {
+      return AddLine(line_addr, slot);  // first touch: claim an arena slot (cold)
+    }
+    if (entry.addr == line_addr) {
+      return LineAt(entry.index);
+    }
+    slot = (slot + 1) & mask;
+  }
+}
+
+inline Engine::MissSource Engine::MissFrom(int cpu, const Line& line) const {
+  const int num_levels = topology_->num_levels();
+  if (!line.touched) {
+    return {platform_.cold_miss_ns, num_levels};
+  }
+  // Fetch from the closest CPU holding a valid copy (the owner is always a holder after
+  // a write; a read-only line has holders but no owner).
+  int best_level = num_levels;  // worse than any real level
+  for (int16_t other : line.holders) {
+    if (other < 0 || other == cpu) {
+      continue;
+    }
+    int level = topology_->SharingLevel(cpu, other);
+    if (level < best_level) {
+      best_level = level;
+    }
+  }
+  if (best_level >= num_levels) {
+    return {platform_.cold_miss_ns, num_levels};  // every copy evicted or invalidated
+  }
+  if (best_level == topo::Topology::kSameCpu) {
+    return {platform_.l1_hit_ns, best_level};  // another thread on the same CPU holds it
+  }
+  return {platform_.LatencyNs(best_level), best_level};
+}
+
+inline Engine::PreparedAccess Engine::PrepareAccess(uintptr_t line_addr, OpKind kind) {
+  SimThread* self = current_;
+  if (fault_hook_ != nullptr) {
+    // Preemption stall: the jump precedes the access's linearization, so a preempted
+    // lock holder delays every waiter queued behind its next handover store.
+    self->time += fault_hook_->PreAccessStall(self->id, self->cpu, self->time);
+  }
+  Line& line = LineFor(line_addr);
+  ++total_accesses_;
+
+  const int cpu = self->cpu;
+  const int num_levels = topology_->num_levels();
+  const bool have_copy = line.Holds(cpu);
+  const bool is_write = kind != OpKind::kLoad;
+  const bool exclusive = line.owner == cpu && have_copy && line.holders[1] < 0;
+
+  double cost_ns = 0.0;
+  bool transferred = false;
+  // Where the coherence traffic went: the sharing level that serviced the miss, or (for
+  // an upgrade that moved no data) the farthest invalidated sharer. kSameCpu when the
+  // line never left the CPU's private cache.
+  int transfer_level = topo::Topology::kSameCpu;
+  int invalidated_sharers = 0;
+  if (!is_write) {
+    if (have_copy) {
+      cost_ns = platform_.l1_hit_ns;
+    } else {
+      MissSource miss = MissFrom(cpu, line);
+      cost_ns = miss.latency_ns;
+      transfer_level = miss.level;
+      transferred = true;
+    }
+    line.TouchBy(cpu);
+  } else {
+    if (exclusive) {
+      cost_ns = kind == OpKind::kStore ? platform_.l1_hit_ns : platform_.local_rmw_ns;
+    } else {
+      // Read-for-ownership: the data transfer (if we lack a copy) and the invalidation
+      // round (if others share the line) overlap — the directory issues them together —
+      // so the base cost is the farther of the two round trips, plus a small serialized
+      // ack cost per additional sharer. Making the invalidation a full round trip is
+      // what gives Hemlock's CTR its x86 benefit: RMW-mode spinning keeps the sharer
+      // set empty, so the handover store skips the upgrade round (§2.1).
+      double transfer_ns = 0.0;
+      if (!have_copy) {
+        MissSource miss = MissFrom(cpu, line);
+        transfer_ns = miss.latency_ns;
+        transfer_level = miss.level;
+      }
+      double farthest_inv_ns = 0.0;
+      int farthest_inv_level = topo::Topology::kSameCpu;
+      for (int16_t other : line.holders) {
+        if (other < 0 || other == cpu) {
+          continue;
+        }
+        ++invalidated_sharers;
+        int level = topology_->SharingLevel(cpu, other);
+        ++level_metrics_[trace::LevelBucket(level, num_levels)].invalidations;
+        double lat = level == topo::Topology::kSameCpu ? platform_.l1_hit_ns
+                                                       : platform_.LatencyNs(level);
+        if (lat > farthest_inv_ns) {
+          farthest_inv_ns = lat;
+          farthest_inv_level = level;
+        }
+      }
+      if (have_copy) {
+        transfer_level = farthest_inv_level;  // pure upgrade: attribute to the inv round
+      }
+      double extra_acks = invalidated_sharers > 1
+                              ? (invalidated_sharers - 1) * platform_.sharer_invalidation_ns
+                              : 0.0;
+      cost_ns = std::max(transfer_ns, farthest_inv_ns) + extra_acks;
+      cost_ns = std::max(cost_ns, platform_.local_rmw_ns);
+      if (kind != OpKind::kStore) {
+        cost_ns += platform_.contended_rmw_extra_ns;
+      }
+      if (line.num_waiters > 0) {
+        // The write fights the spinners' continuous polling for line ownership.
+        double poll_lat = std::max(farthest_inv_ns, transfer_ns);
+        cost_ns += static_cast<double>(line.num_waiters) *
+                   platform_.spinner_interference * poll_lat;
+      }
+      transferred = true;
+    }
+    if (platform_.arch == Arch::kArm && kind == OpKind::kCmpXchg && line.rmw_waiters > 0) {
+      // LL/SC reservation stealing: every RMW-mode spinner on this line keeps breaking
+      // the releaser's exclusive reservation (Hemlock-CTR pathology, paper §3.2).
+      cost_ns += static_cast<double>(line.rmw_waiters) * platform_.sc_retry_penalty_ns;
+    }
+    line.owner = cpu;
+    line.ResetTo(cpu);
+  }
+  line.touched = true;
+
+  const Time start = std::max(self->time, transferred ? line.next_free : Time{0});
+  const Time completion = start + PsFromNs(cost_ns);
+  Time queue_ps = 0;
+  if (transferred) {
+    const int bucket = trace::LevelBucket(transfer_level, num_levels);
+    ++total_line_transfers_;
+    ++level_metrics_[bucket].line_transfers;
+    queue_ps = start - self->time;  // time spent queued behind the busy transfer port
+    level_metrics_[bucket].port_queue_ps += queue_ps;
+    // The transfer port stays busy for a fraction of the latency, serializing storms.
+    line.next_free = start + PsFromNs(cost_ns * platform_.port_occupancy);
+  }
+
+  PreparedAccess prepared;
+  prepared.line = &line;
+  prepared.line_addr = line_addr;
+  prepared.kind = kind;
+  prepared.cpu = cpu;
+  prepared.start = start;
+  prepared.completion = completion;
+  prepared.queue_ps = queue_ps;
+  prepared.transfer_level = transfer_level;
+  prepared.invalidated = static_cast<uint16_t>(invalidated_sharers);
+  prepared.transferred = transferred;
+  prepared.is_write = is_write;
+  return prepared;
+}
+
+inline Engine::AccessResult Engine::FinishAccess(const PreparedAccess& prepared,
+                                                 bool changed) {
+  SimThread* self = current_;
+  Line& line = *prepared.line;  // arena-backed: stable across the apply callback
+  const Time completion = prepared.completion;
+  if (sink_ != nullptr) {
+    EmitAccessEvent(prepared);
+  }
+  if (prepared.is_write && changed) {
+    ++line.version;
+    if (line.waiter_head != nullptr) {
+      WakeWaiters(line, prepared);
+    }
+  }
+  AccessResult result{completion, line.version};
+  self->time = completion;
+  YieldRunnable(self);
+  return result;
+}
 
 }  // namespace clof::sim
 

@@ -62,6 +62,24 @@ Topology::Topology(std::string name, int num_cpus, std::vector<Level> levels)
       }
     }
   }
+  // Precompute the pairwise sharing-level matrix (see SharingLevel in the header).
+  sharing_level_.assign(static_cast<size_t>(num_cpus_) * num_cpus_,
+                        static_cast<int8_t>(num_levels() - 1));
+  for (int a = 0; a < num_cpus_; ++a) {
+    for (int b = 0; b < num_cpus_; ++b) {
+      int8_t& out = sharing_level_[static_cast<size_t>(a) * num_cpus_ + b];
+      if (a == b) {
+        out = static_cast<int8_t>(kSameCpu);
+        continue;
+      }
+      for (int i = 0; i < num_levels(); ++i) {
+        if (levels_[i].cpu_to_cohort[a] == levels_[i].cpu_to_cohort[b]) {
+          out = static_cast<int8_t>(i);
+          break;
+        }
+      }
+    }
+  }
 }
 
 int Topology::LevelIndexByName(const std::string& level_name) const {
@@ -71,19 +89,6 @@ int Topology::LevelIndexByName(const std::string& level_name) const {
     }
   }
   return -1;
-}
-
-int Topology::SharingLevel(int a, int b) const {
-  if (a == b) {
-    return kSameCpu;
-  }
-  for (int i = 0; i < num_levels(); ++i) {
-    if (levels_[i].cpu_to_cohort[a] == levels_[i].cpu_to_cohort[b]) {
-      return i;
-    }
-  }
-  // Unreachable: the top level spans all CPUs.
-  return num_levels() - 1;
 }
 
 std::vector<int> Topology::CohortCpus(int level_index, int cohort) const {

@@ -17,6 +17,7 @@
 #ifndef CLOF_SRC_TOPO_TOPOLOGY_H_
 #define CLOF_SRC_TOPO_TOPOLOGY_H_
 
+#include <cstdint>
 #include <initializer_list>
 #include <string>
 #include <vector>
@@ -50,7 +51,13 @@ class Topology {
 
   // The lowest level at which `a` and `b` share a cohort. Returns kSameCpu (-1) when
   // a == b. Always succeeds otherwise because the top level spans all CPUs.
-  int SharingLevel(int a, int b) const;
+  //
+  // This sits on the simulator's access hot path (several lookups per simulated atomic
+  // access: miss sourcing, invalidation rounds, wakeup attribution), so it is a single
+  // load from a precomputed num_cpus x num_cpus matrix rather than a per-level scan.
+  int SharingLevel(int a, int b) const {
+    return sharing_level_[static_cast<size_t>(a) * static_cast<size_t>(num_cpus_) + b];
+  }
   static constexpr int kSameCpu = -1;
 
   // CPUs belonging to cohort `cohort` of level `level_index`, in id order.
@@ -73,6 +80,10 @@ class Topology {
   std::string name_;
   int num_cpus_;
   std::vector<Level> levels_;
+  // sharing_level_[a * num_cpus_ + b]: lowest shared level, kSameCpu on the diagonal.
+  // int8 keeps the whole matrix cache-resident (16KB for 128 CPUs); topologies are
+  // bounded well below 127 levels.
+  std::vector<int8_t> sharing_level_;
 };
 
 // A lock hierarchy: an ordered (low to high) subset of a topology's levels. The highest

@@ -3,6 +3,7 @@
 // probe of the lock-passing machinery.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "src/clof/clof_tree.h"
@@ -122,14 +123,17 @@ TEST(StatsTest, LocalPassRatioHelper) {
   EXPECT_DOUBLE_EQ(stats.LocalPassRatio(), 0.75);
 }
 
-// runtime::Percentile is the exact nearest-rank percentile behind the harness's
-// p50/p99/p999 reporting (docs/FAULT_INJECTION.md).
+// runtime::Percentile / PercentileSorted are the exact nearest-rank percentile behind
+// the harness's p50/p99/p999 reporting (docs/FAULT_INJECTION.md). Percentile selects
+// in place on the caller's buffer (no copy); PercentileSorted indexes a pre-sorted one.
 
 TEST(PercentileTest, EmptyAndSingleElement) {
-  EXPECT_EQ(runtime::Percentile({}, 0.99), 0.0);
-  EXPECT_EQ(runtime::Percentile({7.5}, 0.0), 7.5);
-  EXPECT_EQ(runtime::Percentile({7.5}, 0.5), 7.5);
-  EXPECT_EQ(runtime::Percentile({7.5}, 1.0), 7.5);
+  std::vector<double> empty;
+  std::vector<double> single = {7.5};
+  EXPECT_EQ(runtime::Percentile(empty, 0.99), 0.0);
+  EXPECT_EQ(runtime::Percentile(single, 0.0), 7.5);
+  EXPECT_EQ(runtime::Percentile(single, 0.5), 7.5);
+  EXPECT_EQ(runtime::Percentile(single, 1.0), 7.5);
 }
 
 TEST(PercentileTest, NearestRankOnTenElements) {
@@ -149,6 +153,24 @@ TEST(PercentileTest, BoundsAndUnsortedInput) {
   EXPECT_EQ(runtime::Percentile(values, 1.0), 42.0);   // p >= 1 -> max
   EXPECT_EQ(runtime::Percentile(values, 2.0), 42.0);
   EXPECT_EQ(runtime::Percentile(values, 0.5), 3.0);    // 2nd of 4 sorted
+}
+
+TEST(PercentileTest, SelectionReordersButPreservesTheSample) {
+  std::vector<double> values = {9, 1, 8, 2, 7, 3, 6, 4, 5};
+  EXPECT_EQ(runtime::Percentile(values, 0.5), 5.0);
+  std::vector<double> sorted = values;  // whatever order selection left behind
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<double>{1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(PercentileSortedTest, MatchesPercentileOnSortedInput) {
+  std::vector<double> values = {42.0, -1.0, 17.0, 3.0};
+  std::sort(values.begin(), values.end());
+  for (double p : {-0.5, 0.0, 0.25, 0.5, 0.51, 0.75, 0.99, 1.0, 2.0}) {
+    std::vector<double> scratch = values;
+    EXPECT_EQ(runtime::PercentileSorted(values, p), runtime::Percentile(scratch, p)) << p;
+  }
+  EXPECT_EQ(runtime::PercentileSorted({}, 0.5), 0.0);
 }
 
 }  // namespace
