@@ -7,7 +7,12 @@
 #
 # Usage: scripts/check_all.sh [--perf]
 #   --perf  also run the wall-clock perf stage (scripts/bench_wallclock.sh, release
-#           preset): times the engine microbench and appends to BENCH_wallclock.json.
+#           preset): times the engine microbench, appends to BENCH_wallclock.json, and
+#           fails if throughput regressed below 0.9x the previous same-label record.
+#
+# A torture smoke stage (clof_torture, short duration) runs after tier-1: the five
+# mutant locks must be flagged and the genuine control set must stay clean, so a
+# harness or oracle regression fails the ladder even when the unit tests pass.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,11 +43,42 @@ tier1() {
     ctest --preset default -j "$(nproc)"
 }
 
+torture_smoke() {
+  # Short run of the oracle-validation driver: mutants flagged, genuine locks clean.
+  ./build/tools/clof_torture --duration_ms=0.1 --seed=1
+}
+
+perf_stage() {
+  scripts/bench_wallclock.sh "check_all" || return $?
+  # Regression gate: the record just appended must be >= 0.9x the previous
+  # measurement with the same label (records are one JSON object per line,
+  # newest last; only same-label numbers are comparable).
+  awk -F'"sim_ops_per_sec":' '
+    /"label":"check_all"/ {
+      prev = last
+      split($2, f, /[,}]/)
+      last = f[1]
+    }
+    END {
+      if (prev == "" || last == "") {
+        print "perf gate: no prior check_all record to compare against, skipping"
+        exit 0
+      }
+      ratio = last / prev
+      printf "perf gate: %.0f vs previous %.0f sim_ops/sec (%.2fx)\n", last, prev, ratio
+      if (ratio < 0.9) {
+        print "perf gate: FAIL — regressed below 0.9x of the previous record"
+        exit 1
+      }
+    }' BENCH_wallclock.json
+}
+
 run_stage "tier-1 (default preset)" tier1
+run_stage "torture smoke" torture_smoke
 run_stage "asan+ubsan" scripts/check_sanitized.sh
 run_stage "tsan" scripts/check_tsan.sh
 if [[ "${perf}" -eq 1 ]]; then
-  run_stage "perf (release preset)" scripts/bench_wallclock.sh "check_all"
+  run_stage "perf (release preset + 0.9x gate)" perf_stage
 fi
 
 echo

@@ -13,14 +13,16 @@ namespace {
 
 constexpr char kMagic[] = "clof-cell-cache";
 
+}  // namespace
+
 // Exact hex-float round-trip companions to Fingerprint::Add(double).
-std::string DoubleToText(double value) {
+std::string HexDouble(double value) {
   char buffer[48];
   std::snprintf(buffer, sizeof(buffer), "%a", value);
   return buffer;
 }
 
-bool TextToDouble(const std::string& text, double* out) {
+bool ParseHexDouble(const std::string& text, double* out) {
   if (text.empty()) {
     return false;
   }
@@ -33,13 +35,22 @@ bool TextToDouble(const std::string& text, double* out) {
   return true;
 }
 
-}  // namespace
-
 ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   if (ec || !std::filesystem::is_directory(dir_)) {
     throw std::runtime_error("ResultCache: cannot create directory " + dir_);
+  }
+  // Sweep stale temp files from crashed writers (see the constructor contract in the
+  // header). Errors are swallowed: a sweep failure never blocks the run.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) {
+      continue;
+    }
+    if (entry.path().filename().string().find(".tmp.") != std::string::npos) {
+      std::error_code remove_ec;
+      std::filesystem::remove(entry.path(), remove_ec);
+    }
   }
 }
 
@@ -75,12 +86,12 @@ std::optional<CellResult> ResultCache::Lookup(const Fingerprint& fp) {
     return miss();
   }
   CellResult result;
-  if (!TextToDouble(t_throughput, &result.throughput_per_us) ||
-      !TextToDouble(t_local, &result.local_handover_rate) ||
-      !TextToDouble(t_transfers, &result.transfers_per_op) ||
-      !TextToDouble(t_p99, &result.acquire_p99_ns) ||
-      !TextToDouble(t_p999, &result.acquire_p999_ns) ||
-      !TextToDouble(t_starved, &result.starved_threads)) {
+  if (!ParseHexDouble(t_throughput, &result.throughput_per_us) ||
+      !ParseHexDouble(t_local, &result.local_handover_rate) ||
+      !ParseHexDouble(t_transfers, &result.transfers_per_op) ||
+      !ParseHexDouble(t_p99, &result.acquire_p99_ns) ||
+      !ParseHexDouble(t_p999, &result.acquire_p999_ns) ||
+      !ParseHexDouble(t_starved, &result.starved_threads)) {
     return miss();
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
@@ -98,12 +109,12 @@ void ResultCache::Store(const Fingerprint& fp, const CellResult& value) {
       return;
     }
     out << kMagic << ' ' << 'v' << kCellSchemaVersion << ' ' << fp.HashHex() << ' '
-        << DoubleToText(value.throughput_per_us) << ' '
-        << DoubleToText(value.local_handover_rate) << ' '
-        << DoubleToText(value.transfers_per_op) << ' '
-        << DoubleToText(value.acquire_p99_ns) << ' '
-        << DoubleToText(value.acquire_p999_ns) << ' '
-        << DoubleToText(value.starved_threads) << ' ' << fp.text().size() << '\n'
+        << HexDouble(value.throughput_per_us) << ' '
+        << HexDouble(value.local_handover_rate) << ' '
+        << HexDouble(value.transfers_per_op) << ' '
+        << HexDouble(value.acquire_p99_ns) << ' '
+        << HexDouble(value.acquire_p999_ns) << ' '
+        << HexDouble(value.starved_threads) << ' ' << fp.text().size() << '\n'
         << fp.text();
     if (!out.good()) {
       out.close();

@@ -41,9 +41,19 @@ struct CellResult {
   bool operator==(const CellResult& other) const = default;
 };
 
+// Exact round-trip text codec for the payload doubles (%a hex floats), shared by the
+// cache entries and the sweep journal (src/exec/sweep_journal.cc) so both artifacts
+// reproduce results bit-for-bit.
+std::string HexDouble(double value);
+bool ParseHexDouble(const std::string& text, double* out);
+
 class ResultCache {
  public:
   // Creates `dir` (and parents) if missing; throws std::runtime_error on failure.
+  // Sweeps stale `*.tmp.*` files left behind by crashed writers: Store goes through
+  // temp + rename, so any temp file still present at open time is an abandoned
+  // partial write (a writer concurrent with another process's open may lose its
+  // store, which the accelerator-only contract permits).
   explicit ResultCache(std::string dir);
 
   const std::string& dir() const { return dir_; }

@@ -46,6 +46,18 @@ std::vector<Scenario> DefaultMatrix(uint64_t seed) {
   return matrix;
 }
 
+std::vector<Scenario> TortureMatrix(uint64_t seed) {
+  std::vector<Scenario> matrix;
+  Scenario none;
+  none.name = "none";
+  none.plan = BasePlan(seed);
+  matrix.push_back(std::move(none));
+  for (auto& scenario : DefaultMatrix(seed)) {
+    matrix.push_back(std::move(scenario));
+  }
+  return matrix;
+}
+
 FaultPlan PlanFromSpec(const std::string& spec, uint64_t seed) {
   FaultPlan plan = BasePlan(seed);
   std::stringstream stream(spec);

@@ -22,6 +22,12 @@ struct Scenario {
 // four at once). `seed` feeds each plan's seed so the matrix is reproducible.
 std::vector<Scenario> DefaultMatrix(uint64_t seed);
 
+// The torture matrix (docs/TORTURE.md): an unperturbed baseline ("none") followed by
+// DefaultMatrix. The torture harness needs the clean schedule too — some lock bugs
+// (e.g. a dropped MCS handover) fire fastest with no perturbation at all, and the
+// bounded-starvation oracle only judges scenarios without preemption or churn.
+std::vector<Scenario> TortureMatrix(uint64_t seed);
+
 // Builds a plan from a comma-separated injector list: any of "preempt", "hetero",
 // "interference", "churn", or the shorthands "all" / "storm" (every injector) and
 // "none" (empty plan). Throws std::invalid_argument on an unknown name.

@@ -106,6 +106,9 @@ BenchResult RunLockBench(const BenchConfig& config) {
 
   sim::Engine engine(machine.topology, machine.platform);
   engine.SetEventSink(config.trace_sink);
+  if (config.watchdog.Enabled()) {
+    engine.SetWatchdog(config.watchdog);
+  }
   // Fault injection (docs/FAULT_INJECTION.md): only installed when some injector is
   // enabled, so a disabled plan takes the exact historical code path byte for byte.
   const fault::FaultPlan& fault_plan = config.spec.fault;
@@ -174,6 +177,9 @@ BenchResult RunLockBench(const BenchConfig& config) {
         }
         lock->Release(*ctx);
         ++ops[t];
+        eng.ReportProgress();  // one critical section done: feeds the no-progress
+                               // watchdog; a no-op (not even a simulated access)
+                               // when no watchdog is armed
       }
     });
   }

@@ -11,6 +11,7 @@
 #include "src/clof/registry.h"
 #include "src/clof/run_spec.h"
 #include "src/sim/platform.h"
+#include "src/sim/watchdog.h"
 #include "src/topo/topology.h"
 #include "src/trace/trace.h"
 #include "src/workload/profiles.h"
@@ -29,6 +30,12 @@ struct BenchConfig {
   // for Chrome-trace export). Observers never perturb virtual time, so results are
   // bit-identical with or without one.
   trace::EventSink* trace_sink = nullptr;
+  // Optional runaway protection (src/sim/watchdog.h): default-disabled, so plain
+  // benches take the exact historical code path. When armed, the harness reports one
+  // unit of progress per completed critical section, a deadlock or budget trip
+  // surfaces as SimDeadlockError/SimWatchdogError with a per-thread diagnostic, and
+  // an untripped run's results stay bit-identical to an unwatched one.
+  sim::WatchdogConfig watchdog;
 };
 
 struct BenchResult {

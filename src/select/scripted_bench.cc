@@ -2,48 +2,91 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 
 #include "src/exec/executor.h"
 #include "src/exec/fingerprint.h"
+#include "src/sim/engine.h"
 
 namespace clof::select {
 namespace {
 
-// Runs (or serves from cache) one sweep cell: `lock` at `threads`, median of `runs`.
-exec::CellResult EvaluateCell(const SweepConfig& config, const RunSpec& spec,
-                              const std::string& lock, int threads, int local_level) {
+// Runs (or serves from journal/cache) one sweep cell: `lock` at `threads`, median of
+// `runs`. Never throws for a cell-level failure — a deadlocked, livelocked, or
+// otherwise crashed simulation comes back as a structured CellFailure so the sweep
+// completes and quarantines instead of dying (the resilience contract in the header).
+exec::CellOutcome EvaluateCell(const SweepConfig& config, const RunSpec& spec,
+                               const std::string& lock, int threads, int local_level) {
   exec::Fingerprint fp;
-  if (config.cache != nullptr) {
+  if (config.cache != nullptr || config.journal != nullptr) {
     fp = exec::CellFingerprint(spec, lock, threads, config.duration_ms, config.runs);
-    if (auto cached = config.cache->Lookup(fp)) {
-      return *cached;
+  }
+  // Journal first: it also replays failures, so a resumed sweep reproduces its
+  // quarantine report without re-running a cell that, say, deadlocked for minutes.
+  if (config.journal != nullptr) {
+    if (auto journaled = config.journal->Lookup(fp, lock, threads)) {
+      return *journaled;
     }
   }
-  harness::BenchConfig bench;
-  bench.spec = spec;
-  bench.lock_name = lock;
-  bench.num_threads = threads;
-  bench.duration_ms = config.duration_ms;
-  auto run = harness::RunLockBenchMedian(bench, config.runs);
-  exec::CellResult cell;
-  cell.throughput_per_us = run.throughput_per_us;
-  cell.local_handover_rate = run.HandoverLocalityAt(local_level);
-  cell.transfers_per_op = run.total_ops == 0
-                              ? 0.0
-                              : static_cast<double>(run.total_line_transfers) /
-                                    static_cast<double>(run.total_ops);
-  cell.acquire_p99_ns = run.acquire_p99_ns;
-  cell.acquire_p999_ns = run.acquire_p999_ns;
-  cell.starved_threads = static_cast<double>(run.starved_threads);
+  exec::CellOutcome outcome;
   if (config.cache != nullptr) {
-    config.cache->Store(fp, cell);
+    if (auto cached = config.cache->Lookup(fp)) {
+      outcome.ok = true;
+      outcome.result = *cached;
+      if (config.journal != nullptr) {
+        config.journal->Record(fp, lock, threads, outcome);
+      }
+      return outcome;
+    }
   }
-  return cell;
+  try {
+    harness::BenchConfig bench;
+    bench.spec = spec;
+    bench.lock_name = lock;
+    bench.num_threads = threads;
+    bench.duration_ms = config.duration_ms;
+    bench.watchdog = config.watchdog;
+    auto run = harness::RunLockBenchMedian(bench, config.runs);
+    exec::CellResult cell;
+    cell.throughput_per_us = run.throughput_per_us;
+    cell.local_handover_rate = run.HandoverLocalityAt(local_level);
+    cell.transfers_per_op = run.total_ops == 0
+                                ? 0.0
+                                : static_cast<double>(run.total_line_transfers) /
+                                      static_cast<double>(run.total_ops);
+    cell.acquire_p99_ns = run.acquire_p99_ns;
+    cell.acquire_p999_ns = run.acquire_p999_ns;
+    cell.starved_threads = static_cast<double>(run.starved_threads);
+    outcome.ok = true;
+    outcome.result = cell;
+    if (config.cache != nullptr) {
+      config.cache->Store(fp, cell);  // only successes are content-addressed
+    }
+  } catch (const sim::SimWatchdogError& e) {
+    outcome.ok = false;
+    outcome.failure = {lock, threads, "watchdog", e.summary(),
+                       e.diagnostic().Format()};
+  } catch (const sim::SimDeadlockError& e) {
+    outcome.ok = false;
+    outcome.failure = {lock, threads, "deadlock", e.summary(),
+                       e.diagnostic().Format()};
+  } catch (const std::exception& e) {
+    outcome.ok = false;
+    outcome.failure = {lock, threads, "exception", e.what(), ""};
+  }
+  if (config.journal != nullptr) {
+    config.journal->Record(fp, lock, threads, outcome);
+  }
+  return outcome;
 }
 
 }  // namespace
+
+bool SweepResult::Quarantined(const std::string& name) const {
+  return std::find(quarantined.begin(), quarantined.end(), name) != quarantined.end();
+}
 
 const LockCurve* SweepResult::Curve(const std::string& name) const {
   if (!curve_index_.empty()) {
@@ -126,23 +169,53 @@ SweepResult RunScriptedBenchmark(const SweepConfig& config) {
   };
 
   // One task per sweep cell, lock-major so a serial run keeps the historical order.
+  // Failures park in per-task slots and are assembled after the barrier, so the
+  // failure report is in deterministic sweep order for any worker count.
+  std::vector<std::unique_ptr<exec::CellFailure>> cell_failures(num_locks * num_threads);
   exec::Executor executor(config.jobs);
   executor.ParallelFor(num_locks * num_threads, [&](size_t task) {
     const size_t li = task / num_threads;
     const size_t ti = task % num_threads;
-    exec::CellResult cell = EvaluateCell(config, spec, names[li],
-                                         result.thread_counts[ti], local_level);
-    LockCurve& curve = result.curves[li];  // each task writes only its own slots
-    curve.throughput[ti] = cell.throughput_per_us;
-    curve.local_handover_rate[ti] = cell.local_handover_rate;
-    curve.transfers_per_op[ti] = cell.transfers_per_op;
-    curve.acquire_p99_ns[ti] = cell.acquire_p99_ns;
+    exec::CellOutcome outcome = EvaluateCell(config, spec, names[li],
+                                             result.thread_counts[ti], local_level);
+    if (outcome.ok) {
+      const exec::CellResult& cell = outcome.result;
+      LockCurve& curve = result.curves[li];  // each task writes only its own slots
+      curve.throughput[ti] = cell.throughput_per_us;
+      curve.local_handover_rate[ti] = cell.local_handover_rate;
+      curve.transfers_per_op[ti] = cell.transfers_per_op;
+      curve.acquire_p99_ns[ti] = cell.acquire_p99_ns;
+    } else {
+      // The curve keeps its zeroed slots: partial data stays inspectable, and the
+      // lock is quarantined out of selection below.
+      cell_failures[task] = std::make_unique<exec::CellFailure>(outcome.failure);
+    }
     if (cells_remaining[li].fetch_sub(1, std::memory_order_acq_rel) == 1) {
       deliver_in_order(li);
     }
   });
 
-  result.selection = SelectBest(result.curves, result.thread_counts);
+  std::vector<char> lock_failed(num_locks, 0);
+  for (size_t task = 0; task < cell_failures.size(); ++task) {
+    if (cell_failures[task] != nullptr) {
+      lock_failed[task / num_threads] = 1;
+      result.failures.push_back(std::move(*cell_failures[task]));
+    }
+  }
+  // Selection sees only locks whose every cell finished: a lock that deadlocked or
+  // tripped the watchdog anywhere must never win on its remaining (zeroed) points.
+  std::vector<LockCurve> eligible;
+  eligible.reserve(num_locks);
+  for (size_t li = 0; li < num_locks; ++li) {
+    if (lock_failed[li]) {
+      result.quarantined.push_back(names[li]);
+    } else {
+      eligible.push_back(result.curves[li]);
+    }
+  }
+  if (!eligible.empty()) {
+    result.selection = SelectBest(eligible, result.thread_counts);
+  }
   result.IndexCurves();
   return result;
 }
@@ -163,8 +236,19 @@ RobustnessResult RunRobustnessBenchmark(const RobustnessConfig& config) {
 
   // Candidate set: the top HC-ranked locks plus the LC-best — the locks the ideal
   // sweep would actually recommend — each carrying its HC score as ranking weight.
-  auto ranked =
-      Rank(result.sweep.curves, result.sweep.thread_counts, Policy::kHighContention);
+  // Locks the baseline sweep quarantined are excluded up front: a lock that cannot
+  // even finish the unperturbed sweep has no baseline to retain against.
+  std::vector<LockCurve> rankable;
+  rankable.reserve(result.sweep.curves.size());
+  for (const LockCurve& curve : result.sweep.curves) {
+    if (!result.sweep.Quarantined(curve.name)) {
+      rankable.push_back(curve);
+    }
+  }
+  if (rankable.empty()) {
+    return result;  // nothing survived the baseline: the quarantine report says why
+  }
+  auto ranked = Rank(rankable, result.sweep.thread_counts, Policy::kHighContention);
   const size_t top_n =
       std::min<size_t>(static_cast<size_t>(std::max(config.candidates, 1)), ranked.size());
   std::vector<std::pair<std::string, double>> candidates(ranked.begin(),
@@ -221,20 +305,29 @@ RobustnessResult RunRobustnessBenchmark(const RobustnessConfig& config) {
     LockRobustness& lock = result.locks[ci];
     RunSpec cell_spec = spec;
     if (si == num_scenarios) {  // the extra unfaulted baseline cell
-      exec::CellResult cell = EvaluateCell(config.sweep, cell_spec, lock.name,
-                                           result.probe_threads, local_level);
-      lock.baseline_throughput = cell.throughput_per_us;
-      lock.baseline_p99_ns = cell.acquire_p99_ns;
+      exec::CellOutcome cell = EvaluateCell(config.sweep, cell_spec, lock.name,
+                                            result.probe_threads, local_level);
+      if (cell.ok) {  // a failed baseline leaves 0.0: every retention reads as 0
+        lock.baseline_throughput = cell.result.throughput_per_us;
+        lock.baseline_p99_ns = cell.result.acquire_p99_ns;
+      }
       return;
     }
     cell_spec.fault = result.scenarios[si].plan;
-    exec::CellResult cell = EvaluateCell(config.sweep, cell_spec, lock.name,
-                                         result.probe_threads, local_level);
+    exec::CellOutcome cell = EvaluateCell(config.sweep, cell_spec, lock.name,
+                                          result.probe_threads, local_level);
     ScenarioOutcome& outcome = lock.outcomes[si];
     outcome.scenario = result.scenarios[si].name;
-    outcome.throughput_per_us = cell.throughput_per_us;
-    outcome.acquire_p99_ns = cell.acquire_p99_ns;
-    outcome.starved_threads = static_cast<int>(cell.starved_threads);
+    if (!cell.ok) {
+      // The perturbation wedged the lock outright: retention stays 0 and the verdict
+      // names the failure mode instead of a throughput.
+      outcome.failed = true;
+      outcome.failure_kind = cell.failure.kind;
+      return;
+    }
+    outcome.throughput_per_us = cell.result.throughput_per_us;
+    outcome.acquire_p99_ns = cell.result.acquire_p99_ns;
+    outcome.starved_threads = static_cast<int>(cell.result.starved_threads);
   });
 
   // Retention and ranking are pure post-processing over the barrier'd cells.

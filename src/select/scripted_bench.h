@@ -9,6 +9,11 @@
 // deterministic simulation, the SweepResult is byte-identical for any worker count and
 // for cached vs computed cells (tests/parallel_sweep_test.cc asserts this). See
 // docs/PARALLEL_SWEEP.md.
+//
+// The sweep is also resilient: a cell whose simulation deadlocks, livelocks, or throws
+// becomes a structured CellFailure — the lock is quarantined out of selection, the
+// rest of the sweep completes — and an optional SweepJournal makes an interrupted
+// sweep resumable with byte-identical final output.
 #ifndef CLOF_SRC_SELECT_SCRIPTED_BENCH_H_
 #define CLOF_SRC_SELECT_SCRIPTED_BENCH_H_
 
@@ -21,14 +26,27 @@
 #include "src/clof/registry.h"
 #include "src/clof/run_spec.h"
 #include "src/exec/result_cache.h"
+#include "src/exec/sweep_journal.h"
 #include "src/fault/scenarios.h"
 #include "src/harness/lock_bench.h"
 #include "src/select/selection.h"
 #include "src/sim/platform.h"
+#include "src/sim/watchdog.h"
 #include "src/topo/topology.h"
 #include "src/workload/profiles.h"
 
 namespace clof::select {
+
+// The default per-cell watchdog: only the deterministic no-progress livelock detector,
+// at a budget (~32M accesses without one completed critical section) no working lock
+// composition approaches, so armed-but-untripped sweeps stay byte-identical to
+// historical ones. Virtual-time and wall-clock budgets stay opt-in: cell durations
+// vary legitimately, and wall budgets are host-dependent.
+inline sim::WatchdogConfig DefaultSweepWatchdog() {
+  sim::WatchdogConfig config;
+  config.max_accesses_without_progress = uint64_t{1} << 25;
+  return config;
+}
 
 struct SweepConfig {
   // What to run: machine, hierarchy, registry, profile, seed, ClofParams. Shared with
@@ -45,6 +63,18 @@ struct SweepConfig {
   // Optional content-addressed result cache; cells whose fingerprint matches a stored
   // entry are served without simulating. Never changes results.
   exec::ResultCache* cache = nullptr;
+  // Optional resumable journal (src/exec/sweep_journal.h): finished cells — successes
+  // and failures — are recorded as they complete, and a re-run with the same journal
+  // serves them instead of recomputing, so an interrupted sweep resumes where it was
+  // killed. Never changes results: the resumed output is byte-identical to an
+  // uninterrupted run (tests/journal_test.cc).
+  exec::SweepJournal* journal = nullptr;
+  // Per-cell runaway protection (src/sim/watchdog.h): a cell whose simulation
+  // deadlocks, livelocks, or exceeds a budget becomes a CellFailure and quarantines
+  // its lock instead of hanging or aborting the sweep. Not part of the cell
+  // fingerprint: the watchdog never alters a successful cell's results. Assign a
+  // config with !Enabled() to run unprotected.
+  sim::WatchdogConfig watchdog = DefaultSweepWatchdog();
   // Progress callback, invoked once per completed lock; may be null.
   //
   // Contract (independent of `jobs`): calls are serialized (never concurrent with each
@@ -58,7 +88,17 @@ struct SweepConfig {
 struct SweepResult {
   std::vector<int> thread_counts;
   std::vector<LockCurve> curves;  // with handover-locality / transfers-per-op sidecars
+  // Quarantine report (docs/PARALLEL_SWEEP.md): every failed cell in deterministic
+  // sweep order (lock-major, then thread count), and the sweep-order names of locks
+  // with at least one failed cell. A quarantined lock keeps its curve (failed cells
+  // read as zeros) so partial data stays inspectable, but `selection` is computed over
+  // the non-quarantined curves only — a lock that cannot finish every cell must never
+  // win. Empty on a fully healthy sweep.
+  std::vector<exec::CellFailure> failures;
+  std::vector<std::string> quarantined;
   SelectionResult selection;
+
+  bool Quarantined(const std::string& name) const;
 
   // Curve lookup by lock name (e.g. to report why selection.hc_best won); nullptr if
   // the name was not swept. O(1): backed by a name -> index map built once by
@@ -88,6 +128,11 @@ struct ScenarioOutcome {
   double retention = 0.0;        // faulted throughput / unfaulted throughput
   double acquire_p99_ns = 0.0;   // exact nearest-rank p99 under the perturbation
   int starved_threads = 0;
+  // The perturbed cell never finished (deadlock / watchdog trip / exception): the
+  // lock retains nothing under this scenario (retention 0), which zeroes its
+  // robust_score — the strongest possible robustness verdict.
+  bool failed = false;
+  std::string failure_kind;  // "deadlock" | "watchdog" | "exception" when failed
 };
 
 struct LockRobustness {

@@ -48,7 +48,13 @@ void Engine::Spawn(int cpu, std::function<void()> fn) {
   SimThread* raw = thread.get();
   thread->fiber = std::make_unique<runtime::Fiber>(
       [fn = std::move(fn), raw]() {
-        fn();
+        // The abort token must be caught here, on the fiber's own stack: the context-
+        // switch frame below Fiber::Run has no unwind info, so nothing may propagate
+        // past this lambda. Run() rethrows the real error once every fiber drained.
+        try {
+          fn();
+        } catch (const AbortSimulation&) {
+        }
         raw->done = true;
       },
       &main_fiber_);
@@ -82,9 +88,179 @@ void Engine::Run() {
   }
   current_engine_ = previous;
   running_ = false;
+  if (watchdog_ != nullptr && watchdog_->tripped) {
+    watchdog_->tripped = false;
+    EngineDiagnostic diagnostic = std::move(watchdog_->diagnostic);
+    // Build the summary before std::move(diagnostic) can gut `reason` (argument
+    // evaluation order is unspecified).
+    std::string summary = "simulation watchdog tripped: " + diagnostic.reason;
+    throw SimWatchdogError(summary, std::move(diagnostic));
+  }
   if (unfinished_ > 0) {
     throw SimDeadlockError("simulation deadlock: " + std::to_string(unfinished_) +
-                           " thread(s) parked forever");
+                               " thread(s) parked forever",
+                           CaptureDiagnostic("deadlock"));
+  }
+}
+
+void Engine::SetWatchdog(const WatchdogConfig& config) {
+  if (running_) {
+    throw std::logic_error("SetWatchdog() after Run() started");
+  }
+  if (!config.Enabled()) {
+    watchdog_.reset();
+    return;
+  }
+  watchdog_ = std::make_unique<WatchdogState>();
+  watchdog_->config = config;
+  watchdog_->config.check_interval = std::max(1u, config.check_interval);
+  watchdog_->countdown = watchdog_->config.check_interval;
+  watchdog_->ring.resize(config.recent_ops);
+  watchdog_->wall_start = std::chrono::steady_clock::now();
+}
+
+void Engine::WatchdogObserve(const PreparedAccess& prepared) {
+  if (aborting_) {
+    throw AbortSimulation{};  // drain: first access after a trip unwinds the fiber
+  }
+  WatchdogState& w = *watchdog_;
+  if (!w.ring.empty()) {
+    OpRecord& record = w.ring[w.ring_next];
+    record.thread_id = current_->id;
+    record.cpu = prepared.cpu;
+    record.kind = static_cast<int>(prepared.kind);
+    record.line = LineOrdinal(prepared.line_addr);
+    record.completion = prepared.completion;
+    w.ring_next = (w.ring_next + 1) % w.ring.size();
+    ++w.ring_count;
+  }
+  ++w.accesses_since_progress;
+  if (w.config.max_accesses_without_progress > 0 &&
+      w.accesses_since_progress >= w.config.max_accesses_without_progress) {
+    WatchdogTrip("no forward progress for " +
+                 std::to_string(w.accesses_since_progress) +
+                 " accesses (budget " +
+                 std::to_string(w.config.max_accesses_without_progress) + ")");
+  }
+  if (--w.countdown == 0) {
+    w.countdown = w.config.check_interval;
+    if (w.config.max_virtual_time > 0 && current_->time > w.config.max_virtual_time) {
+      WatchdogTrip("virtual-time budget exceeded (budget " +
+                   std::to_string(w.config.max_virtual_time) + " ps)");
+    }
+    if (w.config.max_wall_seconds > 0.0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - w.wall_start;
+      if (elapsed.count() > w.config.max_wall_seconds) {
+        // Budget, not elapsed, in the message: wall trips are inherently host-
+        // dependent, but their report text stays stable.
+        WatchdogTrip("host wall-clock budget exceeded (budget " +
+                     std::to_string(w.config.max_wall_seconds) + " s)");
+      }
+    }
+  }
+}
+
+void Engine::WatchdogWorkCheck(SimThread* self) {
+  if (aborting_) {
+    throw AbortSimulation{};
+  }
+  const WatchdogConfig& config = watchdog_->config;
+  if (config.max_virtual_time > 0 && self->time > config.max_virtual_time) {
+    WatchdogTrip("virtual-time budget exceeded (budget " +
+                 std::to_string(config.max_virtual_time) + " ps)");
+  }
+}
+
+void Engine::WatchdogTrip(std::string reason) {
+  WatchdogState& w = *watchdog_;
+  w.tripped = true;
+  w.diagnostic = CaptureDiagnostic(reason.c_str());
+  aborting_ = true;
+  // Force-wake every parked thread so each unwinds via AbortSimulation on its next
+  // access probe, and clear the intrusive waiter lists so no stale links survive.
+  for (uint32_t i = 0; i < num_lines_; ++i) {
+    Line& line = LineAt(i);
+    line.waiter_head = nullptr;
+    line.waiter_tail = nullptr;
+    line.num_waiters = 0;
+    line.rmw_waiters = 0;
+  }
+  for (auto& thread : threads_) {
+    SimThread* t = thread.get();
+    if (t->parked) {
+      t->parked = false;
+      t->rmw_spinner = false;
+      t->next_waiter = nullptr;
+      MakeReady(t);
+    }
+  }
+  throw AbortSimulation{};
+}
+
+EngineDiagnostic Engine::CaptureDiagnostic(const char* reason) {
+  EngineDiagnostic diagnostic;
+  diagnostic.reason = reason;
+  diagnostic.total_accesses = total_accesses_;
+  diagnostic.accesses_since_progress =
+      watchdog_ != nullptr ? watchdog_->accesses_since_progress : 0;
+  diagnostic.threads.reserve(threads_.size());
+  for (const auto& thread : threads_) {
+    const SimThread* t = thread.get();
+    ThreadDiagnostic info;
+    info.id = t->id;
+    info.cpu = t->cpu;
+    info.time = t->time;
+    info.state = t->done        ? ThreadState::kDone
+                 : t->parked    ? ThreadState::kParked
+                 : t == current_ ? ThreadState::kRunning
+                                 : ThreadState::kRunnable;
+    if (t->parked) {
+      info.parked_line = LineOrdinal(t->parked_line);
+      if (const Line* line = PeekLine(t->parked_line)) {
+        info.line_owner_cpu = line->owner;
+        info.line_waiters = line->num_waiters;
+      }
+    }
+    diagnostic.now = std::max(diagnostic.now, t->time);
+    diagnostic.threads.push_back(info);
+  }
+  if (watchdog_ != nullptr && watchdog_->ring_count > 0) {
+    const WatchdogState& w = *watchdog_;
+    const size_t depth = std::min<uint64_t>(w.ring_count, w.ring.size());
+    diagnostic.recent_ops.reserve(depth);
+    for (size_t i = 0; i < depth; ++i) {
+      diagnostic.recent_ops.push_back(
+          w.ring[(w.ring_next + w.ring.size() - depth + i) % w.ring.size()]);
+    }
+  }
+  return diagnostic;
+}
+
+Engine::Line* Engine::PeekLine(uintptr_t line_addr) {
+  const size_t mask = line_index_.size() - 1;
+  size_t slot = HashLineAddr(line_addr) & mask;
+  while (true) {
+    const LineSlot& entry = line_index_[slot];
+    if (entry.index == kNoLine) {
+      return nullptr;
+    }
+    if (entry.addr == line_addr) {
+      return &LineAt(entry.index);
+    }
+    slot = (slot + 1) & mask;
+  }
+}
+
+uint32_t Engine::LineOrdinal(uintptr_t line_addr) const {
+  const size_t mask = line_index_.size() - 1;
+  size_t slot = HashLineAddr(line_addr) & mask;
+  while (true) {
+    const LineSlot& entry = line_index_[slot];
+    if (entry.index == kNoLine || entry.addr == line_addr) {
+      return entry.index;
+    }
+    slot = (slot + 1) & mask;
   }
 }
 
@@ -178,12 +354,16 @@ void Engine::WakeWaiters(Line& line, const PreparedAccess& prepared) {
 }
 
 void Engine::ParkOnLine(uintptr_t line_addr, uint64_t seen_version, bool rmw_spinner) {
+  if (aborting_) {
+    throw AbortSimulation{};  // never re-park while a watchdog trip is draining
+  }
   SimThread* self = current_;
   Line& line = LineFor(line_addr);
   if (line.version != seen_version) {
     return;  // a value-changing write raced in between the load and the park
   }
   self->parked = true;
+  self->parked_line = line_addr;
   self->rmw_spinner = rmw_spinner;
   if (rmw_spinner) {
     ++line.rmw_waiters;

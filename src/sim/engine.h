@@ -34,23 +34,41 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "src/runtime/fiber.h"
 #include "src/sim/platform.h"
+#include "src/sim/watchdog.h"
 #include "src/topo/topology.h"
 #include "src/trace/trace.h"
 
 namespace clof::sim {
 
-// Thrown by Run() when every remaining thread is parked on a line that can never change.
+// Thrown by Run() when every remaining thread is parked on a line that can never
+// change. Carries the same per-thread diagnostic as a watchdog trip (who is blocked on
+// which line, that line's owner CPU) so the failure says where the handover was lost.
 class SimDeadlockError : public std::runtime_error {
  public:
-  explicit SimDeadlockError(const std::string& what) : std::runtime_error(what) {}
+  explicit SimDeadlockError(const std::string& summary)
+      : std::runtime_error(summary), summary_(summary) {}
+  SimDeadlockError(const std::string& summary, EngineDiagnostic diagnostic)
+      : std::runtime_error(summary + "\n" + diagnostic.Format()),
+        summary_(summary),
+        diagnostic_(std::move(diagnostic)) {}
+
+  // First line of what(): the unfinished-thread count, without the per-thread dump.
+  const std::string& summary() const { return summary_; }
+  const EngineDiagnostic& diagnostic() const { return diagnostic_; }
+
+ private:
+  std::string summary_;
+  EngineDiagnostic diagnostic_;
 };
 
 enum class OpKind {
@@ -124,7 +142,19 @@ class Engine {
       ns *= fault_hook_->WorkScale(self->cpu);  // heterogeneous core speed (src/fault/)
     }
     self->time += PsFromNs(ns);
+    if (watchdog_ != nullptr) {
+      WatchdogWorkCheck(self);  // virtual budget also covers access-free spin loops
+    }
     YieldRunnable(self);
+  }
+
+  // Marks one unit of application-level forward progress (e.g. a completed critical
+  // section): resets the watchdog's no-progress access counter. A no-op without a
+  // watchdog installed; never issues simulated accesses or affects virtual time.
+  void ReportProgress() {
+    if (watchdog_ != nullptr) {
+      watchdog_->accesses_since_progress = 0;
+    }
   }
 
   // A short architectural pause inside a retry loop (cpu_relax equivalent).
@@ -187,6 +217,13 @@ class Engine {
   void SetFaultHook(FaultHook* hook) { fault_hook_ = hook; }
   FaultHook* fault_hook() const { return fault_hook_; }
 
+  // Arms (or, with a config where !Enabled(), removes) the runaway watchdog
+  // (src/sim/watchdog.h). Call before Run(); the wall-clock budget starts here. A trip
+  // unwinds every simulated thread and Run() throws SimWatchdogError carrying the
+  // captured diagnostic. Observation-only while not tripping: results are
+  // bit-identical to an unwatched run (tests/watchdog_test.cc).
+  void SetWatchdog(const WatchdogConfig& config);
+
  private:
   [[noreturn]] static void AbortNoEngine();  // cold path of Current()
 
@@ -204,6 +241,7 @@ class Engine {
     SimThread* next_waiter = nullptr;  // next in the parked line's FIFO waiter list
     int32_t heap_slot = -1;            // index in ready_; -1 = not queued
     uint64_t heap_order = 0;           // FIFO tie-break stamp for equal times
+    uintptr_t parked_line = 0;         // line the thread last parked on (diagnostics)
   };
 
   struct Line {
@@ -338,6 +376,38 @@ class Engine {
   void WakeWaiters(Line& line, const PreparedAccess& prepared);
   void EmitAccessEvent(const PreparedAccess& prepared);  // cold: sink installed
 
+  // --- Watchdog (src/sim/watchdog.h) ---
+  //
+  // All state lives behind one pointer so an unwatched run pays exactly one branch per
+  // access (the same discipline as sink_/fault_hook_). A trip must not throw a user-
+  // visible exception from inside a fiber — the context-switch frame has no unwind
+  // info past it — so WatchdogTrip captures the diagnostic, force-wakes every parked
+  // thread, and throws the internal AbortSimulation token; each fiber's Spawn wrapper
+  // catches the token on its own stack and finishes normally, and Run() rethrows the
+  // real SimWatchdogError from the scheduler context once every fiber has drained.
+  struct WatchdogState {
+    WatchdogConfig config;
+    uint64_t accesses_since_progress = 0;
+    uint32_t countdown = 1;                // accesses until the next budget poll
+    std::vector<OpRecord> ring;            // last config.recent_ops accesses
+    size_t ring_next = 0;
+    uint64_t ring_count = 0;
+    std::chrono::steady_clock::time_point wall_start;
+    bool tripped = false;
+    EngineDiagnostic diagnostic;           // captured at the trip point
+  };
+  struct AbortSimulation {};  // internal unwind token; never escapes Run()
+
+  void WatchdogObserve(const PreparedAccess& prepared);   // per access, watchdog on
+  void WatchdogWorkCheck(SimThread* self);                // per Work(), watchdog on
+  [[noreturn]] void WatchdogTrip(std::string reason);
+  EngineDiagnostic CaptureDiagnostic(const char* reason);
+  Line* PeekLine(uintptr_t line_addr);  // lookup without first-touch creation
+  // Arena first-touch ordinal of a line (kNoLine if never touched). Used to label
+  // lines in diagnostics: ordinals follow deterministic simulation order, so dumps
+  // are byte-identical across identical runs, unlike raw heap addresses.
+  uint32_t LineOrdinal(uintptr_t line_addr) const;
+
   // The engine running on this host thread, set for the duration of Run(). An inline
   // member so the hot-path accessors above compile to direct TLS loads.
   static inline thread_local Engine* current_engine_ = nullptr;
@@ -357,6 +427,8 @@ class Engine {
   std::vector<trace::LevelMetrics> level_metrics_;  // trace::LevelBucket layout
   trace::EventSink* sink_ = nullptr;
   FaultHook* fault_hook_ = nullptr;
+  std::unique_ptr<WatchdogState> watchdog_;  // null = no watchdog (fast path)
+  bool aborting_ = false;  // a watchdog trip is unwinding the remaining fibers
   int unfinished_ = 0;
   bool running_ = false;
 };
@@ -540,6 +612,9 @@ inline Engine::AccessResult Engine::FinishAccess(const PreparedAccess& prepared,
   const Time completion = prepared.completion;
   if (sink_ != nullptr) {
     EmitAccessEvent(prepared);
+  }
+  if (watchdog_ != nullptr) {
+    WatchdogObserve(prepared);  // may unwind this fiber on a trip / during an abort
   }
   if (prepared.is_write && changed) {
     ++line.version;

@@ -1,0 +1,82 @@
+#include "src/sim/watchdog.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/sim/engine.h"
+
+namespace clof::sim {
+namespace {
+
+const char* OpKindName(int kind) {
+  switch (static_cast<OpKind>(kind)) {
+    case OpKind::kLoad:
+      return "load";
+    case OpKind::kStore:
+      return "store";
+    case OpKind::kRmw:
+      return "rmw";
+    case OpKind::kCmpXchg:
+      return "cmpxchg";
+    case OpKind::kRmwSpinLoad:
+      return "rmw-spin-load";
+  }
+  return "?";
+}
+
+void AppendF(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+}  // namespace
+
+const char* ThreadStateName(ThreadState state) {
+  switch (state) {
+    case ThreadState::kRunnable:
+      return "runnable";
+    case ThreadState::kRunning:
+      return "running";
+    case ThreadState::kParked:
+      return "parked";
+    case ThreadState::kDone:
+      return "done";
+  }
+  return "?";
+}
+
+std::string EngineDiagnostic::Format() const {
+  std::string out;
+  AppendF(out, "  virtual now: %llu ps  total accesses: %llu  since last progress: %llu\n",
+          static_cast<unsigned long long>(now),
+          static_cast<unsigned long long>(total_accesses),
+          static_cast<unsigned long long>(accesses_since_progress));
+  AppendF(out, "  threads (%zu):\n", threads.size());
+  for (const ThreadDiagnostic& t : threads) {
+    AppendF(out, "    t%llu cpu%d  time=%llu ps  %s",
+            static_cast<unsigned long long>(t.id), t.cpu,
+            static_cast<unsigned long long>(t.time), ThreadStateName(t.state));
+    if (t.state == ThreadState::kParked) {
+      AppendF(out, "  blocked on line #%llu (owner cpu %d, %d co-waiter(s))",
+              static_cast<unsigned long long>(t.parked_line), t.line_owner_cpu,
+              t.line_waiters > 0 ? t.line_waiters - 1 : 0);
+    }
+    out += '\n';
+  }
+  if (!recent_ops.empty()) {
+    AppendF(out, "  last %zu accesses (oldest first):\n", recent_ops.size());
+    for (const OpRecord& op : recent_ops) {
+      AppendF(out, "    t%llu cpu%d %s line #%llu completion=%llu ps\n",
+              static_cast<unsigned long long>(op.thread_id), op.cpu, OpKindName(op.kind),
+              static_cast<unsigned long long>(op.line),
+              static_cast<unsigned long long>(op.completion));
+    }
+  }
+  return out;
+}
+
+}  // namespace clof::sim

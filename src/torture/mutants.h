@@ -1,0 +1,287 @@
+// Deliberately broken locks that validate the torture oracles (docs/TORTURE.md).
+//
+// Each mutant is a real lock from src/locks/ with one classic implementation bug
+// re-introduced — the kind of bug the torture harness (src/torture/torture.h) exists to
+// catch. They are the harness's ground truth: a torture configuration is trusted only
+// if it flags every mutant here while passing every genuine lock (tests/torture_test.cc
+// asserts exactly that). One mutant per oracle family:
+//
+//   mut-split-acquire   TTAS whose acquire edge is a separate load + store instead of
+//                       an atomic exchange: two waiters read 0 and both enter.
+//                       -> mutual-exclusion / lost-update oracles.
+//   mut-skip-unlock     Ticketlock that "forgets" every kSkipPeriod-th grant
+//                       publication: all later tickets park forever.
+//                       -> deadlock detection (lost wakeup).
+//   mut-stuck-spin      Polling TAS whose release stops clearing the flag: waiters
+//                       poll forever without parking, so only the watchdog's
+//                       no-progress detector can see it.
+//                       -> livelock / watchdog oracle.
+//   mut-drop-handover   MCS that blindly resets the tail before checking for a
+//                       successor: an enqueued-but-unlinked waiter is abandoned and
+//                       new arrivals see an empty queue while the CS is occupied.
+//                       -> mutual-exclusion and/or deadlock, schedule-dependent.
+//   mut-yield-turn      Ticket variant registered as fair whose CPU-0 thread keeps
+//                       re-granting its turn while others are queued: it starves
+//                       itself for the whole run without ever deadlocking.
+//                       -> bounded-starvation oracle.
+//
+// The bugs are written against the simulated memory policy's sequentially consistent
+// execution (see src/mem/memory_policy.h): every one manifests from interleaving
+// alone, no weak-memory reasoning required, so the deterministic torture schedules can
+// reach them.
+#ifndef CLOF_SRC_TORTURE_MUTANTS_H_
+#define CLOF_SRC_TORTURE_MUTANTS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/clof/lock.h"
+#include "src/clof/registry.h"
+#include "src/mem/memory_policy.h"
+#include "src/mem/sim_memory.h"
+#include "src/topo/topology.h"
+
+namespace clof::torture {
+
+// TTAS (src/locks/tas.h) with the exchange split into load-then-store. Between a
+// waiter's load of 0 and its store of 1 the simulator can run another waiter through
+// the same window, and both return holding the "lock".
+template <class M>
+  requires mem::MemoryPolicy<M>
+class MutSplitAcquireLock {
+ public:
+  static constexpr const char* kName = "mut-split-acquire";
+  static constexpr bool kIsFair = false;
+
+  struct Context {};
+
+  void Acquire(Context& /*ctx*/) {
+    for (;;) {
+      M::SpinUntil(flag_, [](uint32_t v) { return v == 0; });
+      if (flag_.Load(std::memory_order_acquire) == 0) {
+        // BUG: read-then-write instead of Exchange — not atomic.
+        flag_.Store(1, std::memory_order_release);
+        return;
+      }
+    }
+  }
+
+  void Release(Context& /*ctx*/) { flag_.Store(0, std::memory_order_release); }
+
+ private:
+  typename M::template Atomic<uint32_t> flag_{0};
+};
+
+// Ticketlock (src/locks/ticket.h) whose release "forgets" to publish the grant every
+// kSkipPeriod-th time — a lost wakeup. Every later ticket parks on the frozen grant
+// word forever; the simulator reports the hang as SimDeadlockError.
+template <class M>
+  requires mem::MemoryPolicy<M>
+class MutSkipUnlockLock {
+ public:
+  static constexpr const char* kName = "mut-skip-unlock";
+  static constexpr bool kIsFair = true;
+  static constexpr uint64_t kSkipPeriod = 10;
+
+  struct Context {};
+
+  void Acquire(Context& /*ctx*/) {
+    uint32_t my_ticket = next_ticket_.FetchAdd(1, std::memory_order_relaxed);
+    M::SpinUntil(grant_, [my_ticket](uint32_t g) { return g == my_ticket; });
+  }
+
+  void Release(Context& /*ctx*/) {
+    // Host-side counter: the simulation runs its fibers on one host thread, so a
+    // plain variable deterministically counts releases without simulated accesses.
+    if (++releases_ % kSkipPeriod == 0) {
+      return;  // BUG: grant never advances — everyone behind us waits forever.
+    }
+    grant_.Store(grant_.Load(std::memory_order_relaxed) + 1, std::memory_order_release);
+  }
+
+ private:
+  typename M::template Atomic<uint32_t> next_ticket_{0};
+  typename M::template Atomic<uint32_t> grant_{0};
+  uint64_t releases_ = 0;
+};
+
+// Polling TAS (src/locks/tas.h) whose release stops clearing the flag after
+// kStuckAfter critical sections. The waiters' Exchange-and-Pause loop never parks, so
+// the simulation is not deadlocked — virtual time keeps advancing with zero progress.
+// Only the watchdog's no-forward-progress detector can flag this.
+template <class M>
+  requires mem::MemoryPolicy<M>
+class MutStuckSpinLock {
+ public:
+  static constexpr const char* kName = "mut-stuck-spin";
+  static constexpr bool kIsFair = false;
+  static constexpr uint64_t kStuckAfter = 20;
+
+  struct Context {};
+
+  void Acquire(Context& /*ctx*/) {
+    while (flag_.Exchange(1, std::memory_order_acq_rel) != 0) {
+      M::Pause();
+    }
+  }
+
+  void Release(Context& /*ctx*/) {
+    if (++releases_ > kStuckAfter) {
+      return;  // BUG: flag stays 1 — all acquirers poll forever (livelock, not deadlock).
+    }
+    flag_.Store(0, std::memory_order_release);
+  }
+
+ private:
+  typename M::template Atomic<uint32_t> flag_{0};
+  uint64_t releases_ = 0;
+};
+
+// MCS (src/locks/mcs.h) whose release resets the tail unconditionally before looking
+// for a successor. A successor that swung the tail but has not linked itself yet is
+// abandoned mid-park (deadlock), and any thread arriving after the reset sees an empty
+// queue and enters while the abandoned waiter's predecessor-chain owner is still in
+// the critical section (mutual-exclusion violation). Which symptom fires first is
+// schedule-dependent — both oracles must catch their half.
+template <class M>
+  requires mem::MemoryPolicy<M>
+class MutDropHandoverLock {
+ public:
+  static constexpr const char* kName = "mut-drop-handover";
+  static constexpr bool kIsFair = true;
+
+  struct alignas(64) QNode {
+    typename M::template Atomic<QNode*> next{nullptr};
+    typename M::template Atomic<uint32_t> locked{0};
+  };
+
+  struct Context {
+    QNode node;
+  };
+
+  void Acquire(Context& ctx) {
+    QNode* me = &ctx.node;
+    me->next.Store(nullptr, std::memory_order_relaxed);
+    me->locked.Store(1, std::memory_order_relaxed);
+    QNode* pred = tail_.Exchange(me, std::memory_order_acq_rel);
+    if (pred != nullptr) {
+      pred->next.Store(me, std::memory_order_release);
+      M::SpinUntil(me->locked, [](uint32_t v) { return v == 0; });
+    }
+  }
+
+  void Release(Context& ctx) {
+    QNode* me = &ctx.node;
+    QNode* next = me->next.Load(std::memory_order_acquire);
+    // BUG: blind tail reset instead of CompareExchange(me, nullptr) + wait-for-link.
+    tail_.Store(nullptr, std::memory_order_release);
+    if (next == nullptr) {
+      return;  // an enqueued-but-unlinked successor is abandoned here
+    }
+    next->locked.Store(0, std::memory_order_release);
+  }
+
+ private:
+  typename M::template Atomic<QNode*> tail_{nullptr};
+};
+
+// Ticket variant that claims fairness (kIsFair = true) but is not: a thread on
+// virtual CPU 0 that wins its turn while others are queued politely re-grants the
+// turn and goes to the back of the line, over and over. It never blocks anyone and
+// the run completes — but its own single acquire stretches across the whole run,
+// which is exactly what the bounded-starvation (max-acquire-wait) oracle measures.
+template <class M>
+  requires mem::MemoryPolicy<M>
+class MutYieldTurnLock {
+ public:
+  static constexpr const char* kName = "mut-yield-turn";
+  static constexpr bool kIsFair = true;
+
+  struct Context {
+    uint32_t ticket = 0;
+  };
+
+  void Acquire(Context& ctx) {
+    for (;;) {
+      uint32_t my_ticket = next_ticket_.FetchAdd(1, std::memory_order_relaxed);
+      M::SpinUntil(grant_, [my_ticket](uint32_t g) { return g == my_ticket; });
+      if (M::CpuId() == 0 &&
+          next_ticket_.Load(std::memory_order_relaxed) != my_ticket + 1) {
+        // BUG: "be nice" — hand the turn to whoever queued behind us and re-queue.
+        grant_.Store(my_ticket + 1, std::memory_order_release);
+        continue;
+      }
+      ctx.ticket = my_ticket;
+      return;
+    }
+  }
+
+  void Release(Context& ctx) {
+    grant_.Store(ctx.ticket + 1, std::memory_order_release);
+  }
+
+ private:
+  typename M::template Atomic<uint32_t> next_ticket_{0};
+  typename M::template Atomic<uint32_t> grant_{0};
+};
+
+namespace internal {
+
+template <class L>
+std::unique_ptr<Lock> MakeMutant(const std::string& name, const topo::Hierarchy&,
+                                 const ClofParams&) {
+  return std::make_unique<PlainLock<L>>(name, Registry::kAnyDepth, L::kIsFair);
+}
+
+}  // namespace internal
+
+// Registers the five simulated-memory mutants into `registry` (Kind::kBaseline: they
+// must never enter a generated-locks sweep by accident).
+inline void RegisterMutants(Registry& registry) {
+  using M = mem::SimMemory;
+  registry.Register(MutSplitAcquireLock<M>::kName, Registry::kAnyDepth,
+                    MutSplitAcquireLock<M>::kIsFair,
+                    &internal::MakeMutant<MutSplitAcquireLock<M>>,
+                    Registry::Kind::kBaseline);
+  registry.Register(MutSkipUnlockLock<M>::kName, Registry::kAnyDepth,
+                    MutSkipUnlockLock<M>::kIsFair,
+                    &internal::MakeMutant<MutSkipUnlockLock<M>>,
+                    Registry::Kind::kBaseline);
+  registry.Register(MutStuckSpinLock<M>::kName, Registry::kAnyDepth,
+                    MutStuckSpinLock<M>::kIsFair,
+                    &internal::MakeMutant<MutStuckSpinLock<M>>,
+                    Registry::Kind::kBaseline);
+  registry.Register(MutDropHandoverLock<M>::kName, Registry::kAnyDepth,
+                    MutDropHandoverLock<M>::kIsFair,
+                    &internal::MakeMutant<MutDropHandoverLock<M>>,
+                    Registry::Kind::kBaseline);
+  registry.Register(MutYieldTurnLock<M>::kName, Registry::kAnyDepth,
+                    MutYieldTurnLock<M>::kIsFair,
+                    &internal::MakeMutant<MutYieldTurnLock<M>>,
+                    Registry::Kind::kBaseline);
+}
+
+// The mutant names in registration order (the order docs and reports use).
+inline std::vector<std::string> MutantNames() {
+  return {"mut-split-acquire", "mut-skip-unlock", "mut-stuck-spin", "mut-drop-handover",
+          "mut-yield-turn"};
+}
+
+// A registry holding only the mutants. Built once; immutable afterwards (magic-static
+// initialization, same concurrency contract as SimRegistry).
+inline const Registry& MutantRegistry() {
+  static const Registry registry = [] {
+    Registry r;
+    r.set_description("torture-mutants");
+    RegisterMutants(r);
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace clof::torture
+
+#endif  // CLOF_SRC_TORTURE_MUTANTS_H_

@@ -1,0 +1,332 @@
+#include "src/torture/torture.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "src/exec/executor.h"
+#include "src/fault/injector.h"
+#include "src/mem/sim_memory.h"
+#include "src/runtime/rng.h"
+#include "src/sim/engine.h"
+
+namespace clof::torture {
+namespace {
+
+constexpr int kOracleLines = 4;    // lines the non-atomic RMW oracle cycles over
+constexpr int kNoiseLines = 8;     // separate pool for interference hammering: the
+                                   // hammer fibers must never touch the oracle lines,
+                                   // or the issued-vs-recorded sum stops being an
+                                   // invariant of the lock alone
+constexpr double kThinkNs = 40.0;  // think time between critical sections
+constexpr double kCsGapNs = 25.0;  // widens the read..write window inside the CS
+
+struct alignas(64) PaddedLine {
+  mem::SimMemory::Atomic<uint64_t> value{0};
+};
+
+// Everything one (lock, scenario) simulation produced, oracles not yet judged.
+struct RunOutcome {
+  bool completed = false;
+  std::string error_kind;  // "deadlock" | "watchdog" | "harness" when !completed
+  std::string error_message;
+  std::string diagnostic;
+  uint64_t overlaps = 0;     // CS entries observed with another thread already inside
+  int max_concurrent = 1;    // peak threads inside the CS at once
+  uint64_t issued = 0;       // oracle-line increments completed
+  uint64_t recorded = 0;     // sum of oracle lines after the run
+  double max_wait_ns = 0.0;  // longest single Acquire() wait
+  uint64_t total_ops = 0;
+};
+
+RunOutcome TortureOnce(const TortureConfig& config, const std::string& lock_name,
+                       const fault::FaultPlan& plan) {
+  const sim::Machine& machine = *config.machine;
+  RunOutcome out;
+
+  sim::Engine engine(machine.topology, machine.platform);
+  engine.SetWatchdog(config.watchdog.Enabled()
+                         ? config.watchdog
+                         : DefaultTortureWatchdog(config.duration_ms));
+  std::unique_ptr<fault::Injector> injector;
+  if (plan.AnyEnabled()) {
+    injector =
+        std::make_unique<fault::Injector>(plan, config.seed, machine.topology.num_cpus());
+    engine.SetFaultHook(injector.get());
+  }
+  auto lock = config.registry->Make(lock_name, config.hierarchy, config.params);
+
+  std::vector<std::unique_ptr<PaddedLine>> oracle;
+  for (int i = 0; i < kOracleLines; ++i) {
+    oracle.push_back(std::make_unique<PaddedLine>());
+  }
+  std::vector<std::unique_ptr<PaddedLine>> noise;
+  for (int i = 0; i < kNoiseLines; ++i) {
+    noise.push_back(std::make_unique<PaddedLine>());
+  }
+
+  const sim::Time end = sim::PsFromNs(config.duration_ms * 1e6);
+  // Host-side oracle state: fibers run on one host thread and switch only at
+  // simulated accesses, so plain variables observe every interleaving exactly.
+  int in_cs = 0;
+  std::vector<uint64_t> ops(config.num_threads, 0);
+
+  for (int t = 0; t < config.num_threads; ++t) {
+    // Same churn formula as the benchmark harness (src/harness/lock_bench.cc), so a
+    // scenario means the same perturbation in both harnesses.
+    sim::Time thread_end = end;
+    if (plan.churn.enabled) {
+      runtime::Xoshiro256 churn_rng(plan.seed * 0x9e3779b97f4a7c15ull + 0xC0FFEEull +
+                                    static_cast<uint64_t>(t));
+      if (churn_rng.NextDouble() < plan.churn.stop_fraction) {
+        thread_end =
+            static_cast<sim::Time>(static_cast<double>(end) * plan.churn.stop_point);
+      }
+    }
+    engine.Spawn(t, [&, t, thread_end] {
+      runtime::Xoshiro256 rng(config.seed * 0x9e3779b97f4a7c15ull + t);
+      auto ctx = lock->MakeContext();
+      auto& eng = sim::Engine::Current();
+      while (eng.Now() < thread_end) {
+        eng.Work(kThinkNs * (0.5 + rng.NextDouble()));
+        const sim::Time acquire_begin = eng.Now();
+        lock->Acquire(*ctx);
+        out.max_wait_ns =
+            std::max(out.max_wait_ns, sim::NsFromPs(eng.Now() - acquire_begin));
+        // Mutual-exclusion oracle: we are "inside" from here to the decrement below.
+        ++in_cs;
+        if (in_cs > 1) {
+          ++out.overlaps;
+          out.max_concurrent = std::max(out.max_concurrent, in_cs);
+        }
+        // Lost-update oracle: deliberately non-atomic read-gap-write. Under a correct
+        // lock the CS serializes these, so no increment can be lost.
+        auto& line = oracle[rng.NextBounded(kOracleLines)]->value;
+        const uint64_t v = line.Load(std::memory_order_relaxed);
+        eng.Work(kCsGapNs);
+        line.Store(v + 1, std::memory_order_relaxed);
+        ++out.issued;
+        --in_cs;
+        lock->Release(*ctx);
+        ++ops[t];
+        eng.ReportProgress();  // one critical section completed
+      }
+    });
+  }
+  if (plan.interference.enabled) {
+    // Interference replicated from the benchmark harness, but hammering a separate
+    // noise pool (see kNoiseLines above).
+    runtime::Xoshiro256 place_rng(plan.seed ^ 0xa24baed4963ee407ull);
+    for (int i = 0; i < plan.interference.threads; ++i) {
+      const int cpu = static_cast<int>(
+          place_rng.NextBounded(static_cast<uint64_t>(machine.topology.num_cpus())));
+      engine.Spawn(cpu, [&, i] {
+        runtime::Xoshiro256 rng(plan.seed * 0x9e3779b97f4a7c15ull + 0xBADCAFEull +
+                                static_cast<uint64_t>(i));
+        auto& eng = sim::Engine::Current();
+        while (eng.Now() < end) {
+          eng.Work(plan.interference.gap_ns);
+          for (int b = 0; b < plan.interference.lines_per_burst; ++b) {
+            noise[rng.NextBounded(kNoiseLines)]->value.FetchAdd(
+                1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+  }
+
+  try {
+    engine.Run();
+    out.completed = true;
+  } catch (const sim::SimWatchdogError& error) {
+    out.error_kind = "watchdog";
+    out.error_message = error.summary();
+    out.diagnostic = error.diagnostic().Format();
+  } catch (const sim::SimDeadlockError& error) {
+    out.error_kind = "deadlock";
+    out.error_message = error.summary();
+    out.diagnostic = error.diagnostic().Format();
+  } catch (const std::exception& error) {
+    out.error_kind = "harness";
+    out.error_message = error.what();
+  }
+
+  for (const auto& line : oracle) {
+    out.recorded += line->value.Load(std::memory_order_relaxed);
+  }
+  for (uint64_t n : ops) {
+    out.total_ops += n;
+  }
+  return out;
+}
+
+std::string FormatCount(uint64_t n) { return std::to_string(n); }
+
+// Judges one run's oracles into zero or more violations, appended to `violations`.
+void JudgeRun(const TortureConfig& config, const std::string& lock_name, bool lock_fair,
+              const fault::Scenario& scenario, const RunOutcome& run,
+              std::vector<Violation>* violations) {
+  auto add = [&](const std::string& oracle, const std::string& detail,
+                 const std::string& diagnostic = "") {
+    violations->push_back({lock_name, scenario.name, oracle, detail, diagnostic});
+  };
+
+  if (run.overlaps > 0) {
+    add("mutual-exclusion", FormatCount(run.overlaps) +
+                                " critical-section entr(ies) with another thread inside"
+                                " (peak " +
+                                std::to_string(run.max_concurrent) + " concurrent)");
+  }
+  if (!run.completed) {
+    if (run.error_kind == "deadlock") {
+      add("deadlock", run.error_message, run.diagnostic);
+    } else if (run.error_kind == "watchdog") {
+      add("watchdog", run.error_message, run.diagnostic);
+    } else {
+      add("harness", run.error_message);
+    }
+    return;  // the remaining oracles need a completed run to be meaningful
+  }
+  if (run.recorded != run.issued) {
+    add("lost-update", FormatCount(run.issued) + " increments issued but " +
+                           FormatCount(run.recorded) + " recorded (" +
+                           FormatCount(run.issued - run.recorded) + " lost)");
+  }
+  // Bounded starvation: only meaningful for locks that claim fairness, and only under
+  // an unperturbed schedule — preemption and churn stall threads by design, and a
+  // heterogeneous or interfered run legitimately stretches a hierarchical lock's
+  // keep-local pass run (up to ClofParams.keep_local_threshold handovers) past any
+  // tight fraction of a short run. An unfair lock that starves (mut-yield-turn claims
+  // fairness; a genuinely unfair TTAS does not) is judged on what it registered.
+  const bool starvation_applies =
+      lock_fair && config.num_threads >= 2 && !scenario.plan.AnyEnabled();
+  const double budget_ns = config.starvation_fraction * config.duration_ms * 1e6;
+  if (starvation_applies && run.max_wait_ns > budget_ns) {
+    char detail[160];
+    std::snprintf(detail, sizeof(detail),
+                  "longest acquire waited %.0f ns (> %.0f ns = %.0f%% of the run)",
+                  run.max_wait_ns, budget_ns, 100.0 * config.starvation_fraction);
+    add("starvation", detail);
+  }
+}
+
+}  // namespace
+
+sim::WatchdogConfig DefaultTortureWatchdog(double duration_ms) {
+  sim::WatchdogConfig config;
+  config.max_virtual_time = sim::PsFromNs(duration_ms * 1e6 * 25.0);
+  config.max_accesses_without_progress = uint64_t{1} << 22;
+  return config;
+}
+
+TortureReport RunTorture(const TortureConfig& config) {
+  if (config.machine == nullptr) {
+    throw std::invalid_argument("TortureConfig.machine is required");
+  }
+  if (config.registry == nullptr) {
+    throw std::invalid_argument("TortureConfig.registry is required");
+  }
+  if (config.lock_names.empty()) {
+    throw std::invalid_argument("TortureConfig.lock_names is empty");
+  }
+  if (config.num_threads < 1 ||
+      config.num_threads > config.machine->topology.num_cpus()) {
+    throw std::invalid_argument("num_threads out of range for machine");
+  }
+  std::vector<fault::Scenario> scenarios =
+      config.scenarios.empty() ? fault::TortureMatrix(config.seed) : config.scenarios;
+  // Fail fast (and outside the workers) on unknown names; also snapshots fairness.
+  std::vector<bool> fair;
+  fair.reserve(config.lock_names.size());
+  for (const auto& name : config.lock_names) {
+    fair.push_back(config.registry->Info(name).fair);
+  }
+
+  TortureReport report;
+  for (const auto& scenario : scenarios) {
+    report.scenario_names.push_back(scenario.name);
+  }
+  report.num_threads = config.num_threads;
+  report.duration_ms = config.duration_ms;
+  report.seed = config.seed;
+
+  // Every (lock, scenario) run is a self-contained deterministic simulation: shard
+  // them across host workers, each writing only its own slot, then judge serially in
+  // deterministic lock-major order (docs/PARALLEL_SWEEP.md determinism argument).
+  const size_t num_scenarios = scenarios.size();
+  std::vector<RunOutcome> outcomes(config.lock_names.size() * num_scenarios);
+  exec::Executor executor(config.jobs);
+  executor.ParallelFor(outcomes.size(), [&](size_t i) {
+    const auto& lock_name = config.lock_names[i / num_scenarios];
+    const auto& scenario = scenarios[i % num_scenarios];
+    outcomes[i] = TortureOnce(config, lock_name, scenario.plan);
+  });
+
+  for (size_t l = 0; l < config.lock_names.size(); ++l) {
+    LockVerdict verdict;
+    verdict.lock_name = config.lock_names[l];
+    for (size_t s = 0; s < num_scenarios; ++s) {
+      const RunOutcome& run = outcomes[l * num_scenarios + s];
+      const size_t before = report.violations.size();
+      JudgeRun(config, config.lock_names[l], fair[l], scenarios[s], run,
+               &report.violations);
+      ++verdict.runs;
+      ++report.total_runs;
+      if (report.violations.size() > before) {
+        ++verdict.failed_runs;
+      }
+    }
+    verdict.flagged = verdict.failed_runs > 0;
+    report.verdicts.push_back(std::move(verdict));
+  }
+  return report;
+}
+
+bool TortureReport::Flagged(const std::string& lock_name) const {
+  const LockVerdict* verdict = Verdict(lock_name);
+  return verdict != nullptr && verdict->flagged;
+}
+
+const LockVerdict* TortureReport::Verdict(const std::string& lock_name) const {
+  for (const auto& verdict : verdicts) {
+    if (verdict.lock_name == lock_name) {
+      return &verdict;
+    }
+  }
+  return nullptr;
+}
+
+std::string FormatTortureReport(const TortureReport& report, bool verbose) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "torture: %zu lock(s) x %zu scenario(s), %d threads, %.3f ms, seed %llu\n",
+                report.verdicts.size(), report.scenario_names.size(), report.num_threads,
+                report.duration_ms, static_cast<unsigned long long>(report.seed));
+  out += line;
+  for (const auto& verdict : report.verdicts) {
+    std::snprintf(line, sizeof(line), "  %-20s %s (%d/%d runs failed)\n",
+                  verdict.lock_name.c_str(), verdict.flagged ? "FLAGGED" : "clean",
+                  verdict.failed_runs, verdict.runs);
+    out += line;
+    for (const auto& violation : report.violations) {
+      if (violation.lock_name != verdict.lock_name) {
+        continue;
+      }
+      std::snprintf(line, sizeof(line), "    [%s] %s: %s\n", violation.scenario.c_str(),
+                    violation.oracle.c_str(), violation.detail.c_str());
+      out += line;
+      if (verbose && !violation.diagnostic.empty()) {
+        out += violation.diagnostic;
+        if (out.back() != '\n') {
+          out += '\n';
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace clof::torture

@@ -370,6 +370,42 @@ TEST(ResultCacheTest, PersistsAcrossInstances) {
   EXPECT_EQ(*hit, value);
 }
 
+TEST(ResultCacheTest, SweepsOrphanedTempFilesOnOpen) {
+  // A writer killed between temp-write and rename leaves `<name>.tmp.<id>` behind;
+  // opening the cache must sweep them while leaving real entries alone.
+  std::string dir = CacheDir("tmpsweep");
+  Fingerprint fp = TestFp();
+  CellResult value{4.0, 0.5, 0.25};
+  {
+    ResultCache writer(dir);
+    writer.Store(fp, value);
+  }
+  const std::string orphan_a = dir + "/" + fp.HashHex() + ".cell.tmp.140235";
+  const std::string orphan_b = dir + "/deadbeef.cell.tmp.9";
+  { std::ofstream(orphan_a) << "half-written"; }
+  { std::ofstream(orphan_b) << ""; }
+
+  ResultCache reopened(dir);
+  EXPECT_FALSE(std::filesystem::exists(orphan_a));
+  EXPECT_FALSE(std::filesystem::exists(orphan_b));
+  auto hit = reopened.Lookup(fp);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, value);
+}
+
+TEST(HexDoubleCodecTest, RoundTripsExactlyAndRejectsGarbage) {
+  // The shared cache/journal codec (result_cache.h): exact round-trip, strict parse.
+  for (double v : {0.0, -0.0, 0.1 + 0.2, 1.0 / 3.0, 1e308, 5e-324}) {
+    double parsed = 42.0;
+    ASSERT_TRUE(ParseHexDouble(HexDouble(v), &parsed));
+    EXPECT_EQ(parsed, v);
+  }
+  double out = 0.0;
+  EXPECT_FALSE(ParseHexDouble("", &out));
+  EXPECT_FALSE(ParseHexDouble("garbage", &out));
+  EXPECT_FALSE(ParseHexDouble("0x1.8p+1trailing", &out));
+}
+
 TEST(ResultCacheTest, UnusableDirectoryThrows) {
   // A path whose parent is a regular file cannot be created.
   std::string file = CacheDir("blocker-file");

@@ -1,0 +1,140 @@
+// Tests for the torture harness (src/torture): the mutant locks validate the oracles
+// (every seeded-in bug is flagged, with the expected oracle kind), genuine locks pass
+// the same matrix cleanly, and reports are deterministic across executor widths.
+#include "src/torture/torture.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/clof/registry.h"
+#include "src/fault/scenarios.h"
+#include "src/sim/platform.h"
+#include "src/topo/topology.h"
+#include "src/torture/mutants.h"
+
+namespace clof::torture {
+namespace {
+
+sim::Machine Arm() { return sim::Machine::PaperArm(); }
+
+TortureConfig BaseConfig(const sim::Machine& machine) {
+  TortureConfig config;
+  config.machine = &machine;
+  config.hierarchy =
+      topo::Hierarchy::Select(machine.topology, {"cache", "numa", "system"});
+  config.num_threads = 6;
+  config.duration_ms = 0.1;
+  config.seed = 1;
+  config.jobs = 0;
+  return config;
+}
+
+bool HasOracle(const TortureReport& report, const std::string& lock_name,
+               const std::string& oracle) {
+  for (const auto& violation : report.violations) {
+    if (violation.lock_name == lock_name && violation.oracle == oracle) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(TortureMatrixTest, StartsWithTheUnperturbedScenario) {
+  auto matrix = fault::TortureMatrix(7);
+  ASSERT_EQ(matrix.size(), 6u);
+  EXPECT_EQ(matrix[0].name, "none");
+  EXPECT_FALSE(matrix[0].plan.AnyEnabled());
+  EXPECT_EQ(matrix[5].name, "storm");
+  EXPECT_TRUE(matrix[5].plan.AnyEnabled());
+}
+
+TEST(TortureTest, EveryMutantIsFlaggedWithItsOracle) {
+  auto machine = Arm();
+  TortureConfig config = BaseConfig(machine);
+  config.registry = &MutantRegistry();
+  config.lock_names = MutantNames();
+  auto report = RunTorture(config);
+
+  for (const auto& name : MutantNames()) {
+    EXPECT_TRUE(report.Flagged(name)) << name << " escaped the torture matrix";
+  }
+  // Each seeded-in bug must be caught by the oracle family it was written against
+  // (docs/TORTURE.md maps mutants to oracles).
+  EXPECT_TRUE(HasOracle(report, "mut-split-acquire", "mutual-exclusion") ||
+              HasOracle(report, "mut-split-acquire", "lost-update"));
+  EXPECT_TRUE(HasOracle(report, "mut-skip-unlock", "deadlock"));
+  EXPECT_TRUE(HasOracle(report, "mut-stuck-spin", "watchdog"));
+  EXPECT_TRUE(HasOracle(report, "mut-drop-handover", "mutual-exclusion") ||
+              HasOracle(report, "mut-drop-handover", "deadlock"));
+  EXPECT_TRUE(HasOracle(report, "mut-yield-turn", "starvation"));
+
+  // Deadlock/watchdog violations carry the engine's per-thread diagnostic dump.
+  bool saw_diagnostic = false;
+  for (const auto& violation : report.violations) {
+    if (violation.oracle == "deadlock" || violation.oracle == "watchdog") {
+      EXPECT_FALSE(violation.diagnostic.empty())
+          << violation.lock_name << " / " << violation.scenario;
+      saw_diagnostic = true;
+    }
+  }
+  EXPECT_TRUE(saw_diagnostic);
+}
+
+TEST(TortureTest, GenuineLocksPassTheMatrixCleanly) {
+  auto machine = Arm();
+  TortureConfig config = BaseConfig(machine);
+  config.registry = &SimRegistry(/*ctr_hem=*/false);
+  config.lock_names = {"mcs-mcs-mcs", "tkt-tkt-tkt", "clh-mcs-tkt", "hem-hem-hem",
+                       "hmcs", "cna"};
+  auto report = RunTorture(config);
+  for (const auto& violation : report.violations) {
+    ADD_FAILURE() << "false positive: " << violation.lock_name << " / "
+                  << violation.scenario << " / " << violation.oracle << ": "
+                  << violation.detail;
+  }
+  EXPECT_TRUE(report.AllClean());
+  EXPECT_EQ(report.total_runs,
+            static_cast<int>(config.lock_names.size() * report.scenario_names.size()));
+}
+
+TEST(TortureTest, ReportIsDeterministicAcrossJobs) {
+  auto machine = Arm();
+  TortureConfig config = BaseConfig(machine);
+  config.registry = &MutantRegistry();
+  config.lock_names = {"mut-split-acquire", "mut-skip-unlock"};
+  config.jobs = 1;
+  auto serial = RunTorture(config);
+  config.jobs = 4;
+  auto parallel = RunTorture(config);
+  EXPECT_EQ(FormatTortureReport(serial, /*verbose=*/true),
+            FormatTortureReport(parallel, /*verbose=*/true));
+}
+
+TEST(TortureTest, FormatReportNamesVerdicts) {
+  auto machine = Arm();
+  TortureConfig config = BaseConfig(machine);
+  config.registry = &MutantRegistry();
+  config.lock_names = {"mut-skip-unlock"};
+  auto report = RunTorture(config);
+  const std::string text = FormatTortureReport(report);
+  EXPECT_NE(text.find("mut-skip-unlock"), std::string::npos);
+  EXPECT_NE(text.find("FLAGGED"), std::string::npos);
+  EXPECT_NE(text.find("[none]"), std::string::npos);  // scenario tag in detail lines
+}
+
+TEST(TortureTest, RejectsUnusableConfigs) {
+  auto machine = Arm();
+  TortureConfig config = BaseConfig(machine);
+  config.registry = &MutantRegistry();
+  EXPECT_THROW(RunTorture(config), std::invalid_argument);  // no locks
+  config.lock_names = {"no-such-lock"};
+  EXPECT_THROW(RunTorture(config), std::invalid_argument);
+  config.lock_names = MutantNames();
+  config.machine = nullptr;
+  EXPECT_THROW(RunTorture(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace clof::torture

@@ -6,8 +6,14 @@
 //              [--jobs=N]                            executor workers (0 = all host CPUs)
 //              [--cache=results/cache]               content-addressed result cache:
 //                                                    unchanged cells are served from disk
+//              [--journal=FILE]                      crash-safe sweep journal: a killed
+//                                                    sweep resumes where it stopped
+//                                                    (docs/PARALLEL_SWEEP.md)
 //              [--robustness[=K]]                    re-rank the top-K sweep winners under
 //                                                    the fault matrix (docs/FAULT_INJECTION.md)
+//   clof_bench --torture [--lock=<name>]             torture oracles (docs/TORTURE.md):
+//                                                    named lock, or validate against the
+//                                                    mutants when no lock is given
 //   clof_bench --lock=tkt-clh-tkt [--threads=8,64] [--profile=kyoto]
 //              [--stats=per-level]                  run one lock, print per-level stats
 //              [--fault=preempt,hetero|all|storm]   perturb the run (src/fault/scenarios.h)
@@ -32,8 +38,11 @@
 #include "src/exec/executor.h"
 #include "src/exec/result_cache.h"
 #include "src/harness/lock_bench.h"
+#include "src/exec/sweep_journal.h"
 #include "src/select/scripted_bench.h"
 #include "src/sim/engine.h"
+#include "src/torture/mutants.h"
+#include "src/torture/torture.h"
 #include "src/trace/chrome_export.h"
 #include "src/trace/trace.h"
 
@@ -165,6 +174,25 @@ void PrintObservability(const harness::BenchResult& result, const sim::Machine& 
   }
 }
 
+// The quarantine report behind --sweep: which cells failed (deadlock / watchdog trip /
+// exception), and which locks selection therefore refused to consider.
+void PrintQuarantine(const select::SweepResult& result) {
+  if (result.failures.empty()) {
+    return;
+  }
+  std::printf("\nquarantine report (%zu failed cell(s)):\n", result.failures.size());
+  for (const auto& failure : result.failures) {
+    std::printf("  %-18s %4d threads  %-9s %s\n", failure.lock_name.c_str(),
+                failure.num_threads, failure.kind.c_str(), failure.message.c_str());
+  }
+  std::printf("selection excludes %zu quarantined lock(s):",
+              result.quarantined.size());
+  for (const auto& name : result.quarantined) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n");
+}
+
 // The robustness report behind --sweep --robustness: per-candidate retention and tail
 // latency under each perturbation, then the robustness-aware re-ranking.
 void PrintRobustness(const select::RobustnessResult& result) {
@@ -176,6 +204,12 @@ void PrintRobustness(const select::RobustnessResult& result) {
     std::printf("  %-14s%12s%11s%12s%10s\n", "scenario", "iter/us", "retained",
                 "p99(ns)", "starved");
     for (const auto& outcome : lock.outcomes) {
+      if (outcome.failed) {
+        // The perturbed cell never finished: nothing retained, by definition.
+        std::printf("  %-14s%12s%10.1f%%%12s%10s  (%s)\n", outcome.scenario.c_str(),
+                    "-", 0.0, "-", "-", outcome.failure_kind.c_str());
+        continue;
+      }
       std::printf("  %-14s%12.3f%10.1f%%%12.1f%10d\n", outcome.scenario.c_str(),
                   outcome.throughput_per_us, 100.0 * outcome.retention,
                   outcome.acquire_p99_ns, outcome.starved_threads);
@@ -254,6 +288,39 @@ int Run(const bench::Flags& flags) {
   std::printf("machine %s, hierarchy %s\n", machine.platform.name.c_str(),
               hierarchy.Describe().c_str());
 
+  if (flags.GetBool("torture")) {
+    // Torture mode (docs/TORTURE.md): correctness oracles instead of throughput. With
+    // --lock= the named genuine lock runs the matrix (clean = exit 0); without it the
+    // five mutants run and every one must be flagged (oracle validation).
+    torture::TortureConfig config;
+    config.machine = &machine;
+    config.hierarchy = hierarchy;
+    config.num_threads = flags.GetInt("threads", 6);
+    config.duration_ms = flags.GetDouble("duration_ms", 0.1);
+    config.seed = seed;
+    config.jobs = flags.GetInt("jobs", 0);
+    const std::string lock_name = flags.GetString("lock", "");
+    if (lock_name.empty()) {
+      config.registry = &torture::MutantRegistry();
+      config.lock_names = torture::MutantNames();
+    } else {
+      config.registry = &registry;
+      config.lock_names = SplitCsv(lock_name);
+    }
+    auto report = torture::RunTorture(config);
+    std::printf("%s", torture::FormatTortureReport(report, flags.GetBool("verbose")).c_str());
+    if (lock_name.empty()) {
+      for (const auto& name : config.lock_names) {
+        if (!report.Flagged(name)) {
+          std::printf("ORACLE GAP: mutant %s was not flagged\n", name.c_str());
+          return 1;
+        }
+      }
+      return 0;
+    }
+    return report.AllClean() ? 0 : 1;
+  }
+
   if (flags.GetBool("sweep")) {
     select::SweepConfig config;
     config.spec.machine = &machine;
@@ -269,6 +336,16 @@ int Run(const bench::Flags& flags) {
     if (!cache_dir.empty()) {
       cache = std::make_unique<exec::ResultCache>(cache_dir);
       config.cache = cache.get();
+    }
+    std::unique_ptr<exec::SweepJournal> journal;
+    const std::string journal_path = flags.GetString("journal", "");
+    if (!journal_path.empty()) {
+      journal = std::make_unique<exec::SweepJournal>(journal_path);
+      config.journal = journal.get();
+      if (journal->loaded() > 0) {
+        std::printf("journal %s: resuming past %zu completed cell(s)\n",
+                    journal_path.c_str(), journal->loaded());
+      }
     }
     if (flags.GetBool("robustness")) {
       select::RobustnessConfig robustness;
@@ -292,6 +369,12 @@ int Run(const bench::Flags& flags) {
                     static_cast<unsigned long long>(cache->misses()),
                     static_cast<unsigned long long>(cache->stores()));
       }
+      if (journal != nullptr) {
+        std::printf("journal %s: %llu cell(s) served from the previous run\n",
+                    journal->path().c_str(),
+                    static_cast<unsigned long long>(journal->served()));
+      }
+      PrintQuarantine(result.sweep);
       PrintRobustness(result);
       return 0;
     }
@@ -305,6 +388,12 @@ int Run(const bench::Flags& flags) {
                   static_cast<unsigned long long>(cache->misses()),
                   static_cast<unsigned long long>(cache->stores()));
     }
+    if (journal != nullptr) {
+      std::printf("journal %s: %llu cell(s) served from the previous run\n",
+                  journal->path().c_str(),
+                  static_cast<unsigned long long>(journal->served()));
+    }
+    PrintQuarantine(result);
     // Report *why* a composition ranked where it did, not just its throughput: the
     // paper's §5 analysis ties HC-best wins to handover locality and low line traffic.
     auto explain = [&](const char* tag, const std::string& name, double score) {
@@ -329,9 +418,14 @@ int Run(const bench::Flags& flags) {
   if (lock_name.empty()) {
     std::fprintf(stderr,
                  "usage: clof_bench --list | --discover | --sweep [--jobs=N]"
-                 " [--cache=DIR] [--robustness[=K]] | --lock=<name> [--fault=SPEC]\n"
+                 " [--cache=DIR] [--journal=FILE] [--robustness[=K]] |"
+                 " --torture [--lock=<name>] | --lock=<name> [--fault=SPEC]\n"
                  "       --jobs=N   executor worker threads (0 = all host CPUs)\n"
                  "       --cache=DIR  content-addressed sweep result cache\n"
+                 "       --journal=FILE  crash-safe sweep journal (resume a killed"
+                 " sweep)\n"
+                 "       --torture  correctness oracles under the fault matrix"
+                 " (docs/TORTURE.md)\n"
                  "       --robustness[=K]  re-rank the top-K sweep winners under the\n"
                  "                         deterministic fault matrix\n"
                  "       --fault=SPEC  perturb a single-lock run; SPEC is a csv of\n"

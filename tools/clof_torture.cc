@@ -1,0 +1,148 @@
+// clof_torture — the lock torture driver (docs/TORTURE.md).
+//
+//   clof_torture                     validate the oracles: torture the five mutant
+//                                    locks (all must be FLAGGED) and a genuine control
+//                                    set (all must stay clean); exit 0 iff both hold
+//   clof_torture --mutants           mutants only
+//   clof_torture --locks=a,b,...     named genuine locks only (clean = exit 0)
+//
+// Flags: --machine=x86|arm (default arm), --levels=<names,comma>, --threads=N,
+//        --duration_ms=D, --seed=S, --jobs=N (0 = all host CPUs),
+//        --scenarios=none,preempt,... (csv of fault specs; default the full torture
+//        matrix), --verbose (append engine diagnostics to deadlock/watchdog findings).
+//
+// This is the oracle-validation entry point scripts/check_all.sh runs as a smoke test
+// and scripts/torture.sh runs at length with many seeds.
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/fault/scenarios.h"
+#include "src/torture/mutants.h"
+#include "src/torture/torture.h"
+
+namespace {
+
+using namespace clof;
+
+std::vector<std::string> SplitCsv(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream stream(text);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    out.push_back(token);
+  }
+  return out;
+}
+
+topo::Hierarchy DefaultHierarchy(const topo::Topology& topology, const std::string& levels) {
+  if (!levels.empty()) {
+    return topo::Hierarchy::Select(topology, SplitCsv(levels));
+  }
+  std::vector<std::string> names;
+  int previous_cohorts = -1;
+  for (int i = 0; i < topology.num_levels(); ++i) {
+    if (topology.level(i).num_cohorts != previous_cohorts) {
+      names.push_back(topology.level(i).name);
+      previous_cohorts = topology.level(i).num_cohorts;
+    }
+  }
+  return topo::Hierarchy::Select(topology, names);
+}
+
+// The default genuine control set: a deterministic handful of full-depth generated
+// compositions plus the depth-adaptive baselines. Every one must pass the matrix
+// cleanly for the oracles to be trusted.
+std::vector<std::string> ControlLocks(const Registry& registry,
+                                      const topo::Hierarchy& hierarchy) {
+  std::vector<std::string> out;
+  auto generated =
+      registry.Names({.levels = hierarchy.depth(), .generated_only = true});
+  for (size_t i = 0; i < generated.size() && out.size() < 4; i += generated.size() / 4 + 1) {
+    out.push_back(generated[i]);
+  }
+  for (const char* name : {"hmcs", "cna"}) {
+    if (registry.Contains(name)) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+torture::TortureReport Torture(const bench::Flags& flags, const sim::Machine& machine,
+                               const topo::Hierarchy& hierarchy, const Registry& registry,
+                               std::vector<std::string> locks) {
+  torture::TortureConfig config;
+  config.machine = &machine;
+  config.hierarchy = hierarchy;
+  config.registry = &registry;
+  config.lock_names = std::move(locks);
+  config.num_threads = flags.GetInt("threads", 6);
+  config.duration_ms = flags.GetDouble("duration_ms", 0.1);
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  config.jobs = flags.GetInt("jobs", 0);
+  const std::string scenario_spec = flags.GetString("scenarios", "");
+  if (!scenario_spec.empty()) {
+    for (const auto& token : SplitCsv(scenario_spec)) {
+      config.scenarios.push_back({token, fault::PlanFromSpec(token, config.seed)});
+    }
+  }
+  return torture::RunTorture(config);
+}
+
+int Run(const bench::Flags& flags) {
+  const std::string machine_name = flags.GetString("machine", "arm");
+  const sim::Machine machine =
+      machine_name == "x86" ? sim::Machine::PaperX86() : sim::Machine::PaperArm();
+  const auto hierarchy = DefaultHierarchy(machine.topology, flags.GetString("levels", ""));
+  const bool verbose = flags.GetBool("verbose");
+  const std::string named = flags.GetString("locks", "");
+  const bool mutants_only = flags.GetBool("mutants");
+
+  int failures = 0;
+
+  if (named.empty()) {
+    // Mutant phase: every deliberately broken lock must be flagged.
+    auto report = Torture(flags, machine, hierarchy, torture::MutantRegistry(),
+                          torture::MutantNames());
+    std::printf("%s", torture::FormatTortureReport(report, verbose).c_str());
+    for (const auto& name : torture::MutantNames()) {
+      if (!report.Flagged(name)) {
+        std::printf("ORACLE GAP: mutant %s was not flagged\n", name.c_str());
+        ++failures;
+      }
+    }
+  }
+
+  if (!mutants_only) {
+    // Genuine phase: every real lock must pass the same matrix cleanly.
+    const Registry& registry = SimRegistry(machine.platform.arch == sim::Arch::kX86);
+    std::vector<std::string> locks =
+        named.empty() ? ControlLocks(registry, hierarchy) : SplitCsv(named);
+    auto report = Torture(flags, machine, hierarchy, registry, locks);
+    std::printf("%s", torture::FormatTortureReport(report, verbose).c_str());
+    for (const auto& verdict : report.verdicts) {
+      if (verdict.flagged) {
+        std::printf("FALSE POSITIVE: genuine lock %s was flagged\n",
+                    verdict.lock_name.c_str());
+        ++failures;
+      }
+    }
+  }
+
+  std::printf("torture verdict: %s\n", failures == 0 ? "PASS" : "FAIL");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return Run(bench::Flags(argc, argv));
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
