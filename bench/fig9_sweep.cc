@@ -97,11 +97,17 @@ void RunVariant(const char* tag, const sim::Machine& machine,
   std::printf("(all %zu curves written to %s)\n", result.curves.size(), csv_path.c_str());
 
   if (verbose) {
-    auto hc = select::Rank(result.curves, result.thread_counts,
+    // Rank only the eligible curves: a quarantined lock's zeroed slots would place it
+    // in the ranking with a meaningless (deflated) score instead of excluding it.
+    auto hc = select::Rank(result.EligibleCurves(), result.thread_counts,
                            select::Policy::kHighContention);
     std::printf("full HC ranking:\n");
     for (const auto& [name, score] : hc) {
       std::printf("  %-20s %.3f\n", name.c_str(), score);
+    }
+    if (!result.quarantined.empty()) {
+      std::printf("  (%zu quarantined lock(s) excluded from the ranking)\n",
+                  result.quarantined.size());
     }
   }
 }

@@ -10,9 +10,12 @@
 #           preset): times the engine microbench, appends to BENCH_wallclock.json, and
 #           fails if throughput regressed below 0.9x the previous same-label record.
 #
-# A torture smoke stage (clof_torture, short duration) runs after tier-1: the five
+# A torture smoke stage (clof_torture, short duration) runs after tier-1: the six
 # mutant locks must be flagged and the genuine control set must stay clean, so a
-# harness or oracle regression fails the ladder even when the unit tests pass.
+# harness or oracle regression fails the ladder even when the unit tests pass. An
+# adaptive smoke stage follows: bench/adaptive_ramp with an explicit LC/HC pair
+# self-checks the 10% tracking envelope (docs/ADAPTIVE.md) and exits nonzero when
+# the facade stops riding the winning inner lock.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,6 +51,12 @@ torture_smoke() {
   ./build/tools/clof_torture --duration_ms=0.1 --seed=1
 }
 
+adaptive_smoke() {
+  # Quick contention ramp with a fixed pair: the binary exits nonzero when the
+  # adaptive facade falls outside the 10% tracking envelope at either ramp end.
+  ./build/bench/adaptive_ramp --quick --lc=tkt-tkt-tkt --hc=mcs-mcs-mcs
+}
+
 perf_stage() {
   scripts/bench_wallclock.sh "check_all" || return $?
   # Regression gate: the record just appended must be >= 0.9x the previous
@@ -75,6 +84,7 @@ perf_stage() {
 
 run_stage "tier-1 (default preset)" tier1
 run_stage "torture smoke" torture_smoke
+run_stage "adaptive smoke" adaptive_smoke
 run_stage "asan+ubsan" scripts/check_sanitized.sh
 run_stage "tsan" scripts/check_tsan.sh
 if [[ "${perf}" -eq 1 ]]; then

@@ -4,8 +4,9 @@
 # clof::exec work-stealing executor, the content-addressed result cache, the parallel
 # scripted sweep (including its serialized in-order on_lock_done delivery), the
 # parallel robustness matrix and its fault injectors, the parallelized ping-pong
-# heatmap, the quarantine/journal resume paths, the parallel torture harness, and the
-# native lock implementations. The simulator itself is
+# heatmap, the quarantine/journal resume paths, the parallel torture harness, the
+# adaptive facade's sweep/torture determinism tests, and the native lock
+# implementations. The simulator itself is
 # single-threaded per cell (one engine per host thread, thread_local current
 # pointer), so these are exactly the places a data race could hide.
 #
@@ -16,4 +17,4 @@ cd "$(dirname "$0")/.."
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
 ctest --preset tsan -j "$(nproc)" \
-  -R 'Executor|Fingerprint|ResultCache|ParallelSweep|Heatmap|Native|Fault|Robustness|Torture|Journal|HexDouble' "$@"
+  -R 'Executor|Fingerprint|ResultCache|ParallelSweep|Heatmap|Native|Fault|Robustness|Torture|Journal|HexDouble|Adaptive' "$@"

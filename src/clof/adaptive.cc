@@ -1,0 +1,232 @@
+#include "src/clof/adaptive.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "src/sim/engine.h"
+
+namespace clof::adaptive {
+namespace {
+
+// (total, remote) line-transfer counts from the engine's per-level trace counters:
+// "remote" is every transfer serviced from above the lowest hierarchy level (the
+// paper's handover-locality boundary). Same-CPU and cold-miss buckets count as total
+// but not remote — neither indicates cross-cohort contention.
+std::pair<uint64_t, uint64_t> TransferTotals(const std::vector<trace::LevelMetrics>& metrics,
+                                             int num_levels, int local_topo_level) {
+  uint64_t total = 0;
+  uint64_t remote = 0;
+  for (int b = 0; b < static_cast<int>(metrics.size()); ++b) {
+    total += metrics[b].line_transfers;
+    if (b > local_topo_level && b < num_levels) {
+      remote += metrics[b].line_transfers;
+    }
+  }
+  return {total, remote};
+}
+
+}  // namespace
+
+std::string DescribeOptions(const AdaptiveOptions& options) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "adaptive(%s,%s,w%d,up%g,rm%g,down%g,a%g,cd%d,s%d,f%" PRIu64 ",d%d)",
+                options.lc_lock.c_str(), options.hc_lock.c_str(), options.window,
+                options.up_latency_ns, options.remote_handover_min,
+                options.down_latency_ns, options.ewma_alpha, options.cooldown_windows,
+                options.start_on_hc ? 1 : 0, options.force_switch_period,
+                options.detector_enabled ? 1 : 0);
+  return buf;
+}
+
+AdaptiveLock::AdaptiveLock(std::string name, const topo::Hierarchy& hierarchy,
+                           const Registry& base, const ClofParams& params,
+                           AdaptiveOptions options)
+    : name_(std::move(name)),
+      options_(std::move(options)),
+      topology_(&hierarchy.topology()),
+      local_topo_level_(hierarchy.TopologyLevel(0)),
+      gate_(hierarchy.num_cpus(), options_.start_on_hc ? 1u : 0u),
+      current_side_(options_.start_on_hc ? 1u : 0u) {
+  inner_[0] = base.Make(options_.lc_lock, hierarchy, params);
+  inner_[1] = base.Make(options_.hc_lock, hierarchy, params);
+}
+
+std::unique_ptr<Lock::Context> AdaptiveLock::MakeContext() {
+  auto ctx = std::make_unique<ContextImpl>();
+  ctx->inner[0] = inner_[0]->MakeContext();
+  ctx->inner[1] = inner_[1]->MakeContext();
+  return ctx;
+}
+
+int AdaptiveLock::levels() const { return inner_[1]->levels(); }
+
+std::vector<LevelStats> AdaptiveLock::Stats() const {
+  // The HC composition's counters: the side whose per-level behaviour the paper's
+  // analysis cares about. (The LC side is typically a flat lock with no levels.)
+  return inner_[1]->Stats();
+}
+
+void AdaptiveLock::Acquire(Lock::Context& ctx) {
+  auto& c = static_cast<ContextImpl&>(ctx);
+  const bool in_sim = sim::Engine::InSimulation();
+  sim::Time begin = 0;
+  if (in_sim) {
+    begin = sim::Engine::Current().Now();
+  }
+  c.side = gate_.Enter();
+  inner_[c.side]->Acquire(*c.inner[c.side]);
+  if (in_sim && options_.detector_enabled && options_.window > 0) {
+    auto& engine = sim::Engine::Current();
+    RecordAcquire(sim::NsFromPs(engine.Now() - begin), engine.Cpu());
+  }
+}
+
+void AdaptiveLock::Release(Lock::Context& ctx) {
+  auto& c = static_cast<ContextImpl&>(ctx);
+  inner_[c.side]->Release(*c.inner[c.side]);
+  gate_.Leave(c.side);
+  if (!sim::Engine::InSimulation()) {
+    return;
+  }
+  MaybeSwitch(c);
+}
+
+// Host-side detector step, run once per completed Acquire while inside the critical
+// section (single-threaded in virtual time, so plain members are exact). Never issues
+// a simulated access: it reads the engine clock, the topology matrix, and the
+// engine's per-level counters — all metadata the engine computed anyway.
+void AdaptiveLock::RecordAcquire(double waited_ns, int cpu) {
+  auto& engine = sim::Engine::Current();
+  if (window_acquires_ == 0) {
+    auto [total, remote] = TransferTotals(engine.level_metrics(),
+                                          topology_->num_levels(), local_topo_level_);
+    window_transfers_base_ = total;
+    window_remote_transfers_base_ = remote;
+  }
+  ewma_ns_ = ewma_primed_
+                 ? options_.ewma_alpha * waited_ns + (1.0 - options_.ewma_alpha) * ewma_ns_
+                 : waited_ns;
+  ewma_primed_ = true;
+  if (last_owner_cpu_ >= 0) {
+    ++window_handovers_;
+    if (last_owner_cpu_ != cpu &&
+        topology_->SharingLevel(last_owner_cpu_, cpu) > local_topo_level_) {
+      ++window_remote_handovers_;
+    }
+  }
+  last_owner_cpu_ = cpu;
+  if (++window_acquires_ < options_.window) {
+    return;
+  }
+
+  // Window boundary: evaluate the phase. Two remoteness signals — the lock's own
+  // handover locality and the engine's per-level line-transfer counters — either one
+  // marks the window as a genuinely cross-cohort phase rather than latency noise.
+  const double handover_remote =
+      window_handovers_ == 0
+          ? 0.0
+          : static_cast<double>(window_remote_handovers_) /
+                static_cast<double>(window_handovers_);
+  auto [total, remote] = TransferTotals(engine.level_metrics(),
+                                        topology_->num_levels(), local_topo_level_);
+  const uint64_t dt = total - window_transfers_base_;
+  const uint64_t dr = remote - window_remote_transfers_base_;
+  const double transfer_remote =
+      dt == 0 ? 0.0 : static_cast<double>(dr) / static_cast<double>(dt);
+  const double remote_frac = handover_remote > transfer_remote ? handover_remote
+                                                               : transfer_remote;
+  if (std::getenv("CLOF_ADAPTIVE_DEBUG") != nullptr) {
+    std::fprintf(stderr, "window: ewma %.0fns handover_remote %.2f transfer_remote %.2f (dt %llu dr %llu)\n",
+                 ewma_ns_, handover_remote, transfer_remote,
+                 (unsigned long long)dt, (unsigned long long)dr);
+  }
+  window_acquires_ = 0;
+  window_handovers_ = 0;
+  window_remote_handovers_ = 0;
+
+  if (cooldown_ > 0) {
+    --cooldown_;
+    return;
+  }
+  if (current_side_ == 0 && ewma_ns_ > options_.up_latency_ns &&
+      remote_frac >= options_.remote_handover_min) {
+    pending_target_ = 1;
+  } else if (current_side_ == 1 && ewma_ns_ < options_.down_latency_ns) {
+    pending_target_ = 0;
+  }
+  if (pending_target_ >= 0) {
+    char why[128];
+    std::snprintf(why, sizeof(why), "ewma %.0fns, remote %.0f%%", ewma_ns_,
+                  100.0 * remote_frac);
+    pending_why_ = why;
+  }
+}
+
+void AdaptiveLock::MaybeSwitch(ContextImpl& ctx) {
+  // The check-and-set runs between simulated accesses, so under the fiber scheduler
+  // exactly one thread enters PerformSwitch per decision; `switching_` keeps a thread
+  // releasing during somebody's drain from starting a second transition.
+  ++releases_;
+  if (options_.force_switch_period > 0 &&
+      releases_ % options_.force_switch_period == 0 && !switching_) {
+    switching_ = true;
+    PerformSwitch(1 - current_side_, ctx, "forced");
+    switching_ = false;
+    return;
+  }
+  if (pending_target_ >= 0 && !switching_) {
+    const auto to = static_cast<uint32_t>(pending_target_);
+    pending_target_ = -1;
+    if (to != current_side_) {
+      switching_ = true;
+      PerformSwitch(to, ctx, pending_why_);
+      switching_ = false;
+    }
+  }
+}
+
+void AdaptiveLock::PerformSwitch(uint32_t to, ContextImpl& ctx, const std::string& why) {
+  gate_.SwitchTo(
+      to, [&] { inner_[to]->Acquire(*ctx.inner[to]); },
+      [&] { inner_[to]->Release(*ctx.inner[to]); });
+  current_side_ = to;
+  ++switches_;
+  cooldown_ = options_.cooldown_windows;
+  // Fresh phase measurement on the new side: the old side's latency profile would
+  // otherwise bias the first post-switch windows.
+  ewma_primed_ = false;
+  window_acquires_ = 0;
+  window_handovers_ = 0;
+  window_remote_handovers_ = 0;
+  last_owner_cpu_ = -1;
+
+  auto& engine = sim::Engine::Current();
+  trace::Marker marker;
+  marker.time = engine.Now();  // switch completion: the old side is drained here
+  marker.cpu = engine.Cpu();
+  marker.name = "adaptive-switch";
+  marker.detail = inner_[1 - to]->name() + " -> " + inner_[to]->name() + " #" +
+                  std::to_string(switches_) + " (" + why + ")";
+  markers_.push_back(std::move(marker));
+}
+
+Registry WithAdaptive(const Registry& base, const AdaptiveOptions& options,
+                      const std::string& name) {
+  Registry augmented = base;
+  augmented.set_description(base.description() + "+" + name + ":" +
+                            DescribeOptions(options));
+  augmented.Register(
+      name, Registry::kAnyDepth, /*fair=*/false,
+      [&base, options](const std::string& lock_name, const topo::Hierarchy& hierarchy,
+                       const ClofParams& params) -> std::unique_ptr<Lock> {
+        return std::make_unique<AdaptiveLock>(lock_name, hierarchy, base, params,
+                                              options);
+      },
+      Registry::Kind::kBaseline);
+  return augmented;
+}
+
+}  // namespace clof::adaptive

@@ -1,0 +1,331 @@
+// Runtime adaptive lock selection behind a stable facade (docs/ADAPTIVE.md).
+//
+// The paper's workflow is strictly offline: a sweep picks one composition per machine
+// and the choice is frozen into the build. This header adds the runtime half: an
+// AdaptiveLock facade wraps a preselected low-contention (LC) lock and a
+// high-contention (HC) CLoF composition behind one Acquire/Release interface and
+// hot-swaps between them when the observed contention phase changes.
+//
+// Three layers, policy-generic where correctness is argued and concrete where the
+// benchmarks run:
+//
+//  * SwitchGate<M>   — the epoch/RCU-style transition protocol alone: which side new
+//                      acquirers are steered to, per-CPU in-flight counts, and the
+//                      drain barrier that completes a switch only after the old side
+//                      empties. Templated over the memory policy so the mck explorer
+//                      can enumerate every interleaving of the protocol.
+//  * AdaptivePair<M, Lc, Hc>
+//                    — a minimal {Context, Acquire, Release} lock built on the gate
+//                      with explicit or release-count-forced switching. This is what
+//                      the model checker checks and what the torture mutant
+//                      ("mut-adaptive-nodrain", skip_drain = true) breaks.
+//  * AdaptiveLock    — the type-erased clof::Lock facade over two registry-made inner
+//                      locks, with the windowed contention detector (acquire-latency
+//                      EWMA + handover-locality phase detection over the engine's
+//                      per-level trace counters) and per-switch trace::Markers.
+//
+// Correctness argument (checked by tests/adaptive_test.cc against the explorer, and
+// by the torture matrix against the no-drain mutant):
+//
+//   An acquirer commits to a side by incrementing its per-CPU in-flight counter and
+//   re-checking the active side; on a mismatch it backs out and retries, so every
+//   thread past Enter() holds a counter on the side whose inner lock it will acquire,
+//   continuously until after its inner Release. The switcher (which holds neither
+//   inner lock) first acquires the *target* inner lock, then flips the active side,
+//   then spins until every per-CPU counter of the old side reads zero, and only then
+//   releases the target lock. Post-flip arrivals are steered to the target side and
+//   queue behind the switcher; old-side acquirers committed before the flip finish
+//   under the old lock and are exactly the ones the drain waits for. Hence no thread
+//   can hold the new lock's critical section while any old-side critical section is
+//   live — mutual exclusion composes across the transition. Skipping the drain
+//   re-creates the classic unprotected-handover bug, which the mutual-exclusion
+//   oracle flags within one torture scenario.
+#ifndef CLOF_SRC_CLOF_ADAPTIVE_H_
+#define CLOF_SRC_CLOF_ADAPTIVE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/clof/lock.h"
+#include "src/clof/registry.h"
+#include "src/mem/memory_policy.h"
+#include "src/mem/sim_memory.h"
+#include "src/topo/topology.h"
+#include "src/trace/trace.h"
+
+namespace clof::adaptive {
+
+// Tuning for the facade: which two locks to compose and when to move between them.
+// select::PlanAdaptive derives an instance from an ordinary sweep's selection.
+struct AdaptiveOptions {
+  std::string lc_lock;  // registered name to run in the low-contention phase
+  std::string hc_lock;  // registered name to run in the high-contention phase
+
+  // Detector (all host-side; the engine hot path gains no new atomics):
+  int window = 64;                   // acquires per detector evaluation window
+  double up_latency_ns = 600.0;      // LC -> HC when the acquire EWMA exceeds this ...
+  double remote_handover_min = 0.3;  // ... and this fraction of window handovers (or
+                                     // line transfers) left the lowest hierarchy
+                                     // cohort — a phase, not noise. Calibrated low:
+                                     // an LC lock that is itself a NUMA-aware tree
+                                     // keeps most handovers local even when remote
+                                     // waiters are piling up (an uncontended run
+                                     // measures ~0, a cross-cohort phase 0.25+).
+  double down_latency_ns = 150.0;    // HC -> LC when the EWMA falls below this
+  double ewma_alpha = 0.25;          // per-acquire EWMA smoothing
+  int cooldown_windows = 2;          // windows to hold a side after any switch
+  bool start_on_hc = false;          // initial side (default: LC, the uncontended bet)
+
+  // Deterministic churn for tests and torture: toggle sides every N releases,
+  // independent of the detector. 0 disables.
+  uint64_t force_switch_period = 0;
+  bool detector_enabled = true;  // false: only forced switches ever happen
+};
+
+// Canonical one-line rendering of the options, embedded into the augmented registry's
+// description so adaptive cells never share cache entries across configurations
+// (src/exec/fingerprint.h fingerprints the registry description).
+std::string DescribeOptions(const AdaptiveOptions& options);
+
+// The transition protocol alone. `M` is any memory policy; all counters are visible
+// (instrumented) atomics, which is what makes the mck exploration of the protocol
+// sound — DPOR only reorders around conflicts it can see.
+template <class M>
+  requires mem::MemoryPolicy<M>
+class SwitchGate {
+ public:
+  // `num_cpus`: the per-CPU counter stripe width; every M::CpuId() seen by Enter()
+  // must be < num_cpus. `start_side`: 0 (LC) or 1 (HC).
+  explicit SwitchGate(int num_cpus, uint32_t start_side = 0)
+      : num_cpus_(num_cpus),
+        active_(start_side),
+        in_flight_{Stripe(num_cpus), Stripe(num_cpus)} {}
+
+  // Commits the caller to the returned side: its per-CPU in-flight count is held from
+  // here until Leave(). The increment-then-recheck makes commitment atomic against a
+  // concurrent flip: a straggler that incremented the old side after the flip sees the
+  // mismatch, backs out (its stale increment is awaited by no one once decremented),
+  // and retries on the new side.
+  uint32_t Enter() {
+    const int cpu = M::CpuId();
+    for (;;) {
+      const uint32_t side = active_.Load(std::memory_order_acquire);
+      in_flight_[side][cpu].count.FetchAdd(1, std::memory_order_acq_rel);
+      if (active_.Load(std::memory_order_acquire) == side) {
+        return side;
+      }
+      in_flight_[side][cpu].count.FetchAdd(static_cast<uint32_t>(-1),
+                                           std::memory_order_acq_rel);
+      M::Pause();
+    }
+  }
+
+  void Leave(uint32_t side) {
+    in_flight_[side][M::CpuId()].count.FetchAdd(static_cast<uint32_t>(-1),
+                                                std::memory_order_acq_rel);
+  }
+
+  uint32_t ActiveSide() { return active_.Load(std::memory_order_acquire); }
+
+  // Performs one switch to `to`. The caller must hold NEITHER inner lock and must not
+  // be between Enter() and Leave(). `acquire_to` / `release_to` bracket the drain:
+  // holding the target inner lock across the flip+drain is what keeps post-flip
+  // arrivals out of the critical section until the old side is empty. `skip_drain`
+  // deliberately re-introduces the unprotected-handover bug for oracle validation
+  // (src/torture/mutants.h) — never set it outside tests.
+  template <class AcquireTo, class ReleaseTo>
+  void SwitchTo(uint32_t to, AcquireTo&& acquire_to, ReleaseTo&& release_to,
+                bool skip_drain = false) {
+    const uint32_t from = 1 - to;
+    acquire_to();
+    active_.Store(to, std::memory_order_release);
+    if (!skip_drain) {
+      // A committed old-side acquirer holds its per-CPU count from before the flip
+      // until after its inner release, so observing zero on every stripe (in fixed
+      // CPU order, for determinism) proves the old side's critical section is empty
+      // and will stay empty: post-flip increments on `from` are stragglers that back
+      // out without acquiring it.
+      for (int cpu = 0; cpu < num_cpus_; ++cpu) {
+        M::SpinUntil(in_flight_[from][cpu].count, [](uint32_t v) { return v == 0; });
+      }
+    }
+    release_to();
+  }
+
+ private:
+  // One counter per CPU per side, each on its own simulated cache line: commitment
+  // stays a CPU-local RMW instead of a globally contended line that would wreck the
+  // HC composition's scalability the facade exists to preserve.
+  struct alignas(64) Slot {
+    typename M::template Atomic<uint32_t> count{0};
+  };
+  static std::vector<Slot> Stripe(int num_cpus) {
+    return std::vector<Slot>(static_cast<size_t>(num_cpus));
+  }
+
+  int num_cpus_;
+  typename M::template Atomic<uint32_t> active_;
+  std::vector<Slot> in_flight_[2];
+};
+
+// A minimal adaptive lock over two concrete inner locks: the shape the model checker
+// explores and the torture mutant breaks. Side 0 runs `Lc`, side 1 runs `Hc`.
+// Switching is either explicit (Switch(), e.g. from a dedicated checker thread) or
+// release-count-forced (Options::force_switch_period, for torture churn). There is no
+// detector here — the facade below owns that; keeping the checked surface small keeps
+// the exploration tractable.
+template <class M, class Lc, class Hc>
+  requires mem::MemoryPolicy<M>
+class AdaptivePair {
+ public:
+  static constexpr bool kIsFair = false;  // Enter()'s retry loop admits bypass
+
+  struct Options {
+    uint32_t start_side = 0;
+    uint64_t force_switch_period = 0;  // toggle sides every N releases; 0 = never
+    bool skip_drain = false;           // the seeded bug; see SwitchGate::SwitchTo
+  };
+
+  struct Context {
+    typename Lc::Context lc;
+    typename Hc::Context hc;
+    uint32_t side = 0;
+  };
+
+  explicit AdaptivePair(int num_cpus, Options options = {})
+      : options_(options), gate_(num_cpus, options.start_side),
+        current_side_(options.start_side) {}
+
+  void Acquire(Context& ctx) {
+    ctx.side = gate_.Enter();
+    if (ctx.side == 0) {
+      lc_.Acquire(ctx.lc);
+    } else {
+      hc_.Acquire(ctx.hc);
+    }
+  }
+
+  void Release(Context& ctx) {
+    if (ctx.side == 0) {
+      lc_.Release(ctx.lc);
+    } else {
+      hc_.Release(ctx.hc);
+    }
+    gate_.Leave(ctx.side);
+    // Host-side forced churn: the check-and-set below runs between simulated
+    // accesses, so under the fiber schedulers (sim and mck) it is atomic — exactly
+    // one thread performs each forced switch.
+    if (options_.force_switch_period > 0 &&
+        ++releases_ % options_.force_switch_period == 0 && !switching_) {
+      switching_ = true;
+      Switch(1 - current_side_, ctx);
+      switching_ = false;
+    }
+  }
+
+  // Explicit switch; the caller must not currently hold the lock. `ctx` supplies the
+  // inner-lock context for the target side's bracketing acquire/release.
+  void Switch(uint32_t to, Context& ctx) {
+    if (to == current_side_) {
+      return;
+    }
+    if (to == 0) {
+      gate_.SwitchTo(0, [&] { lc_.Acquire(ctx.lc); }, [&] { lc_.Release(ctx.lc); },
+                     options_.skip_drain);
+    } else {
+      gate_.SwitchTo(1, [&] { hc_.Acquire(ctx.hc); }, [&] { hc_.Release(ctx.hc); },
+                     options_.skip_drain);
+    }
+    current_side_ = to;
+    ++switches_;
+  }
+
+  uint32_t current_side() const { return current_side_; }
+  uint64_t switches() const { return switches_; }
+
+ private:
+  Options options_;
+  SwitchGate<M> gate_;
+  Lc lc_;
+  Hc hc_;
+  // Host-side bookkeeping (deterministic under the single-host-thread schedulers).
+  uint32_t current_side_;
+  uint64_t releases_ = 0;
+  uint64_t switches_ = 0;
+  bool switching_ = false;
+};
+
+// The production facade: a type-erased clof::Lock wrapping two registry-made inner
+// locks, switching on a windowed contention detector. Simulated-memory only (it reads
+// the engine's clock and per-level counters); registered via WithAdaptive below.
+class AdaptiveLock final : public Lock {
+ public:
+  // `base` must outlive this lock (the builtin SimRegistry singletons do).
+  AdaptiveLock(std::string name, const topo::Hierarchy& hierarchy, const Registry& base,
+               const ClofParams& params, AdaptiveOptions options);
+
+  std::unique_ptr<Lock::Context> MakeContext() override;
+  void Acquire(Lock::Context& ctx) override;
+  void Release(Lock::Context& ctx) override;
+
+  const std::string& name() const override { return name_; }
+  int levels() const override;
+  bool is_fair() const override { return false; }
+  std::vector<LevelStats> Stats() const override;
+  std::vector<trace::Marker> Markers() const override { return markers_; }
+
+  uint64_t switches() const { return switches_; }
+  uint32_t current_side() const { return current_side_; }  // 0 = LC, 1 = HC
+  const Lock& inner(uint32_t side) const { return *inner_[side]; }
+
+ private:
+  struct ContextImpl final : Lock::Context {
+    std::unique_ptr<Lock::Context> inner[2];
+    uint32_t side = 0;
+  };
+
+  void RecordAcquire(double waited_ns, int cpu);
+  void MaybeSwitch(ContextImpl& ctx);
+  void PerformSwitch(uint32_t to, ContextImpl& ctx, const std::string& why);
+
+  std::string name_;
+  AdaptiveOptions options_;
+  const topo::Topology* topology_;
+  int local_topo_level_;             // lowest hierarchy level's topology index
+  std::unique_ptr<Lock> inner_[2];   // [0] = LC, [1] = HC
+  SwitchGate<mem::SimMemory> gate_;
+
+  // --- host-side detector state (no simulated accesses; docs/ADAPTIVE.md) ---
+  uint32_t current_side_;      // mirror of the gate's active side, host-readable
+  double ewma_ns_ = 0.0;       // acquire-latency EWMA (virtual-time)
+  bool ewma_primed_ = false;
+  int window_acquires_ = 0;
+  int window_remote_handovers_ = 0;
+  int window_handovers_ = 0;
+  int last_owner_cpu_ = -1;
+  uint64_t window_transfers_base_ = 0;  // engine line-transfer total at window start
+  uint64_t window_remote_transfers_base_ = 0;
+  int cooldown_ = 0;
+  int pending_target_ = -1;    // side the detector wants; -1 = none
+  std::string pending_why_;    // detector rationale for the pending switch's marker
+  bool switching_ = false;     // host-side reentrancy guard around PerformSwitch
+  uint64_t releases_ = 0;
+  uint64_t switches_ = 0;
+  std::vector<trace::Marker> markers_;
+};
+
+// Returns a copy of `base` with the facade registered under `name` (default
+// "adaptive", Registry::Kind::kBaseline so it never enters a generated-locks sweep by
+// accident, unfair because the gate's retry loop admits bypass). The copy's
+// description is base's plus the serialized options, so content-addressed caches keep
+// adaptive cells distinct per configuration and from their non-adaptive base.
+// `base` is captured by reference and must outlive the returned registry.
+Registry WithAdaptive(const Registry& base, const AdaptiveOptions& options,
+                      const std::string& name = "adaptive");
+
+}  // namespace clof::adaptive
+
+#endif  // CLOF_SRC_CLOF_ADAPTIVE_H_

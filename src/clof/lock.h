@@ -14,6 +14,7 @@
 
 #include "src/clof/clof_tree.h"
 #include "src/topo/topology.h"
+#include "src/trace/trace.h"
 
 namespace clof {
 
@@ -40,6 +41,13 @@ class Lock {
   // Per-level usage counters (lowest level first); empty for locks that do not track
   // them (the baselines). See LevelStats for collection semantics.
   virtual std::vector<LevelStats> Stats() const { return {}; }
+
+  // Point-in-virtual-time annotations the lock recorded during the run (e.g. the
+  // adaptive facade's switch events); empty for locks that record none. The harness
+  // collects these into BenchResult and the Chrome export renders them as instant
+  // events. Same determinism contract as Stats(): recorded host-side, never via
+  // simulated accesses.
+  virtual std::vector<trace::Marker> Markers() const { return {}; }
 
   // RAII critical section.
   class Guard {

@@ -8,7 +8,8 @@ namespace clof {
 
 void Registry::Register(const std::string& name, int levels, bool fair, Factory factory,
                         Kind kind) {
-  auto [it, inserted] = entries_.emplace(name, Entry{levels, fair, factory, kind});
+  auto [it, inserted] =
+      entries_.emplace(name, Entry{levels, fair, std::move(factory), kind});
   if (!inserted) {
     throw std::logic_error("duplicate lock registration: " + name);
   }

@@ -9,6 +9,7 @@
 #ifndef CLOF_SRC_CLOF_REGISTRY_H_
 #define CLOF_SRC_CLOF_REGISTRY_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -22,11 +23,14 @@ namespace clof {
 
 class Registry {
  public:
-  // Stateless on purpose: one function per lock type keeps the 340-type enumeration
-  // cheap to compile. The registry passes the registered name back to the factory.
-  using Factory = std::unique_ptr<Lock> (*)(const std::string& name,
-                                            const topo::Hierarchy& hierarchy,
-                                            const ClofParams& params);
+  // The registry passes the registered name back to the factory. The 340-type
+  // enumeration still registers one stateless function per lock type (cheap to
+  // compile; function pointers convert implicitly), but the type is std::function so
+  // wrappers like adaptive::WithAdaptive can register capturing factories — e.g. a
+  // facade that closes over a base registry and a preselected LC/HC lock pair.
+  using Factory = std::function<std::unique_ptr<Lock>(const std::string& name,
+                                                      const topo::Hierarchy& hierarchy,
+                                                      const ClofParams& params)>;
 
   // `levels`: hierarchy depth this lock requires, or kAnyDepth for depth-adaptive locks
   // (HMCS, CNA, ...). `fair`: starvation freedom of the algorithm. `kind`: generated

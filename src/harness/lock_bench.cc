@@ -220,6 +220,7 @@ BenchResult RunLockBench(const BenchConfig& config) {
   result.total_line_transfers = engine.total_line_transfers();
   result.level_metrics = engine.level_metrics();
   result.lock_level_stats = lock->Stats();
+  result.lock_markers = lock->Markers();
   std::sort(latency_ns.begin(), latency_ns.end());  // one sort, three O(1) queries
   result.acquire_p50_ns = runtime::PercentileSorted(latency_ns, 0.50);
   result.acquire_p99_ns = runtime::PercentileSorted(latency_ns, 0.99);

@@ -66,6 +66,10 @@ struct BenchResult {
   trace::LatencyHistogram acquire_latency;
   // The lock's own per-hierarchy-level counters (empty for baselines; see LevelStats).
   std::vector<LevelStats> lock_level_stats;
+  // Point-in-virtual-time annotations the lock recorded (Lock::Markers(); e.g. the
+  // adaptive facade's switch events). The Chrome export renders them as instant
+  // events next to the access stream.
+  std::vector<trace::Marker> lock_markers;
 
   // --- Robustness (docs/FAULT_INJECTION.md) ---
   // Exact nearest-rank percentiles (runtime::Percentile) over the raw per-acquire

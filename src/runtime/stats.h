@@ -24,7 +24,10 @@ inline double Median(std::vector<double> values) {
 
 // Nearest-rank percentile, p in [0, 1]: the smallest element with at least
 // ceil(p * n) values at or below it (so p=0.5 on {1..10} is 5, p=0.99 is 10).
-// Empty-safe like the other helpers; p <= 0 gives the minimum, p >= 1 the maximum.
+// Empty-safe like the other helpers; p <= 0 (or NaN) gives the minimum, p >= 1 the
+// maximum, and a single sample answers every p with itself. The `!(p > 0.0)` guards
+// are deliberate: a NaN p compares false against everything, so it takes the minimum
+// branch instead of flowing into ceil() and an undefined float-to-size_t cast.
 //
 // Two entry points over a caller-owned sample (neither copies the data):
 //   PercentileSorted — O(1) index into an already-sorted sample; sort once, query many.
@@ -34,7 +37,7 @@ inline double PercentileSorted(std::span<const double> sorted, double p) {
   if (sorted.empty()) {
     return 0.0;
   }
-  if (p <= 0.0) {
+  if (!(p > 0.0)) {
     return sorted.front();
   }
   size_t rank = static_cast<size_t>(std::ceil(p * static_cast<double>(sorted.size())));
@@ -46,7 +49,7 @@ inline double Percentile(std::span<double> values, double p) {
   if (values.empty()) {
     return 0.0;
   }
-  if (p <= 0.0) {
+  if (!(p > 0.0)) {
     return *std::min_element(values.begin(), values.end());
   }
   size_t rank = static_cast<size_t>(std::ceil(p * static_cast<double>(values.size())));

@@ -1,0 +1,37 @@
+#include "src/select/adaptive_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace clof::select {
+
+adaptive::AdaptiveOptions PlanAdaptive(const SweepResult& sweep) {
+  const std::string& lc = sweep.selection.lc_best;
+  const std::string& hc = sweep.selection.hc_best;
+  if (lc.empty() || hc.empty()) {
+    throw std::invalid_argument(
+        "PlanAdaptive: the sweep produced no selection (every lock failed or was "
+        "quarantined); nothing to adapt between");
+  }
+  const LockCurve* lc_curve = sweep.Curve(lc);
+  if (lc_curve == nullptr || lc_curve->acquire_p99_ns.empty()) {
+    throw std::invalid_argument(
+        "PlanAdaptive: the LC winner's curve is missing its acquire-p99 sidecar; run "
+        "the sweep through RunScriptedBenchmark");
+  }
+
+  adaptive::AdaptiveOptions options;
+  options.lc_lock = lc;
+  options.hc_lock = hc;
+
+  // Threshold derivation (see the header): anchor on the LC winner's own latency
+  // floor and its cost at the most contended sweep point.
+  const double base = std::max(lc_curve->acquire_p99_ns.front(), 1.0);
+  const double peak = std::max(lc_curve->acquire_p99_ns.back(), base);
+  options.down_latency_ns = 1.5 * base;
+  options.up_latency_ns = std::max(3.0 * base, std::sqrt(base * peak));
+  return options;
+}
+
+}  // namespace clof::select

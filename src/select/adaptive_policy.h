@@ -1,0 +1,30 @@
+// Bridges the offline scripted sweep to the runtime adaptive facade: turns a
+// SweepResult's LC/HC selection into an adaptive::AdaptiveOptions (docs/ADAPTIVE.md).
+//
+// The lock pair is the sweep's selection verbatim. The detector thresholds are
+// derived from the LC winner's own acquire-latency curve — the lock the facade
+// actually runs while deciding whether to leave the low-contention phase:
+//
+//   base = LC winner's p99 at the lowest sweep point (its uncontended latency floor)
+//   peak = LC winner's p99 at the highest sweep point (what staying on it would cost)
+//   down_latency_ns = 1.5 x base     (comfortably back in the uncontended regime)
+//   up_latency_ns   = max(3 x base, sqrt(base x peak))
+//                                    (geometric midpoint, floored: noise-immune but
+//                                     reached well before the LC lock collapses)
+//
+// Deterministic: the same SweepResult always yields the same options.
+#ifndef CLOF_SRC_SELECT_ADAPTIVE_POLICY_H_
+#define CLOF_SRC_SELECT_ADAPTIVE_POLICY_H_
+
+#include "src/clof/adaptive.h"
+#include "src/select/scripted_bench.h"
+
+namespace clof::select {
+
+// Throws std::invalid_argument when the sweep has no usable selection (empty sweep,
+// everything quarantined, or the winners' curves lack the p99 sidecar).
+adaptive::AdaptiveOptions PlanAdaptive(const SweepResult& sweep);
+
+}  // namespace clof::select
+
+#endif  // CLOF_SRC_SELECT_ADAPTIVE_POLICY_H_

@@ -101,6 +101,17 @@ const LockCurve* SweepResult::Curve(const std::string& name) const {
   return nullptr;
 }
 
+std::vector<LockCurve> SweepResult::EligibleCurves() const {
+  std::vector<LockCurve> eligible;
+  eligible.reserve(curves.size());
+  for (const LockCurve& curve : curves) {
+    if (!Quarantined(curve.name)) {
+      eligible.push_back(curve);
+    }
+  }
+  return eligible;
+}
+
 void SweepResult::IndexCurves() {
   curve_index_.clear();
   curve_index_.reserve(curves.size());
@@ -204,15 +215,12 @@ SweepResult RunScriptedBenchmark(const SweepConfig& config) {
   }
   // Selection sees only locks whose every cell finished: a lock that deadlocked or
   // tripped the watchdog anywhere must never win on its remaining (zeroed) points.
-  std::vector<LockCurve> eligible;
-  eligible.reserve(num_locks);
   for (size_t li = 0; li < num_locks; ++li) {
     if (lock_failed[li]) {
       result.quarantined.push_back(names[li]);
-    } else {
-      eligible.push_back(result.curves[li]);
     }
   }
+  std::vector<LockCurve> eligible = result.EligibleCurves();
   if (!eligible.empty()) {
     result.selection = SelectBest(eligible, result.thread_counts);
   }
@@ -238,19 +246,25 @@ RobustnessResult RunRobustnessBenchmark(const RobustnessConfig& config) {
   // sweep would actually recommend — each carrying its HC score as ranking weight.
   // Locks the baseline sweep quarantined are excluded up front: a lock that cannot
   // even finish the unperturbed sweep has no baseline to retain against.
-  std::vector<LockCurve> rankable;
-  rankable.reserve(result.sweep.curves.size());
-  for (const LockCurve& curve : result.sweep.curves) {
-    if (!result.sweep.Quarantined(curve.name)) {
-      rankable.push_back(curve);
-    }
-  }
+  std::vector<LockCurve> rankable = result.sweep.EligibleCurves();
   if (rankable.empty()) {
-    return result;  // nothing survived the baseline: the quarantine report says why
+    // Nothing survived the baseline. Say so instead of silently returning an empty
+    // ranking that downstream reports would render as a zero-candidate matrix.
+    result.note = "no robustness ranking: the baseline sweep quarantined all " +
+                  std::to_string(result.sweep.curves.size()) +
+                  " lock(s); see the quarantine report";
+    return result;
   }
   auto ranked = Rank(rankable, result.sweep.thread_counts, Policy::kHighContention);
-  const size_t top_n =
-      std::min<size_t>(static_cast<size_t>(std::max(config.candidates, 1)), ranked.size());
+  const size_t requested = static_cast<size_t>(std::max(config.candidates, 1));
+  const size_t top_n = std::min(requested, ranked.size());
+  if (requested > ranked.size()) {
+    // --robustness=K with K beyond the surviving locks: clamp loudly, never silently
+    // re-rank a shorter set than the caller asked to audit.
+    result.note = "requested top-" + std::to_string(requested) + " candidates but only " +
+                  std::to_string(ranked.size()) +
+                  " lock(s) survived the baseline sweep; ranking all of them";
+  }
   std::vector<std::pair<std::string, double>> candidates(ranked.begin(),
                                                          ranked.begin() + top_n);
   const std::string& lc_best = result.sweep.selection.lc_best;

@@ -100,6 +100,11 @@ struct SweepResult {
 
   bool Quarantined(const std::string& name) const;
 
+  // The curves selection is allowed to see: every lock whose sweep finished without a
+  // quarantined cell. Rankings and aggregates must use this, never `curves` directly —
+  // a quarantined curve's zeroed slots would silently pollute percentiles and scores.
+  std::vector<LockCurve> EligibleCurves() const;
+
   // Curve lookup by lock name (e.g. to report why selection.hc_best won); nullptr if
   // the name was not swept. O(1): backed by a name -> index map built once by
   // RunScriptedBenchmark (call IndexCurves() after assembling a SweepResult by hand;
@@ -163,9 +168,13 @@ struct RobustnessResult {
   std::vector<fault::Scenario> scenarios;
   int probe_threads = 0;
   std::vector<LockRobustness> locks;    // candidates, best robust_score first
-  std::string robust_best;              // argmax robust_score
-  double robust_best_score = 0.0;
+  std::string robust_best;              // argmax robust_score; empty when locks is
+  double robust_best_score = 0.0;       // empty (baseline quarantined everything)
   bool winner_changed = false;          // robust_best != sweep.selection.hc_best
+  // Human-readable caveat when the candidate set is not what was asked for: the
+  // requested top-K exceeded the surviving locks (clamped), or the baseline sweep
+  // quarantined every lock (locks stays empty). Empty when the run was unremarkable.
+  std::string note;
 };
 
 // Runs the scripted benchmark, then the perturbation matrix over its winners. Cells

@@ -24,6 +24,12 @@
 //                       re-granting its turn while others are queued: it starves
 //                       itself for the whole run without ever deadlocking.
 //                       -> bounded-starvation oracle.
+//   mut-adaptive-nodrain
+//                       Adaptive lock pair (src/clof/adaptive.h) that force-switches
+//                       between its ticket and MCS sides every few releases but skips
+//                       the drain barrier: new-side acquirers enter while committed
+//                       old-side waiters are still finishing their critical sections.
+//                       -> mutual-exclusion / lost-update oracles.
 //
 // The bugs are written against the simulated memory policy's sequentially consistent
 // execution (see src/mem/memory_policy.h): every one manifests from interleaving
@@ -38,8 +44,11 @@
 #include <string>
 #include <vector>
 
+#include "src/clof/adaptive.h"
 #include "src/clof/lock.h"
 #include "src/clof/registry.h"
+#include "src/locks/mcs.h"
+#include "src/locks/ticket.h"
 #include "src/mem/memory_policy.h"
 #include "src/mem/sim_memory.h"
 #include "src/topo/topology.h"
@@ -228,6 +237,36 @@ class MutYieldTurnLock {
   typename M::template Atomic<uint32_t> grant_{0};
 };
 
+// The adaptive no-drain mutant: a genuine SwitchGate-based adaptive pair (ticket LC
+// side, MCS HC side) whose forced side churn skips the drain barrier — the seeded-in
+// bug SwitchGate::SwitchTo's `skip_drain` knob exists for. At switch time every
+// committed old-side waiter is still licensed to finish its critical section while
+// the new side starts admitting, so critical sections from the two sides overlap.
+template <class M>
+  requires mem::MemoryPolicy<M>
+class MutAdaptiveNoDrainLock {
+ public:
+  static constexpr const char* kName = "mut-adaptive-nodrain";
+  static constexpr bool kIsFair = false;
+  static constexpr uint64_t kSwitchPeriod = 3;
+
+  using Pair = adaptive::AdaptivePair<M, locks::TicketLock<M>, locks::McsLock<M>>;
+  struct Context {
+    typename Pair::Context inner;
+  };
+
+  explicit MutAdaptiveNoDrainLock(int num_cpus)
+      : pair_(num_cpus, {.start_side = 0,
+                         .force_switch_period = kSwitchPeriod,
+                         .skip_drain = true}) {}  // BUG: the drain barrier is skipped
+
+  void Acquire(Context& ctx) { pair_.Acquire(ctx.inner); }
+  void Release(Context& ctx) { pair_.Release(ctx.inner); }
+
+ private:
+  Pair pair_;
+};
+
 namespace internal {
 
 template <class L>
@@ -236,9 +275,17 @@ std::unique_ptr<Lock> MakeMutant(const std::string& name, const topo::Hierarchy&
   return std::make_unique<PlainLock<L>>(name, Registry::kAnyDepth, L::kIsFair);
 }
 
+template <class L>
+std::unique_ptr<Lock> MakeCpuCountMutant(const std::string& name,
+                                         const topo::Hierarchy& hierarchy,
+                                         const ClofParams&) {
+  return std::make_unique<PlainLock<L>>(name, Registry::kAnyDepth, L::kIsFair,
+                                        hierarchy.num_cpus());
+}
+
 }  // namespace internal
 
-// Registers the five simulated-memory mutants into `registry` (Kind::kBaseline: they
+// Registers the six simulated-memory mutants into `registry` (Kind::kBaseline: they
 // must never enter a generated-locks sweep by accident).
 inline void RegisterMutants(Registry& registry) {
   using M = mem::SimMemory;
@@ -262,12 +309,16 @@ inline void RegisterMutants(Registry& registry) {
                     MutYieldTurnLock<M>::kIsFair,
                     &internal::MakeMutant<MutYieldTurnLock<M>>,
                     Registry::Kind::kBaseline);
+  registry.Register(MutAdaptiveNoDrainLock<M>::kName, Registry::kAnyDepth,
+                    MutAdaptiveNoDrainLock<M>::kIsFair,
+                    &internal::MakeCpuCountMutant<MutAdaptiveNoDrainLock<M>>,
+                    Registry::Kind::kBaseline);
 }
 
 // The mutant names in registration order (the order docs and reports use).
 inline std::vector<std::string> MutantNames() {
   return {"mut-split-acquire", "mut-skip-unlock", "mut-stuck-spin", "mut-drop-handover",
-          "mut-yield-turn"};
+          "mut-yield-turn", "mut-adaptive-nodrain"};
 }
 
 // A registry holding only the mutants. Built once; immutable afterwards (magic-static

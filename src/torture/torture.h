@@ -23,7 +23,7 @@
 //                       (every injector legitimately stalls or stretches individual
 //                       waits in a short run).
 //
-// The oracles are validated by construction: src/torture/mutants.h ships five locks
+// The oracles are validated by construction: src/torture/mutants.h ships six locks
 // with classic seeded-in bugs, one per oracle family, and tests/torture_test.cc
 // asserts that the default matrix flags every mutant and passes every genuine lock.
 //

@@ -64,10 +64,46 @@ void AppendEvent(std::ostream& out, const Event& event, const topo::Topology& to
   out << "}}";
 }
 
+// Minimal JSON string escaping for marker names/details (the event path never needs
+// it: its names come from fixed enum tables).
+void AppendJsonString(std::ostream& out, const std::string& text) {
+  out << '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+// Markers become process-scoped instant events ("s":"p": the vertical flag spans the
+// whole process track group in Perfetto) so a lock switch is visible against every
+// CPU's access events, not just the switching thread's.
+void AppendMarker(std::ostream& out, const Marker& marker) {
+  out << "{\"name\":";
+  AppendJsonString(out, marker.name);
+  out << ",\"cat\":\"marker\",\"ph\":\"i\",\"s\":\"p\",\"ts\":";
+  AppendMicros(out, marker.time);
+  out << ",\"pid\":0,\"tid\":" << marker.cpu << ",\"args\":{\"detail\":";
+  AppendJsonString(out, marker.detail);
+  out << "}}";
+}
+
 }  // namespace
 
 void WriteChromeTrace(std::ostream& out, const TraceBuffer& buffer,
-                      const topo::Topology& topology) {
+                      const topo::Topology& topology, std::span<const Marker> markers) {
   out << "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"machine\":\"" << topology.name()
       << "\",\"dropped_events\":" << buffer.dropped() << "},\"traceEvents\":[\n";
   out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"clof-sim\"}}";
@@ -76,22 +112,27 @@ void WriteChromeTrace(std::ostream& out, const TraceBuffer& buffer,
     out << ",\n";
     AppendEvent(out, event, topology, lines);
   }
+  for (const Marker& marker : markers) {
+    out << ",\n";
+    AppendMarker(out, marker);
+  }
   out << "\n]}\n";
 }
 
-std::string ChromeTraceJson(const TraceBuffer& buffer, const topo::Topology& topology) {
+std::string ChromeTraceJson(const TraceBuffer& buffer, const topo::Topology& topology,
+                            std::span<const Marker> markers) {
   std::ostringstream out;
-  WriteChromeTrace(out, buffer, topology);
+  WriteChromeTrace(out, buffer, topology, markers);
   return out.str();
 }
 
 void WriteChromeTraceFile(const std::string& path, const TraceBuffer& buffer,
-                          const topo::Topology& topology) {
+                          const topo::Topology& topology, std::span<const Marker> markers) {
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     throw std::runtime_error("cannot open trace output file: " + path);
   }
-  WriteChromeTrace(out, buffer, topology);
+  WriteChromeTrace(out, buffer, topology, markers);
   if (!out.flush()) {
     throw std::runtime_error("failed writing trace output file: " + path);
   }

@@ -9,6 +9,7 @@
 #define CLOF_SRC_TRACE_CHROME_EXPORT_H_
 
 #include <ostream>
+#include <span>
 #include <string>
 
 #include "src/topo/topology.h"
@@ -18,14 +19,20 @@ namespace clof::trace {
 
 // Serializes the buffer's events (chronological order) as a JSON object with a
 // `traceEvents` array. `topology` supplies the level names for bucket labels.
+// `markers` (trace::Marker) are appended after the access events as instant events
+// with process scope, so they stand out on a Perfetto timeline; pass an empty span
+// for the historical byte-identical output.
 void WriteChromeTrace(std::ostream& out, const TraceBuffer& buffer,
-                      const topo::Topology& topology);
+                      const topo::Topology& topology,
+                      std::span<const Marker> markers = {});
 
-std::string ChromeTraceJson(const TraceBuffer& buffer, const topo::Topology& topology);
+std::string ChromeTraceJson(const TraceBuffer& buffer, const topo::Topology& topology,
+                            std::span<const Marker> markers = {});
 
 // Convenience: writes to `path`, throwing std::runtime_error on I/O failure.
 void WriteChromeTraceFile(const std::string& path, const TraceBuffer& buffer,
-                          const topo::Topology& topology);
+                          const topo::Topology& topology,
+                          std::span<const Marker> markers = {});
 
 }  // namespace clof::trace
 

@@ -87,6 +87,19 @@ struct Event {
   sim::Time queue_ps = 0;    // port queueing delay absorbed before `start`
 };
 
+// A named point-in-virtual-time annotation produced by a component under test rather
+// than by the engine — e.g. the adaptive facade's lock switches (docs/ADAPTIVE.md).
+// Markers ride next to the engine's Event stream in the Chrome export as instant
+// events, so a Perfetto timeline shows "the lock switched here" against the coherence
+// traffic that triggered it. Producers follow the same determinism rule as sinks:
+// markers are recorded host-side and never issue simulated accesses.
+struct Marker {
+  sim::Time time = 0;   // virtual time of the annotated instant
+  int32_t cpu = -1;     // CPU whose thread produced it (its track in the export)
+  std::string name;     // short event name, e.g. "adaptive-switch"
+  std::string detail;   // free-form context, e.g. "tkt-tkt-tkt -> hmcs (ewma 812ns)"
+};
+
 // Installed on a sim::Engine. Called synchronously at each linearization point, in
 // deterministic virtual-time order. Implementations must not perform simulated memory
 // accesses (that would perturb the run they observe).

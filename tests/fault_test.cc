@@ -23,6 +23,7 @@
 #include "src/select/scripted_bench.h"
 #include "src/sim/engine.h"
 #include "src/sim/platform.h"
+#include "src/torture/mutants.h"
 
 namespace clof {
 namespace {
@@ -319,6 +320,35 @@ TEST(RobustnessTest, CandidatesIncludeTheLcBest) {
     found = found || lock.name == result.sweep.selection.lc_best;
   }
   EXPECT_TRUE(found) << "the LC-best must always be in the candidate set";
+}
+
+TEST(RobustnessTest, OverlongCandidateRequestClampsWithANote) {
+  auto machine = sim::Machine::PaperArm();
+  select::RobustnessConfig config = SmallRobustness(machine);
+  config.candidates = 10;  // only 3 locks swept
+  auto result = select::RunRobustnessBenchmark(config);
+  EXPECT_EQ(result.locks.size(), 3u) << "clamp to the survivors, not silence or throw";
+  EXPECT_NE(result.note.find("requested top-10"), std::string::npos) << result.note;
+  EXPECT_NE(result.note.find("3 lock(s) survived"), std::string::npos) << result.note;
+  EXPECT_FALSE(result.robust_best.empty());
+
+  // A request the sweep can satisfy stays note-free.
+  config.candidates = 2;
+  EXPECT_TRUE(select::RunRobustnessBenchmark(config).note.empty());
+}
+
+TEST(RobustnessTest, AllQuarantinedBaselineExplainsItselfInsteadOfRanking) {
+  auto machine = sim::Machine::PaperArm();
+  select::RobustnessConfig config = SmallRobustness(machine);
+  config.sweep.spec.registry = &torture::MutantRegistry();
+  config.sweep.lock_names = {"mut-skip-unlock"};  // deadlocks in every cell
+  auto result = select::RunRobustnessBenchmark(config);
+  EXPECT_TRUE(result.sweep.Quarantined("mut-skip-unlock"));
+  EXPECT_TRUE(result.locks.empty());
+  EXPECT_TRUE(result.robust_best.empty());
+  EXPECT_FALSE(result.winner_changed);
+  EXPECT_NE(result.note.find("quarantined all 1 lock(s)"), std::string::npos)
+      << result.note;
 }
 
 }  // namespace

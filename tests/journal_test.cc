@@ -166,6 +166,47 @@ TEST(ResilientSweepTest, BrokenLocksAreQuarantinedNotFatal) {
               result.selection.worst == "manual-mcs");
 }
 
+TEST(ResilientSweepTest, EligibleCurvesExcludesExactlyTheQuarantinedLocks) {
+  auto machine = sim::Machine::PaperArm();
+  SweepConfig config = BaseConfig(machine, /*include_broken=*/true);
+  SweepResult result = RunScriptedBenchmark(config);
+
+  // `curves` keeps everything (partial data stays inspectable, zero-filled slots and
+  // all); EligibleCurves() is the ranking-safe view with the quarantined locks gone.
+  ASSERT_EQ(result.curves.size(), 4u);
+  auto eligible = result.EligibleCurves();
+  ASSERT_EQ(eligible.size(), 2u);
+  EXPECT_EQ(eligible[0].name, "manual-tkt");
+  EXPECT_EQ(eligible[1].name, "manual-mcs");
+  // The surviving curves are the originals, sidecars included — a filter, not a copy
+  // that forgets data.
+  for (const auto& curve : eligible) {
+    const LockCurve* original = result.Curve(curve.name);
+    ASSERT_NE(original, nullptr);
+    EXPECT_EQ(curve.throughput, original->throughput);
+    EXPECT_EQ(curve.acquire_p99_ns, original->acquire_p99_ns);
+    for (double v : curve.throughput) {
+      EXPECT_GT(v, 0.0) << curve.name;  // no zeroed quarantine slots in this view
+    }
+  }
+}
+
+TEST(ResilientSweepTest, AllQuarantinedSweepYieldsAnEmptySelection) {
+  auto machine = sim::Machine::PaperArm();
+  SweepConfig config = BaseConfig(machine, /*include_broken=*/true);
+  config.lock_names = {"mut-skip-unlock", "mut-stuck-spin"};  // nothing survives
+  SweepResult result = RunScriptedBenchmark(config);
+
+  EXPECT_EQ(result.quarantined.size(), 2u);
+  EXPECT_TRUE(result.EligibleCurves().empty());
+  // No winner gets invented from zero-filled curves: selection stays empty.
+  EXPECT_TRUE(result.selection.hc_best.empty());
+  EXPECT_TRUE(result.selection.lc_best.empty());
+  EXPECT_TRUE(result.selection.worst.empty());
+  // The partial curves themselves survive for inspection.
+  ASSERT_EQ(result.curves.size(), 2u);
+}
+
 TEST(ResilientSweepTest, QuarantineIsDeterministicAcrossJobs) {
   auto machine = sim::Machine::PaperArm();
   SweepConfig config = BaseConfig(machine, /*include_broken=*/true);

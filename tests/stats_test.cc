@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "src/clof/clof_tree.h"
@@ -134,6 +135,49 @@ TEST(PercentileTest, EmptyAndSingleElement) {
   EXPECT_EQ(runtime::Percentile(single, 0.0), 7.5);
   EXPECT_EQ(runtime::Percentile(single, 0.5), 7.5);
   EXPECT_EQ(runtime::Percentile(single, 1.0), 7.5);
+}
+
+// Pinned nearest-rank answers for the degenerate sample sizes the harness actually
+// produces (a zero-iteration run, a single acquire, a two-acquire run): these must
+// never drift, because robustness rankings compare them across configurations.
+TEST(PercentileTest, ExactAnswersForTinySamples) {
+  // n = 0: every percentile is the 0.0 sentinel, for every entry point.
+  for (double p : {0.0, 0.5, 0.99, 1.0}) {
+    std::vector<double> empty;
+    EXPECT_EQ(runtime::Percentile(empty, p), 0.0) << p;
+    EXPECT_EQ(runtime::PercentileSorted({}, p), 0.0) << p;
+  }
+  // n = 1: the single sample answers every p with itself (rank clamps to 1).
+  const std::vector<double> one = {3.25};
+  for (double p : {0.0, 0.001, 0.5, 0.999, 1.0}) {
+    std::vector<double> scratch = one;
+    EXPECT_EQ(runtime::Percentile(scratch, p), 3.25) << p;
+    EXPECT_EQ(runtime::PercentileSorted(one, p), 3.25) << p;
+  }
+  // n = 2: ceil(p * 2) splits exactly at p = 0.5 — at or below it the lower sample,
+  // strictly above it the upper.
+  const std::vector<double> two = {1.0, 9.0};
+  EXPECT_EQ(runtime::PercentileSorted(two, 0.0), 1.0);
+  EXPECT_EQ(runtime::PercentileSorted(two, 0.25), 1.0);   // ceil(0.5) = rank 1
+  EXPECT_EQ(runtime::PercentileSorted(two, 0.5), 1.0);    // ceil(1.0) = rank 1
+  EXPECT_EQ(runtime::PercentileSorted(two, 0.500001), 9.0);
+  EXPECT_EQ(runtime::PercentileSorted(two, 0.99), 9.0);
+  EXPECT_EQ(runtime::PercentileSorted(two, 1.0), 9.0);
+  for (double p : {0.0, 0.25, 0.5, 0.500001, 0.99, 1.0}) {
+    std::vector<double> scratch = {9.0, 1.0};  // unsorted on purpose
+    EXPECT_EQ(runtime::Percentile(scratch, p), runtime::PercentileSorted(two, p)) << p;
+  }
+}
+
+// A NaN p must not reach ceil() and the float-to-size_t cast (undefined behaviour);
+// the !(p > 0) guard routes it to the minimum branch like p <= 0.
+TEST(PercentileTest, NanPTakesTheMinimumBranch) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> values = {42.0, -1.0, 17.0, 3.0};
+  EXPECT_EQ(runtime::Percentile(values, nan), -1.0);
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(runtime::PercentileSorted(values, nan), -1.0);
+  EXPECT_EQ(runtime::PercentileSorted({}, nan), 0.0);
 }
 
 TEST(PercentileTest, NearestRankOnTenElements) {

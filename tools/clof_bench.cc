@@ -14,6 +14,12 @@
 //   clof_bench --torture [--lock=<name>]             torture oracles (docs/TORTURE.md):
 //                                                    named lock, or validate against the
 //                                                    mutants when no lock is given
+//   clof_bench --adaptive [--lc=tkt --hc=tkt-mcs-tkt]
+//              [--threads=1,8,64] [--fault=SPEC]     contention ramp over the LC lock, the
+//              [--trace=out.json]                    HC lock, and the adaptive facade that
+//              [--up_ns=N --down_ns=N]               hot-swaps between them (docs/ADAPTIVE.md);
+//              [--force_switch=N]                    omit --lc/--hc to derive the pair from
+//                                                    an ordinary sweep (select::PlanAdaptive)
 //   clof_bench --lock=tkt-clh-tkt [--threads=8,64] [--profile=kyoto]
 //              [--stats=per-level]                  run one lock, print per-level stats
 //              [--fault=preempt,hetero|all|storm]   perturb the run (src/fault/scenarios.h)
@@ -33,12 +39,14 @@
 #include <memory>
 
 #include "bench/bench_util.h"
+#include "src/clof/adaptive.h"
 #include "src/discover/heatmap.h"
 #include "src/fault/scenarios.h"
 #include "src/exec/executor.h"
 #include "src/exec/result_cache.h"
 #include "src/harness/lock_bench.h"
 #include "src/exec/sweep_journal.h"
+#include "src/select/adaptive_policy.h"
 #include "src/select/scripted_bench.h"
 #include "src/sim/engine.h"
 #include "src/torture/mutants.h"
@@ -196,6 +204,12 @@ void PrintQuarantine(const select::SweepResult& result) {
 // The robustness report behind --sweep --robustness: per-candidate retention and tail
 // latency under each perturbation, then the robustness-aware re-ranking.
 void PrintRobustness(const select::RobustnessResult& result) {
+  if (!result.note.empty()) {
+    std::printf("\nnote: %s\n", result.note.c_str());
+  }
+  if (result.locks.empty()) {
+    return;  // the baseline quarantined everything; the note + quarantine report say why
+  }
   std::printf("\nrobustness matrix at %d threads (%zu candidates x %zu scenarios):\n",
               result.probe_threads, result.locks.size(), result.scenarios.size());
   for (const auto& lock : result.locks) {
@@ -291,7 +305,7 @@ int Run(const bench::Flags& flags) {
   if (flags.GetBool("torture")) {
     // Torture mode (docs/TORTURE.md): correctness oracles instead of throughput. With
     // --lock= the named genuine lock runs the matrix (clean = exit 0); without it the
-    // five mutants run and every one must be flagged (oracle validation).
+    // six mutants run and every one must be flagged (oracle validation).
     torture::TortureConfig config;
     config.machine = &machine;
     config.hierarchy = hierarchy;
@@ -397,6 +411,12 @@ int Run(const bench::Flags& flags) {
     // Report *why* a composition ranked where it did, not just its throughput: the
     // paper's §5 analysis ties HC-best wins to handover locality and low line traffic.
     auto explain = [&](const char* tag, const std::string& name, double score) {
+      if (name.empty()) {
+        // No selection at all: every swept lock was quarantined. The quarantine
+        // report above says why; a lookup on the empty name would just throw.
+        std::printf("%s (none: every swept lock was quarantined)\n", tag);
+        return;
+      }
       Registry::LockInfo info = registry.Info(name);
       std::printf("%s %-18s (score %.3f, %s)", tag, name.c_str(), score,
                   info.fair ? "fair" : "unfair");
@@ -414,12 +434,109 @@ int Run(const bench::Flags& flags) {
     return 0;
   }
 
+  if (flags.GetBool("adaptive")) {
+    // Adaptive mode (docs/ADAPTIVE.md): ramp the LC lock, the HC lock, and the
+    // adaptive facade across the thread counts. The facade should track whichever
+    // inner lock wins at each point — "vs-best" is its throughput against the better
+    // of the two, and "switches" counts its recorded side transitions.
+    auto threads = ParseThreads(flags.GetString("threads", ""), machine.topology);
+    adaptive::AdaptiveOptions options;
+    const std::string lc = flags.GetString("lc", "");
+    const std::string hc = flags.GetString("hc", "");
+    if (!lc.empty() && !hc.empty()) {
+      options.lc_lock = lc;
+      options.hc_lock = hc;
+    } else {
+      // No explicit pair: derive it the workflow's way — run the ordinary sweep and
+      // let the policy turn its LC/HC selection into detector thresholds.
+      select::SweepConfig sweep;
+      sweep.spec.machine = &machine;
+      sweep.spec.hierarchy = hierarchy;
+      sweep.spec.registry = &registry;
+      sweep.spec.profile = ProfileByName(flags.GetString("profile", "leveldb"));
+      sweep.spec.seed = seed;
+      sweep.duration_ms = duration;
+      sweep.thread_counts = threads;
+      sweep.jobs = flags.GetInt("jobs", 0);
+      auto swept = select::RunScriptedBenchmark(sweep);
+      PrintQuarantine(swept);
+      options = select::PlanAdaptive(swept);  // throws with a clear message if empty
+      std::printf("planned from sweep: lc %s, hc %s, up %.0f ns, down %.0f ns\n",
+                  options.lc_lock.c_str(), options.hc_lock.c_str(),
+                  options.up_latency_ns, options.down_latency_ns);
+    }
+    if (double v = flags.GetDouble("up_ns", 0.0); v > 0.0) {
+      options.up_latency_ns = v;
+    }
+    if (double v = flags.GetDouble("down_ns", 0.0); v > 0.0) {
+      options.down_latency_ns = v;
+    }
+    options.force_switch_period = static_cast<uint64_t>(flags.GetInt("force_switch", 0));
+
+    fault::FaultPlan fault_plan;
+    const std::string fault_spec = flags.GetString("fault", "");
+    if (!fault_spec.empty()) {
+      fault_plan = fault::PlanFromSpec(fault_spec, seed);
+      std::printf("fault plan: %s (seed %llu)\n", fault_spec.c_str(),
+                  static_cast<unsigned long long>(fault_plan.seed));
+    }
+
+    const Registry with_adaptive = adaptive::WithAdaptive(registry, options);
+    const std::string trace_path = flags.GetString("trace", "");
+    trace::TraceBuffer trace_buffer(
+        static_cast<size_t>(flags.GetInt("trace_capacity", 1 << 20)));
+    harness::BenchResult last;
+
+    std::printf("adaptive facade: %s\n", adaptive::DescribeOptions(options).c_str());
+    std::printf("%-10s%16s%16s%14s%10s%10s\n", "threads", options.lc_lock.c_str(),
+                options.hc_lock.c_str(), "adaptive", "vs-best", "switches");
+    for (int t : threads) {
+      const std::string names[3] = {options.lc_lock, options.hc_lock, "adaptive"};
+      double tput[3] = {0.0, 0.0, 0.0};
+      for (int i = 0; i < 3; ++i) {
+        harness::BenchConfig config;
+        config.spec.machine = &machine;
+        config.spec.hierarchy = hierarchy;
+        config.spec.registry = &with_adaptive;
+        config.spec.profile = ProfileByName(flags.GetString("profile", "leveldb"));
+        config.spec.seed = seed;
+        config.spec.fault = fault_plan;
+        config.lock_name = names[i];
+        config.num_threads = t;
+        config.duration_ms = duration;
+        if (i == 2 && !trace_path.empty() && t == threads.back()) {
+          config.trace_sink = &trace_buffer;  // trace the most contended adaptive run
+        }
+        auto result = harness::RunLockBench(config);
+        tput[i] = result.throughput_per_us;
+        if (i == 2) {
+          last = std::move(result);
+        }
+      }
+      const double best = std::max(tput[0], tput[1]);
+      std::printf("%-10d%16.3f%16.3f%14.3f%9.1f%%%10zu\n", t, tput[0], tput[1], tput[2],
+                  best > 0.0 ? 100.0 * tput[2] / best : 0.0, last.lock_markers.size());
+    }
+    if (!trace_path.empty()) {
+      trace::WriteChromeTraceFile(trace_path, trace_buffer, machine.topology,
+                                  last.lock_markers);
+      std::printf("\nwrote %llu events + %zu switch marker(s) to %s (open in Perfetto)\n",
+                  static_cast<unsigned long long>(trace_buffer.recorded() -
+                                                  trace_buffer.dropped()),
+                  last.lock_markers.size(), trace_path.c_str());
+    }
+    return 0;
+  }
+
   std::string lock_name = flags.GetString("lock", "");
   if (lock_name.empty()) {
     std::fprintf(stderr,
                  "usage: clof_bench --list | --discover | --sweep [--jobs=N]"
                  " [--cache=DIR] [--journal=FILE] [--robustness[=K]] |"
-                 " --torture [--lock=<name>] | --lock=<name> [--fault=SPEC]\n"
+                 " --torture [--lock=<name>] |"
+                 " --adaptive [--lc=<name> --hc=<name>] | --lock=<name> [--fault=SPEC]\n"
+                 "       --adaptive  ramp the LC lock, the HC lock, and the adaptive"
+                 " facade (docs/ADAPTIVE.md)\n"
                  "       --jobs=N   executor worker threads (0 = all host CPUs)\n"
                  "       --cache=DIR  content-addressed sweep result cache\n"
                  "       --journal=FILE  crash-safe sweep journal (resume a killed"

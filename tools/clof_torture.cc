@@ -1,6 +1,6 @@
 // clof_torture — the lock torture driver (docs/TORTURE.md).
 //
-//   clof_torture                     validate the oracles: torture the five mutant
+//   clof_torture                     validate the oracles: torture the six mutant
 //                                    locks (all must be FLAGGED) and a genuine control
 //                                    set (all must stay clean); exit 0 iff both hold
 //   clof_torture --mutants           mutants only
