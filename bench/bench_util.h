@@ -7,8 +7,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace clof::bench {
@@ -49,6 +51,27 @@ class Flags {
   bool GetBool(const std::string& name) const {
     auto it = values_.find(name);
     return it != values_.end() && it->second != "false";
+  }
+
+  // Flags the caller did not declare, in parse order lost to the map but
+  // deterministic (sorted). A binary lists its full flag vocabulary once and turns a
+  // non-empty result into a usage error, so a typo like --thread=8 fails loudly
+  // instead of silently benchmarking the default.
+  std::vector<std::string> UnknownKeys(std::initializer_list<std::string_view> known) const {
+    std::vector<std::string> unknown;
+    for (const auto& [key, value] : values_) {
+      bool found = false;
+      for (std::string_view k : known) {
+        if (key == k) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        unknown.push_back(key);
+      }
+    }
+    return unknown;
   }
 
  private:

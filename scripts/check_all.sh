@@ -15,7 +15,10 @@
 # harness or oracle regression fails the ladder even when the unit tests pass. An
 # adaptive smoke stage follows: bench/adaptive_ramp with an explicit LC/HC pair
 # self-checks the 10% tracking envelope (docs/ADAPTIVE.md) and exits nonzero when
-# the facade stops riding the winning inner lock.
+# the facade stops riding the winning inner lock. A service smoke stage runs the
+# multi-lock scenario (docs/SERVICE.md) with --check: per-site selection must install
+# different compositions at different sites and hold its ground against the
+# single-global-winner baseline on the saturation curve.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -57,6 +60,13 @@ adaptive_smoke() {
   ./build/bench/adaptive_ramp --quick --lc=tkt-tkt-tkt --hc=mcs-mcs-mcs
 }
 
+service_smoke() {
+  # Quick multi-lock service scenario with its acceptance checks: the binary exits
+  # nonzero when the sites all agree or per-site selection loses to the global
+  # baseline. Deterministic, so the outcome is CI-stable.
+  ./build/tools/clof_bench --service --quick --check
+}
+
 perf_stage() {
   scripts/bench_wallclock.sh "check_all" || return $?
   # Regression gate: the record just appended must be >= 0.9x the previous
@@ -85,6 +95,7 @@ perf_stage() {
 run_stage "tier-1 (default preset)" tier1
 run_stage "torture smoke" torture_smoke
 run_stage "adaptive smoke" adaptive_smoke
+run_stage "service smoke" service_smoke
 run_stage "asan+ubsan" scripts/check_sanitized.sh
 run_stage "tsan" scripts/check_tsan.sh
 if [[ "${perf}" -eq 1 ]]; then

@@ -5,8 +5,9 @@
 # scripted sweep (including its serialized in-order on_lock_done delivery), the
 # parallel robustness matrix and its fault injectors, the parallelized ping-pong
 # heatmap, the quarantine/journal resume paths, the parallel torture harness, the
-# adaptive facade's sweep/torture determinism tests, and the native lock
-# implementations. The simulator itself is
+# adaptive facade's sweep/torture determinism tests, the multi-lock service layer
+# (per-site parallel sweeps, the service bench, the MiniProxy app under real
+# threads), and the native lock implementations. The simulator itself is
 # single-threaded per cell (one engine per host thread, thread_local current
 # pointer), so these are exactly the places a data race could hide.
 #
@@ -17,4 +18,4 @@ cd "$(dirname "$0")/.."
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
 ctest --preset tsan -j "$(nproc)" \
-  -R 'Executor|Fingerprint|ResultCache|ParallelSweep|Heatmap|Native|Fault|Robustness|Torture|Journal|HexDouble|Adaptive' "$@"
+  -R 'Executor|Fingerprint|ResultCache|ParallelSweep|Heatmap|Native|Fault|Robustness|Torture|Journal|HexDouble|Adaptive|Service|SiteSelection|MiniProxy' "$@"

@@ -79,7 +79,7 @@ void MiniKyoto::EvictIfNeeded() {
 }
 
 void MiniKyoto::Set(Session& session, const std::string& key, const std::string& value) {
-  Lock::Guard guard(*lock_, *session.ctx_);
+  Lock::Guard guard(*lock_, session.context());
   for (Record* record = *BucketFor(key); record != nullptr; record = record->chain) {
     if (record->key == key) {
       record->value = value;
@@ -97,7 +97,7 @@ void MiniKyoto::Set(Session& session, const std::string& key, const std::string&
 }
 
 std::optional<std::string> MiniKyoto::Get(Session& session, const std::string& key) {
-  Lock::Guard guard(*lock_, *session.ctx_);
+  Lock::Guard guard(*lock_, session.context());
   for (Record* record = *BucketFor(key); record != nullptr; record = record->chain) {
     if (record->key == key) {
       TouchLru(record);
@@ -108,7 +108,7 @@ std::optional<std::string> MiniKyoto::Get(Session& session, const std::string& k
 }
 
 bool MiniKyoto::Remove(Session& session, const std::string& key) {
-  Lock::Guard guard(*lock_, *session.ctx_);
+  Lock::Guard guard(*lock_, session.context());
   Record** cursor = BucketFor(key);
   while (*cursor != nullptr) {
     if ((*cursor)->key == key) {
@@ -125,7 +125,7 @@ bool MiniKyoto::Remove(Session& session, const std::string& key) {
 }
 
 int64_t MiniKyoto::Increment(Session& session, const std::string& key, int64_t delta) {
-  Lock::Guard guard(*lock_, *session.ctx_);
+  Lock::Guard guard(*lock_, session.context());
   Record* found = nullptr;
   for (Record* record = *BucketFor(key); record != nullptr; record = record->chain) {
     if (record->key == key) {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/apps/session.h"
 #include "src/clof/lock.h"
 
 namespace clof::apps {
@@ -27,14 +28,10 @@ class MiniKyoto {
   MiniKyoto(const MiniKyoto&) = delete;
   MiniKyoto& operator=(const MiniKyoto&) = delete;
 
-  class Session {
+  // Per-thread handle (src/apps/session.h).
+  class Session : public SessionBase {
    public:
-    explicit Session(MiniKyoto& db) : db_(&db), ctx_(db.lock_->MakeContext()) {}
-
-   private:
-    friend class MiniKyoto;
-    MiniKyoto* db_;
-    std::unique_ptr<Lock::Context> ctx_;
+    explicit Session(MiniKyoto& db) : SessionBase(*db.lock_) {}
   };
 
   void Set(Session& session, const std::string& key, const std::string& value);

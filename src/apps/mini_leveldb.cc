@@ -72,7 +72,7 @@ MiniLevelDb::Node* MiniLevelDb::FindGreaterOrEqual(const std::string& key, Node*
 }
 
 void MiniLevelDb::Put(Session& session, const std::string& key, const std::string& value) {
-  Lock::Guard guard(*lock_, *session.ctx_);
+  Lock::Guard guard(*lock_, session.context());
   Node* prev[kMaxHeight];
   for (int i = 0; i < kMaxHeight; ++i) {
     prev[i] = head_;
@@ -99,7 +99,7 @@ void MiniLevelDb::Put(Session& session, const std::string& key, const std::strin
 }
 
 std::optional<std::string> MiniLevelDb::Get(Session& session, const std::string& key) {
-  Lock::Guard guard(*lock_, *session.ctx_);
+  Lock::Guard guard(*lock_, session.context());
   Node* node = FindGreaterOrEqual(key, nullptr);
   if (node != nullptr && node->key == key && !node->deleted) {
     return node->value;
@@ -109,7 +109,7 @@ std::optional<std::string> MiniLevelDb::Get(Session& session, const std::string&
 
 bool MiniLevelDb::Delete(Session& session, const std::string& key) {
   // Tombstone, LevelDB-style: the skiplist is insert-only under the lock.
-  Lock::Guard guard(*lock_, *session.ctx_);
+  Lock::Guard guard(*lock_, session.context());
   Node* node = FindGreaterOrEqual(key, nullptr);
   if (node != nullptr && node->key == key && !node->deleted) {
     node->deleted = true;
@@ -122,7 +122,7 @@ bool MiniLevelDb::Delete(Session& session, const std::string& key) {
 std::vector<std::pair<std::string, std::string>> MiniLevelDb::Scan(Session& session,
                                                                    const std::string& start,
                                                                    int limit) {
-  Lock::Guard guard(*lock_, *session.ctx_);
+  Lock::Guard guard(*lock_, session.context());
   std::vector<std::pair<std::string, std::string>> out;
   Node* node = FindGreaterOrEqual(start, nullptr);
   while (node != nullptr && static_cast<int>(out.size()) < limit) {

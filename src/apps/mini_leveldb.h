@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/apps/session.h"
 #include "src/clof/lock.h"
 
 namespace clof::apps {
@@ -29,15 +30,10 @@ class MiniLevelDb {
   MiniLevelDb& operator=(const MiniLevelDb&) = delete;
 
   // A per-thread handle carrying the lock context (the context invariant: one session
-  // per thread, never shared).
-  class Session {
+  // per thread, never shared). See src/apps/session.h.
+  class Session : public SessionBase {
    public:
-    explicit Session(MiniLevelDb& db) : db_(&db), ctx_(db.lock_->MakeContext()) {}
-
-   private:
-    friend class MiniLevelDb;
-    MiniLevelDb* db_;
-    std::unique_ptr<Lock::Context> ctx_;
+    explicit Session(MiniLevelDb& db) : SessionBase(*db.lock_) {}
   };
 
   void Put(Session& session, const std::string& key, const std::string& value);

@@ -1,0 +1,210 @@
+#include "src/apps/mini_proxy.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace clof::apps {
+
+namespace {
+
+uint64_t HashKey(const std::string& key) {
+  uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a 64
+  for (unsigned char c : key) {
+    hash ^= c;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+// Open-chained record, also a node of its shard's FIFO insertion list.
+struct MiniProxy::Record {
+  std::string key;
+  std::string value;
+  Record* next = nullptr;       // bucket chain
+  Record* fifo_next = nullptr;  // insertion order, oldest first
+};
+
+struct MiniProxy::Shard {
+  std::vector<Record*> buckets;
+  Record* fifo_head = nullptr;  // oldest insertion (eviction candidate)
+  Record* fifo_tail = nullptr;  // newest insertion
+  size_t size = 0;
+};
+
+struct MiniProxy::Connection {
+  uint64_t id = 0;
+  std::string client;
+  bool open = false;
+};
+
+MiniProxy::MiniProxy(std::vector<std::shared_ptr<Lock>> shard_locks,
+                     std::shared_ptr<Lock> conn_lock, std::shared_ptr<Lock> stats_lock,
+                     Options options)
+    : options_(options) {
+  if (shard_locks.empty()) {
+    throw std::invalid_argument("MiniProxy needs at least one cache shard lock");
+  }
+  if (conn_lock == nullptr || stats_lock == nullptr) {
+    throw std::invalid_argument("MiniProxy needs connection-table and stats locks");
+  }
+  if (options_.buckets_per_shard == 0) {
+    throw std::invalid_argument("MiniProxy needs at least one bucket per shard");
+  }
+  locks_ = std::move(shard_locks);
+  locks_.push_back(std::move(conn_lock));
+  locks_.push_back(std::move(stats_lock));
+  shards_.reserve(locks_.size() - 2);
+  for (size_t s = 0; s + 2 < locks_.size(); ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->buckets.assign(options_.buckets_per_shard, nullptr);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+MiniProxy::MiniProxy(std::vector<std::shared_ptr<Lock>> shard_locks,
+                     std::shared_ptr<Lock> conn_lock, std::shared_ptr<Lock> stats_lock)
+    : MiniProxy(std::move(shard_locks), std::move(conn_lock), std::move(stats_lock),
+                Options{}) {}
+
+MiniProxy::~MiniProxy() {
+  for (const auto& shard : shards_) {
+    for (Record* record : shard->buckets) {
+      while (record != nullptr) {
+        Record* next = record->next;
+        delete record;
+        record = next;
+      }
+    }
+  }
+}
+
+size_t MiniProxy::ShardOf(const std::string& key, size_t shards) {
+  return static_cast<size_t>(HashKey(key) % shards);
+}
+
+MiniProxy::Record** MiniProxy::BucketFor(Shard& shard, const std::string& key) {
+  // A different fold of the same hash than ShardOf, so keys that collide on a shard
+  // still spread over its buckets.
+  return &shard.buckets[(HashKey(key) >> 17) % shard.buckets.size()];
+}
+
+void MiniProxy::EvictOldest(Shard& shard) {
+  Record* victim = shard.fifo_head;
+  if (victim == nullptr) {
+    return;
+  }
+  shard.fifo_head = victim->fifo_next;
+  if (shard.fifo_head == nullptr) {
+    shard.fifo_tail = nullptr;
+  }
+  Record** slot = BucketFor(shard, victim->key);
+  while (*slot != victim) {
+    slot = &(*slot)->next;
+  }
+  *slot = victim->next;
+  --shard.size;
+  delete victim;
+}
+
+void MiniProxy::CacheSet(Session& session, const std::string& key,
+                         const std::string& value) {
+  const size_t s = ShardOf(key, shards_.size());
+  Shard& shard = *shards_[s];
+  uint64_t evicted = 0;
+  {
+    Lock::Guard guard(*locks_[s], session.context(s));
+    Record** slot = BucketFor(shard, key);
+    Record* record = *slot;
+    while (record != nullptr && record->key != key) {
+      record = record->next;
+    }
+    if (record != nullptr) {
+      record->value = value;
+    } else {
+      if (options_.capacity_per_shard > 0 && shard.size >= options_.capacity_per_shard) {
+        EvictOldest(shard);
+        ++evicted;
+      }
+      auto* fresh = new Record{key, value};
+      slot = BucketFor(shard, key);  // eviction may have edited this chain
+      fresh->next = *slot;
+      *slot = fresh;
+      if (shard.fifo_tail != nullptr) {
+        shard.fifo_tail->fifo_next = fresh;
+      } else {
+        shard.fifo_head = fresh;
+      }
+      shard.fifo_tail = fresh;
+      ++shard.size;
+    }
+  }
+  // Stats are a separate site with its own lock, taken after the shard lock is
+  // released — the contention pattern the service scenario models.
+  Lock::Guard guard(*locks_[StatsContext()], session.context(StatsContext()));
+  ++stats_.sets;
+  stats_.evictions += evicted;
+}
+
+std::optional<std::string> MiniProxy::CacheGet(Session& session, const std::string& key) {
+  const size_t s = ShardOf(key, shards_.size());
+  Shard& shard = *shards_[s];
+  std::optional<std::string> result;
+  {
+    Lock::Guard guard(*locks_[s], session.context(s));
+    Record* record = *BucketFor(shard, key);
+    while (record != nullptr && record->key != key) {
+      record = record->next;
+    }
+    if (record != nullptr) {
+      result = record->value;
+    }
+  }
+  Lock::Guard guard(*locks_[StatsContext()], session.context(StatsContext()));
+  ++stats_.gets;
+  if (result.has_value()) {
+    ++stats_.hits;
+  }
+  return result;
+}
+
+uint64_t MiniProxy::Connect(Session& session, const std::string& client) {
+  uint64_t id = 0;
+  {
+    Lock::Guard guard(*locks_[ConnContext()], session.context(ConnContext()));
+    id = next_conn_id_++;
+    connections_.push_back({id, client, true});
+    ++open_connections_;
+  }
+  Lock::Guard guard(*locks_[StatsContext()], session.context(StatsContext()));
+  ++stats_.connects;
+  return id;
+}
+
+bool MiniProxy::Disconnect(Session& session, uint64_t conn_id) {
+  bool closed = false;
+  {
+    Lock::Guard guard(*locks_[ConnContext()], session.context(ConnContext()));
+    for (Connection& conn : connections_) {
+      if (conn.id == conn_id && conn.open) {
+        conn.open = false;
+        --open_connections_;
+        closed = true;
+        break;
+      }
+    }
+  }
+  if (closed) {
+    Lock::Guard guard(*locks_[StatsContext()], session.context(StatsContext()));
+    ++stats_.disconnects;
+  }
+  return closed;
+}
+
+MiniProxy::Stats MiniProxy::ReadStats(Session& session) {
+  Lock::Guard guard(*locks_[StatsContext()], session.context(StatsContext()));
+  return stats_;
+}
+
+}  // namespace clof::apps

@@ -1,0 +1,111 @@
+// MiniProxy: a traffic-server-flavoured proxy cache with per-site pluggable locks.
+//
+// MiniLevelDB and MiniKyoto are single-mutex stores — the contention structure the
+// lock papers interpose on. MiniProxy is the multi-lock counterpart backing the
+// service scenario (docs/SERVICE.md): a sharded object cache (one lock per shard), a
+// connection table (one lock), and a global stats block (one very hot little lock).
+// Each site takes whatever clof::Lock composition the caller hands it, so per-site
+// selection results from select::RunSiteSelection can be installed verbatim.
+//
+// Locking discipline: operations take at most one lock at a time, in sequence (shard
+// lock released before the stats lock is taken) — no nesting, so any mix of
+// compositions is deadlock-free by construction.
+#ifndef CLOF_SRC_APPS_MINI_PROXY_H_
+#define CLOF_SRC_APPS_MINI_PROXY_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/apps/session.h"
+#include "src/clof/lock.h"
+
+namespace clof::apps {
+
+class MiniProxy {
+ public:
+  struct Options {
+    size_t buckets_per_shard = 256;
+    // Records per shard before FIFO eviction (0 = unbounded). FIFO, not LRU: Get must
+    // stay read-mostly inside the shard critical section, and eviction order stays
+    // deterministic under any thread interleaving of inserts.
+    size_t capacity_per_shard = 0;
+  };
+
+  // One lock per cache shard (the vector's size is the shard count), plus the
+  // connection-table and stats locks. All shared ownership, like the other mini apps.
+  MiniProxy(std::vector<std::shared_ptr<Lock>> shard_locks,
+            std::shared_ptr<Lock> conn_lock, std::shared_ptr<Lock> stats_lock,
+            Options options);
+  MiniProxy(std::vector<std::shared_ptr<Lock>> shard_locks,
+            std::shared_ptr<Lock> conn_lock, std::shared_ptr<Lock> stats_lock);
+  ~MiniProxy();
+
+  MiniProxy(const MiniProxy&) = delete;
+  MiniProxy& operator=(const MiniProxy&) = delete;
+
+  // Per-thread handle (src/apps/session.h): one context per shard lock (indices
+  // 0..shards-1), then the connection-table context, then the stats context.
+  class Session : public SessionBase {
+   public:
+    explicit Session(MiniProxy& proxy) : SessionBase(proxy.locks_) {}
+  };
+
+  // Object cache. Set replaces in place; at capacity the shard evicts its oldest
+  // insertion first. Both bump the stats counters under the stats lock afterwards.
+  void CacheSet(Session& session, const std::string& key, const std::string& value);
+  std::optional<std::string> CacheGet(Session& session, const std::string& key);
+
+  // Connection table: register a client, get a connection id; Disconnect returns
+  // false for unknown ids (double close).
+  uint64_t Connect(Session& session, const std::string& client);
+  bool Disconnect(Session& session, uint64_t conn_id);
+
+  struct Stats {
+    uint64_t gets = 0;
+    uint64_t hits = 0;
+    uint64_t sets = 0;
+    uint64_t evictions = 0;
+    uint64_t connects = 0;
+    uint64_t disconnects = 0;
+  };
+  // Snapshot under the stats lock.
+  Stats ReadStats(Session& session);
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t open_connections() const { return open_connections_; }
+
+  // The shard a key routes to: FNV-1a of the key mod `shards`. Exposed so tests and
+  // load generators can aim at a specific shard.
+  static size_t ShardOf(const std::string& key, size_t shards);
+
+ private:
+  struct Record;
+  struct Shard;
+
+  Record** BucketFor(Shard& shard, const std::string& key);
+  void EvictOldest(Shard& shard);
+
+  // All locks in context-index order: shards, then conn, then stats.
+  std::vector<std::shared_ptr<Lock>> locks_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  Options options_;
+
+  // Connection table state (guarded by locks_[num_shards()]).
+  struct Connection;
+  std::vector<Connection> connections_;
+  uint64_t next_conn_id_ = 1;
+  size_t open_connections_ = 0;
+
+  // Stats block (guarded by locks_[num_shards() + 1]).
+  Stats stats_;
+
+  size_t ConnContext() const { return shards_.size(); }
+  size_t StatsContext() const { return shards_.size() + 1; }
+};
+
+}  // namespace clof::apps
+
+#endif  // CLOF_SRC_APPS_MINI_PROXY_H_

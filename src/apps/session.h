@@ -1,0 +1,50 @@
+// The per-thread session base every native mini app shares.
+//
+// All the stores in src/apps/ follow the same handle discipline: a thread opens one
+// Session against the store, the session owns one Lock::Context per lock the store
+// holds, and every operation takes the session by reference (contexts are per-thread,
+// never shared — the lock papers' queue-node invariant). MiniLevelDB and MiniKyoto
+// each grew an identical private copy of this boilerplate; SessionBase is that copy,
+// written once, generalized to multi-lock stores for MiniProxy (one context per cache
+// shard plus the connection-table and stats locks).
+#ifndef CLOF_SRC_APPS_SESSION_H_
+#define CLOF_SRC_APPS_SESSION_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "src/clof/lock.h"
+
+namespace clof::apps {
+
+// Owns this thread's Lock::Context for each of a store's locks, in the store's
+// declared lock order. Derive a nested `Session : SessionBase` per store so sessions
+// stay store-typed (a MiniKyoto session cannot be handed to MiniLevelDb).
+class SessionBase {
+ public:
+  explicit SessionBase(Lock& lock) { contexts_.push_back(lock.MakeContext()); }
+
+  explicit SessionBase(const std::vector<std::shared_ptr<Lock>>& locks) {
+    contexts_.reserve(locks.size());
+    for (const std::shared_ptr<Lock>& lock : locks) {
+      contexts_.push_back(lock->MakeContext());
+    }
+  }
+
+  SessionBase(const SessionBase&) = delete;
+  SessionBase& operator=(const SessionBase&) = delete;
+  SessionBase(SessionBase&&) = default;
+  SessionBase& operator=(SessionBase&&) = default;
+
+  // The context for the store's i-th lock (single-lock stores use the default).
+  Lock::Context& context(size_t i = 0) { return *contexts_[i]; }
+  size_t num_contexts() const { return contexts_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Lock::Context>> contexts_;
+};
+
+}  // namespace clof::apps
+
+#endif  // CLOF_SRC_APPS_SESSION_H_

@@ -1,0 +1,129 @@
+#include "src/clof/run_spec.h"
+
+#include <set>
+#include <stdexcept>
+
+namespace clof {
+namespace {
+
+// Site-entry checks shared between RunSpec::Validate (explicit spec.sites) and
+// ValidateServiceProfile (a ServiceProfile's site list).
+void ValidateSiteFields(const workload::LockSite& site, const std::string& field,
+                        SpecValidation& out) {
+  if (site.name.empty()) {
+    out.Add(field + ".name", "site name must be non-empty");
+  }
+  if (!(site.share > 0.0)) {
+    out.Add(field + ".share", "site '" + site.name + "' needs a positive request share");
+  }
+  if (site.instances < 1) {
+    out.Add(field + ".instances",
+            "site '" + site.name + "' needs at least one lock instance");
+  }
+}
+
+}  // namespace
+
+std::string SpecValidation::Format() const {
+  std::string text;
+  for (const SpecIssue& issue : issues) {
+    if (!text.empty()) {
+      text += "; ";
+    }
+    text += issue.field + ": " + issue.message;
+  }
+  return text;
+}
+
+SpecValidation ValidateServiceProfile(const workload::ServiceProfile& service) {
+  SpecValidation out;
+  if (service.sites.empty()) {
+    out.Add("service.sites", "a service needs at least one lock site");
+  }
+  std::set<std::string> seen;
+  for (size_t i = 0; i < service.sites.size(); ++i) {
+    const workload::LockSite& site = service.sites[i];
+    const std::string field = "service.sites[" + std::to_string(i) + "]";
+    ValidateSiteFields(site, field, out);
+    if (!site.name.empty() && !seen.insert(site.name).second) {
+      out.Add(field + ".name", "duplicate site name '" + site.name + "'");
+    }
+  }
+  if (service.keys == 0) {
+    out.Add("service.keys", "the key space must be non-empty");
+  }
+  if (service.zipf_theta < 0.0 || service.zipf_theta >= 1.0) {
+    out.Add("service.zipf_theta",
+            "Zipf exponent must be in [0, 1) (Gray's approximation domain)");
+  }
+  return out;
+}
+
+std::vector<workload::LockSite> RunSpec::Sites() const {
+  if (!sites.empty()) {
+    return sites;
+  }
+  workload::LockSite implicit;
+  implicit.name = "global";
+  implicit.share = 1.0;
+  implicit.profile = profile;
+  implicit.instances = 1;
+  return {implicit};
+}
+
+SpecValidation RunSpec::Validate() const {
+  SpecValidation out;
+  if (machine == nullptr) {
+    out.Add("machine", "is null (a RunSpec needs a simulated machine)");
+  }
+  if (!hierarchy.valid()) {
+    out.Add("hierarchy", "is unset (select levels with topo::Hierarchy::Select)");
+  } else if (machine != nullptr) {
+    // Structural compatibility, not pointer identity: tests and benches legitimately
+    // select hierarchies from equal copies of the machine's topology. A CPU-count
+    // mismatch, though, means the lock tree and the engine would disagree about who
+    // exists — the real foot-gun this check is for.
+    if (hierarchy.num_cpus() != machine->topology.num_cpus()) {
+      out.Add("hierarchy",
+              "was selected from topology '" + hierarchy.topology().name() + "' (" +
+                  std::to_string(hierarchy.num_cpus()) + " CPUs), not this machine's '" +
+                  machine->topology.name() + "' (" +
+                  std::to_string(machine->topology.num_cpus()) + " CPUs)");
+    }
+    // Depth mismatch between the hierarchy and the registry: nothing in the registry
+    // could even be constructed at this depth, so a sweep would silently be empty and
+    // a single-lock bench could only throw later with a less direct message.
+    const Registry& reg = ResolveRegistry();
+    bool usable = false;
+    for (const std::string& name : reg.Names()) {
+      const int levels = reg.Info(name).levels;
+      if (levels == Registry::kAnyDepth || levels == hierarchy.depth()) {
+        usable = true;
+        break;
+      }
+    }
+    if (!usable) {
+      out.Add("hierarchy", "registry '" + reg.description() + "' has no lock for depth " +
+                               std::to_string(hierarchy.depth()));
+    }
+  }
+  for (size_t i = 0; i < sites.size(); ++i) {
+    ValidateSiteFields(sites[i], "sites[" + std::to_string(i) + "]", out);
+  }
+  std::set<std::string> seen;
+  for (const workload::LockSite& site : sites) {
+    if (!site.name.empty() && !seen.insert(site.name).second) {
+      out.Add("sites", "duplicate site name '" + site.name + "'");
+    }
+  }
+  return out;
+}
+
+void RunSpec::ValidateOrThrow(std::string_view entry_point) const {
+  SpecValidation validation = Validate();
+  if (!validation.ok()) {
+    throw std::invalid_argument(std::string(entry_point) + ": " + validation.Format());
+  }
+}
+
+}  // namespace clof

@@ -130,12 +130,33 @@ void AppendFaultPlan(Fingerprint& fp, const fault::FaultPlan& plan) {
   fp.Add("fault.churn.stop_point", plan.churn.stop_point);
 }
 
+void AppendLockSite(Fingerprint& fp, const workload::LockSite& site,
+                    const std::string& prefix) {
+  fp.Add(prefix + ".name", site.name);
+  fp.Add(prefix + ".share", site.share);
+  fp.Add(prefix + ".instances", site.instances);
+  // The site's own profile keys are prefixed, so they can never collide with the
+  // spec-level "prof." block.
+  Fingerprint site_profile;
+  AppendProfile(site_profile, site.profile);
+  fp.Add(prefix + ".profile", site_profile.text());
+}
+
 void AppendRunSpec(Fingerprint& fp, const RunSpec& spec) {
   AppendTopology(fp, spec.machine->topology);
   AppendPlatform(fp, spec.machine->platform);
   AppendHierarchy(fp, spec.hierarchy);
   fp.Add("registry", spec.ResolveRegistry().description());
-  AppendProfile(fp, spec.profile);
+  // The profile a single-lock cell actually simulates: sites[0]'s when sites are
+  // explicit, else the classic spec.profile (identical transcript to before sites
+  // existed, so historical cache entries stay addressable).
+  AppendProfile(fp, spec.ActiveProfile());
+  if (!spec.sites.empty()) {
+    fp.Add("sites", static_cast<int64_t>(spec.sites.size()));
+    for (size_t i = 0; i < spec.sites.size(); ++i) {
+      AppendLockSite(fp, spec.sites[i], "site" + std::to_string(i));
+    }
+  }
   fp.Add("seed", spec.seed);
   AppendClofParams(fp, spec.params);
   AppendFaultPlan(fp, spec.fault);

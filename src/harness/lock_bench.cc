@@ -6,93 +6,19 @@
 #include <string>
 
 #include "src/fault/injector.h"
-#include "src/mem/sim_memory.h"
+#include "src/harness/shared_state.h"
 #include "src/runtime/rng.h"
 #include "src/runtime/stats.h"
 #include "src/sim/engine.h"
 
 namespace clof::harness {
-namespace {
-
-// One simulated cache line of shared data.
-struct alignas(64) PaddedLine {
-  mem::SimMemory::Atomic<uint64_t> value{0};
-};
-
-// The shared data a critical section touches, sized per the workload profile.
-class SharedState {
- public:
-  explicit SharedState(const workload::Profile& profile) : profile_(profile) {
-    int total = profile.cs_hot_lines + profile.cs_pool_lines;
-    lines_.reserve(total);
-    for (int i = 0; i < total; ++i) {
-      lines_.push_back(std::make_unique<PaddedLine>());
-    }
-  }
-
-  void TouchCriticalSection(runtime::Xoshiro256& rng) {
-    for (int i = 0; i < profile_.cs_hot_lines; ++i) {
-      Touch(*lines_[i], rng);
-    }
-    for (int i = 0; i < profile_.cs_random_lines; ++i) {
-      auto idx = profile_.cs_hot_lines + rng.NextBounded(profile_.cs_pool_lines);
-      Touch(*lines_[idx], rng);
-    }
-  }
-
-  // Interference-injector path (src/fault/): always-written touches to seeded pool
-  // lines, issued by the hammer fibers through the same simulated-access machinery as
-  // the benchmark threads — so they steal line ownership and transfer-port bandwidth
-  // exactly the way a real background task would.
-  void HammerLines(runtime::Xoshiro256& rng, int count) {
-    const auto total = static_cast<uint64_t>(lines_.size());
-    for (int i = 0; i < count; ++i) {
-      lines_[rng.NextBounded(total)]->value.FetchAdd(1, std::memory_order_relaxed);
-      ++writes_issued_;
-    }
-  }
-
-  // End-of-run invariant (call outside the simulation): with atomic increments, the
-  // line counters account for every write issued. A lost-update bug in the touch path
-  // (the pre-FetchAdd Load+Store race this check was added against) trips it under
-  // broken-lock or broken-harness conditions.
-  void VerifyCounters() const {
-    uint64_t sum = 0;
-    for (const auto& line : lines_) {
-      sum += line->value.Load(std::memory_order_relaxed);
-    }
-    if (sum != writes_issued_) {
-      throw std::logic_error("SharedState counter mismatch: " + std::to_string(sum) +
-                             " recorded vs " + std::to_string(writes_issued_) +
-                             " issued (lost updates under the benched lock)");
-    }
-  }
-
- private:
-  void Touch(PaddedLine& line, runtime::Xoshiro256& rng) {
-    if (rng.NextDouble() < profile_.cs_write_fraction) {
-      // One atomic RMW. The earlier relaxed Load-then-Store pair lost increments when
-      // simulated writers interleaved between the two halves.
-      line.value.FetchAdd(1, std::memory_order_relaxed);
-      ++writes_issued_;  // host-side bookkeeping: the simulation is single-threaded
-    } else {
-      (void)line.value.Load(std::memory_order_relaxed);
-    }
-  }
-
-  workload::Profile profile_;
-  std::vector<std::unique_ptr<PaddedLine>> lines_;
-  uint64_t writes_issued_ = 0;
-};
-
-}  // namespace
 
 BenchResult RunLockBench(const BenchConfig& config) {
-  if (config.spec.machine == nullptr) {
-    throw std::invalid_argument("BenchConfig.spec.machine is required");
-  }
-  if (!config.spec.hierarchy.valid()) {
-    throw std::invalid_argument("BenchConfig.spec.hierarchy is required");
+  config.spec.ValidateOrThrow("RunLockBench");
+  if (config.spec.sites.size() > 1) {
+    throw std::invalid_argument(
+        "RunLockBench simulates one lock; multi-site specs run under "
+        "harness::RunServiceBench");
   }
   const sim::Machine& machine = *config.spec.machine;
   const Registry& registry = config.spec.ResolveRegistry();
@@ -119,7 +45,7 @@ BenchResult RunLockBench(const BenchConfig& config) {
     engine.SetFaultHook(injector.get());
   }
   auto lock = registry.Make(config.lock_name, config.spec.hierarchy, config.spec.params);
-  SharedState shared(config.spec.profile);
+  SharedState shared(config.spec.ActiveProfile());
 
   const sim::Time end = sim::PsFromNs(config.duration_ms * 1e6);
   const int num_levels = machine.topology.num_levels();
@@ -152,7 +78,7 @@ BenchResult RunLockBench(const BenchConfig& config) {
       runtime::Xoshiro256 rng(config.spec.seed * 0x9e3779b97f4a7c15ull + t);
       auto ctx = lock->MakeContext();
       auto& eng = sim::Engine::Current();
-      const workload::Profile& p = config.spec.profile;
+      const workload::Profile& p = config.spec.ActiveProfile();
       while (eng.Now() < thread_end) {
         if (p.think_ns > 0.0) {
           double jitter = 1.0 + p.think_jitter * (2.0 * rng.NextDouble() - 1.0);

@@ -1,0 +1,191 @@
+#include "src/harness/service_bench.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "src/harness/shared_state.h"
+#include "src/runtime/rng.h"
+#include "src/runtime/stats.h"
+#include "src/sim/engine.h"
+#include "src/workload/arrivals.h"
+
+namespace clof::harness {
+
+ServiceBenchResult RunServiceBench(const ServiceBenchConfig& config) {
+  config.spec.ValidateOrThrow("RunServiceBench");
+  {
+    SpecValidation service_issues = ValidateServiceProfile(config.service);
+    if (!service_issues.ok()) {
+      throw std::invalid_argument("RunServiceBench: " + service_issues.Format());
+    }
+  }
+  if (config.site_locks.size() != config.service.sites.size()) {
+    throw std::invalid_argument("RunServiceBench: site_locks must name one lock per "
+                                "service site (" +
+                                std::to_string(config.site_locks.size()) + " names for " +
+                                std::to_string(config.service.sites.size()) + " sites)");
+  }
+  if (config.spec.fault.AnyEnabled()) {
+    throw std::invalid_argument(
+        "RunServiceBench: fault plans are not supported; run fault studies through "
+        "RunLockBench");
+  }
+  const sim::Machine& machine = *config.spec.machine;
+  if (config.num_threads < 1 || config.num_threads > machine.topology.num_cpus()) {
+    throw std::invalid_argument("num_threads out of range for machine");
+  }
+  const double offered =
+      config.offered_load_per_us > 0.0 ? config.offered_load_per_us
+                                       : config.service.arrival_rate_per_us;
+  if (!(offered > 0.0)) {
+    throw std::invalid_argument("RunServiceBench: offered load must be positive");
+  }
+
+  const Registry& registry = config.spec.ResolveRegistry();
+  const std::vector<workload::LockSite>& sites = config.service.sites;
+  const auto num_sites = sites.size();
+
+  // One lock + one SharedState per shard instance, grouped by site. Independent heaps
+  // per instance: contention only couples requests that actually hit the same shard.
+  std::vector<std::vector<std::unique_ptr<Lock>>> locks(num_sites);
+  std::vector<std::vector<std::unique_ptr<SharedState>>> shards(num_sites);
+  for (size_t s = 0; s < num_sites; ++s) {
+    for (int i = 0; i < sites[s].instances; ++i) {
+      locks[s].push_back(registry.Make(config.site_locks[s], config.spec.hierarchy,
+                                       config.spec.params));
+      shards[s].push_back(std::make_unique<SharedState>(sites[s].profile));
+    }
+  }
+
+  // Cumulative normalized shares for request routing.
+  double share_sum = 0.0;
+  for (const workload::LockSite& site : sites) {
+    share_sum += site.share;
+  }
+  std::vector<double> cumulative(num_sites, 0.0);
+  double acc = 0.0;
+  for (size_t s = 0; s < num_sites; ++s) {
+    acc += sites[s].share / share_sum;
+    cumulative[s] = acc;
+  }
+  cumulative.back() = 1.0;  // close the interval against rounding
+
+  const workload::ZipfSampler zipf(config.service.keys, config.service.zipf_theta);
+  const workload::OpenLoopArrivals arrivals(offered /
+                                            static_cast<double>(config.num_threads));
+
+  sim::Engine engine(machine.topology, machine.platform);
+  if (config.watchdog.Enabled()) {
+    engine.SetWatchdog(config.watchdog);
+  }
+
+  const double end_ns = config.duration_ms * 1e6;
+  const sim::Time end = sim::PsFromNs(end_ns);
+  // Per-site tallies. Fibers run on one host thread, so plain shared containers
+  // observe the deterministic interleaving without adding simulated accesses.
+  std::vector<uint64_t> site_ops(num_sites, 0);
+  std::vector<std::vector<double>> site_latency_ns(num_sites);
+  uint64_t offered_requests = 0;
+
+  for (int t = 0; t < config.num_threads; ++t) {
+    engine.Spawn(t, [&, t] {
+      runtime::Xoshiro256 rng(config.spec.seed * 0x9e3779b97f4a7c15ull + t);
+      // One context per lock instance, lazily created on first touch: a thread that
+      // never reaches a shard never pays for (or perturbs) its queue node state.
+      std::vector<std::vector<std::unique_ptr<Lock::Context>>> ctx(num_sites);
+      for (size_t s = 0; s < num_sites; ++s) {
+        ctx[s].resize(locks[s].size());
+      }
+      auto& eng = sim::Engine::Current();
+      double next_arrival_ns = 0.0;
+      while (true) {
+        next_arrival_ns += arrivals.NextGapNs(rng);
+        if (next_arrival_ns >= end_ns) {
+          break;
+        }
+        ++offered_requests;
+        if (eng.Now() >= end) {
+          // Past the horizon with a backlog: keep draining the arrival stream so
+          // `offered_requests` counts every request the load implies, but drop the
+          // work — that shortfall is exactly what completion_ratio reports.
+          continue;
+        }
+        const sim::Time arrival = sim::PsFromNs(next_arrival_ns);
+        if (eng.Now() < arrival) {
+          eng.Work(next_arrival_ns - sim::NsFromPs(eng.Now()));
+        }
+        // Route: site by share, shard instance by Zipf key popularity. The key is
+        // drawn for every request (even single-instance sites) so each site's rank
+        // stream is a fixed function of the routing stream.
+        const double pick = rng.NextDouble();
+        size_t s = 0;
+        while (s + 1 < num_sites && pick > cumulative[s]) {
+          ++s;
+        }
+        const uint64_t key = zipf.Next(rng);
+        const auto inst = static_cast<size_t>(key % locks[s].size());
+        const workload::Profile& p = sites[s].profile;
+        if (p.think_ns > 0.0) {
+          // The request's per-site work outside the critical section (parse, hash,
+          // serialize). Jittered like the single-lock harness.
+          double jitter = 1.0 + p.think_jitter * (2.0 * rng.NextDouble() - 1.0);
+          eng.Work(p.think_ns * jitter);
+        }
+        if (ctx[s][inst] == nullptr) {
+          ctx[s][inst] = locks[s][inst]->MakeContext();
+        }
+        const sim::Time acquire_begin = eng.Now();
+        locks[s][inst]->Acquire(*ctx[s][inst]);
+        site_latency_ns[s].push_back(sim::NsFromPs(eng.Now() - acquire_begin));
+        shards[s][inst]->TouchCriticalSection(rng);
+        if (p.cs_work_ns > 0.0) {
+          eng.Work(p.cs_work_ns);
+        }
+        locks[s][inst]->Release(*ctx[s][inst]);
+        ++site_ops[s];
+        eng.ReportProgress();
+      }
+    });
+  }
+  engine.Run();
+  for (const auto& site_shards : shards) {
+    for (const auto& shard : site_shards) {
+      shard->VerifyCounters();
+    }
+  }
+
+  ServiceBenchResult result;
+  result.offered_load_per_us = offered;
+  result.num_threads = config.num_threads;
+  result.duration_ms = config.duration_ms;
+  for (uint64_t n : site_ops) {
+    result.total_ops += n;
+  }
+  result.throughput_per_us = static_cast<double>(result.total_ops) /
+                             (config.duration_ms * 1e3);
+  result.completion_ratio =
+      offered_requests == 0 ? 1.0
+                            : static_cast<double>(result.total_ops) /
+                                  static_cast<double>(offered_requests);
+  result.sites.reserve(num_sites);
+  for (size_t s = 0; s < num_sites; ++s) {
+    SiteBenchStats stats;
+    stats.site = sites[s].name;
+    stats.lock_name = config.site_locks[s];
+    stats.ops = site_ops[s];
+    stats.throughput_per_us =
+        static_cast<double>(site_ops[s]) / (config.duration_ms * 1e3);
+    std::sort(site_latency_ns[s].begin(), site_latency_ns[s].end());
+    stats.acquire_p50_ns = runtime::PercentileSorted(site_latency_ns[s], 0.50);
+    stats.acquire_p99_ns = runtime::PercentileSorted(site_latency_ns[s], 0.99);
+    stats.share_observed =
+        result.total_ops == 0 ? 0.0
+                              : static_cast<double>(site_ops[s]) /
+                                    static_cast<double>(result.total_ops);
+    result.sites.push_back(std::move(stats));
+  }
+  return result;
+}
+
+}  // namespace clof::harness

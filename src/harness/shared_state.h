@@ -1,0 +1,96 @@
+// The shared data a simulated critical section touches.
+//
+// Extracted from lock_bench.cc so the single-lock benchmark and the multi-lock
+// service benchmark (service_bench.cc) exercise the exact same touch machinery: one
+// simulated cache line per counter, hot lines touched every acquisition, random lines
+// drawn from a pool, writes issued as single atomic RMWs so the end-of-run
+// VerifyCounters() invariant catches lost updates under a broken lock.
+#ifndef CLOF_SRC_HARNESS_SHARED_STATE_H_
+#define CLOF_SRC_HARNESS_SHARED_STATE_H_
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/mem/sim_memory.h"
+#include "src/runtime/rng.h"
+#include "src/workload/profiles.h"
+
+namespace clof::harness {
+
+// One simulated cache line of shared data.
+struct alignas(64) PaddedLine {
+  mem::SimMemory::Atomic<uint64_t> value{0};
+};
+
+// The shared data a critical section touches, sized per the workload profile.
+class SharedState {
+ public:
+  explicit SharedState(const workload::Profile& profile) : profile_(profile) {
+    int total = profile.cs_hot_lines + profile.cs_pool_lines;
+    lines_.reserve(total);
+    for (int i = 0; i < total; ++i) {
+      lines_.push_back(std::make_unique<PaddedLine>());
+    }
+  }
+
+  void TouchCriticalSection(runtime::Xoshiro256& rng) {
+    for (int i = 0; i < profile_.cs_hot_lines; ++i) {
+      Touch(*lines_[i], rng);
+    }
+    for (int i = 0; i < profile_.cs_random_lines; ++i) {
+      auto idx = profile_.cs_hot_lines + rng.NextBounded(profile_.cs_pool_lines);
+      Touch(*lines_[idx], rng);
+    }
+  }
+
+  // Interference-injector path (src/fault/): always-written touches to seeded pool
+  // lines, issued by the hammer fibers through the same simulated-access machinery as
+  // the benchmark threads — so they steal line ownership and transfer-port bandwidth
+  // exactly the way a real background task would.
+  void HammerLines(runtime::Xoshiro256& rng, int count) {
+    const auto total = static_cast<uint64_t>(lines_.size());
+    for (int i = 0; i < count; ++i) {
+      lines_[rng.NextBounded(total)]->value.FetchAdd(1, std::memory_order_relaxed);
+      ++writes_issued_;
+    }
+  }
+
+  // End-of-run invariant (call outside the simulation): with atomic increments, the
+  // line counters account for every write issued. A lost-update bug in the touch path
+  // (the pre-FetchAdd Load+Store race this check was added against) trips it under
+  // broken-lock or broken-harness conditions.
+  void VerifyCounters() const {
+    uint64_t sum = 0;
+    for (const auto& line : lines_) {
+      sum += line->value.Load(std::memory_order_relaxed);
+    }
+    if (sum != writes_issued_) {
+      throw std::logic_error("SharedState counter mismatch: " + std::to_string(sum) +
+                             " recorded vs " + std::to_string(writes_issued_) +
+                             " issued (lost updates under the benched lock)");
+    }
+  }
+
+ private:
+  void Touch(PaddedLine& line, runtime::Xoshiro256& rng) {
+    if (rng.NextDouble() < profile_.cs_write_fraction) {
+      // One atomic RMW. The earlier relaxed Load-then-Store pair lost increments when
+      // simulated writers interleaved between the two halves.
+      line.value.FetchAdd(1, std::memory_order_relaxed);
+      ++writes_issued_;  // host-side bookkeeping: the simulation is single-threaded
+    } else {
+      (void)line.value.Load(std::memory_order_relaxed);
+    }
+  }
+
+  workload::Profile profile_;
+  std::vector<std::unique_ptr<PaddedLine>> lines_;
+  uint64_t writes_issued_ = 0;
+};
+
+}  // namespace clof::harness
+
+#endif  // CLOF_SRC_HARNESS_SHARED_STATE_H_

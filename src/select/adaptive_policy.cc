@@ -34,4 +34,9 @@ adaptive::AdaptiveOptions PlanAdaptive(const SweepResult& sweep) {
   return options;
 }
 
+adaptive::AdaptiveOptions PlanAdaptive(const SweepConfig& config) {
+  config.spec.ValidateOrThrow("PlanAdaptive");
+  return PlanAdaptive(RunScriptedBenchmark(config));
+}
+
 }  // namespace clof::select

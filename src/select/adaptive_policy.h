@@ -25,6 +25,12 @@ namespace clof::select {
 // everything quarantined, or the winners' curves lack the p99 sidecar).
 adaptive::AdaptiveOptions PlanAdaptive(const SweepResult& sweep);
 
+// Convenience entry point: validates the spec (RunSpec::Validate — every problem
+// reported at once), runs the scripted sweep, and plans from its result. The sweep
+// itself is discarded; callers that want the curves too should run
+// RunScriptedBenchmark themselves and use the overload above.
+adaptive::AdaptiveOptions PlanAdaptive(const SweepConfig& config);
+
 }  // namespace clof::select
 
 #endif  // CLOF_SRC_SELECT_ADAPTIVE_POLICY_H_

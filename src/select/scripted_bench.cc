@@ -121,9 +121,7 @@ void SweepResult::IndexCurves() {
 }
 
 SweepResult RunScriptedBenchmark(const SweepConfig& config) {
-  if (config.spec.machine == nullptr) {
-    throw std::invalid_argument("SweepConfig.spec.machine is required");
-  }
+  config.spec.ValidateOrThrow("RunScriptedBenchmark");
   // Resolve the spec once, outside the workers: the executor fingerprints exactly this
   // value, and every cell sees the same registry pointer.
   RunSpec spec = config.spec;

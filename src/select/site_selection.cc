@@ -1,0 +1,207 @@
+#include "src/select/site_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+
+#include "src/harness/service_bench.h"
+
+namespace clof::select {
+namespace {
+
+// The sweep point closest to `target` threads (first on ties, so lower contention).
+size_t NearestIndex(const std::vector<int>& thread_counts, double target) {
+  size_t best = 0;
+  double best_distance = std::abs(static_cast<double>(thread_counts[0]) - target);
+  for (size_t i = 1; i < thread_counts.size(); ++i) {
+    const double distance = std::abs(static_cast<double>(thread_counts[i]) - target);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+bool SiteSelectionResult::SitesDiffer() const {
+  std::set<std::string> installed;
+  for (const SiteReport& report : sites) {
+    if (!report.installed.empty()) {
+      installed.insert(report.installed);
+    }
+  }
+  return installed.size() > 1;
+}
+
+SiteSelectionResult RunSiteSelection(const SiteSweepConfig& config) {
+  config.base.spec.ValidateOrThrow("RunSiteSelection");
+  {
+    SpecValidation service_issues = ValidateServiceProfile(config.service);
+    if (!service_issues.ok()) {
+      throw std::invalid_argument("RunSiteSelection: " + service_issues.Format());
+    }
+  }
+
+  double total_share = 0.0;
+  for (const workload::LockSite& site : config.service.sites) {
+    total_share += site.share;
+  }
+
+  SiteSelectionResult result;
+  result.sites.reserve(config.service.sites.size());
+  for (const workload::LockSite& site : config.service.sites) {
+    SiteReport report;
+    report.site = site;
+    report.sweep_profile = workload::SiteSweepProfile(config.service, site);
+
+    // One ordinary sweep, retargeted at this site. Both the classic `profile` slot
+    // and a single-entry site list carry the effective proxy profile, so
+    // ActiveProfile() is consistent however the cell is inspected — and the site's
+    // name/share/instances join the fingerprint, giving every site its own cache
+    // cells even when two sites share a critical-section shape.
+    SweepConfig derived = config.base;
+    derived.spec.profile = report.sweep_profile;
+    workload::LockSite tagged = site;
+    tagged.profile = report.sweep_profile;
+    derived.spec.sites = {tagged};
+    report.sweep = RunScriptedBenchmark(derived);
+
+    // The verdict is read at the sweep point nearest this site's effective
+    // concurrency in the service (see SiteSweepConfig::service_threads), not from the
+    // HC-weighted whole-curve score: the whole curve rewards performance at
+    // contention levels the site will never see.
+    const int service_threads = config.service_threads > 0
+                                    ? config.service_threads
+                                    : report.sweep.thread_counts.back();
+    const double share = total_share > 0.0 ? site.share / total_share : 0.0;
+    const double concurrency = static_cast<double>(service_threads) * share /
+                               static_cast<double>(std::max(1, site.instances));
+    const size_t idx = NearestIndex(report.sweep.thread_counts,
+                                    std::max(1.0, concurrency));
+    report.probe_threads = report.sweep.thread_counts[idx];
+    for (const LockCurve& curve : report.sweep.EligibleCurves()) {
+      // Strict improvement over sorted-by-name eligible curves: deterministic
+      // lexicographic tie-break.
+      if (curve.throughput[idx] > report.winner_score) {
+        report.winner_score = curve.throughput[idx];
+        report.winner = curve.name;
+      }
+    }
+    result.sites.push_back(std::move(report));
+  }
+
+  // The site-blind baseline: one composition for every site. A lock is only a
+  // candidate if it survived every site's quarantine (a global deployment has to run
+  // everywhere). Each site's probe-point throughputs are normalized by that site's
+  // best before the share-weighted sum, so "best" means "closest to per-site optimal
+  // overall", not "fastest at the one high-throughput site".
+  std::vector<std::set<std::string>> eligible(result.sites.size());
+  std::vector<size_t> probe_index(result.sites.size(), 0);
+  for (size_t s = 0; s < result.sites.size(); ++s) {
+    probe_index[s] = NearestIndex(result.sites[s].sweep.thread_counts,
+                                  result.sites[s].probe_threads);
+    for (const LockCurve& curve : result.sites[s].sweep.EligibleCurves()) {
+      eligible[s].insert(curve.name);
+    }
+  }
+  std::vector<std::string> candidates;
+  if (!result.sites.empty()) {
+    for (const std::string& name : eligible[0]) {
+      bool everywhere = true;
+      for (size_t s = 1; s < result.sites.size(); ++s) {
+        if (eligible[s].count(name) == 0) {
+          everywhere = false;
+          break;
+        }
+      }
+      if (everywhere) {
+        candidates.push_back(name);
+      }
+    }
+  }
+  // std::set iteration gave us `candidates` sorted, so "first strict improvement
+  // wins" is a deterministic lexicographic tie-break.
+  for (const std::string& name : candidates) {
+    double score = 0.0;
+    for (size_t s = 0; s < result.sites.size(); ++s) {
+      const LockCurve* curve = result.sites[s].sweep.Curve(name);
+      const double best = result.sites[s].winner_score;
+      if (curve == nullptr || best <= 0.0) {
+        continue;
+      }
+      const double share = total_share > 0.0
+                               ? config.service.sites[s].share / total_share
+                               : 1.0 / static_cast<double>(result.sites.size());
+      score += share * curve->throughput[probe_index[s]] / best;
+    }
+    if (score > result.global_score) {
+      result.global_score = score;
+      result.global_winner = name;
+    }
+  }
+
+  // Default installation: each site's sweep winner (the global winner for a site
+  // whose every curve was quarantined).
+  for (SiteReport& report : result.sites) {
+    report.installed = report.winner.empty() ? result.global_winner : report.winner;
+  }
+
+  // In-situ refinement (see SiteSweepConfig): the sweeps rank first-level choices
+  // reliably, but near-ties between compositions are decided by a queueing regime no
+  // fixed-think proxy reproduces — so measure them in the real service. Start from
+  // the site-blind baseline (global winner everywhere) and, site by site, keep the
+  // sweep candidate only when the measured aggregate throughput strictly improves.
+  // The final assignment therefore never loses to the baseline at the calibration
+  // load. Deterministic: the simulator is, and candidates are tried in a fixed order.
+  if (config.calibration_load_per_us > 0.0 && !result.global_winner.empty()) {
+    harness::ServiceBenchConfig bench;
+    bench.spec = config.base.spec;
+    bench.service = config.service;
+    bench.num_threads = config.service_threads > 0
+                            ? config.service_threads
+                            : result.sites.front().sweep.thread_counts.back();
+    bench.duration_ms = config.refine_duration_ms;
+    bench.offered_load_per_us = config.calibration_load_per_us;
+
+    std::vector<std::string> assignment(result.sites.size(), result.global_winner);
+    bench.site_locks = assignment;
+    double best = harness::RunServiceBench(bench).throughput_per_us;
+    result.calibration_global = best;
+
+    for (size_t s = 0; s < result.sites.size(); ++s) {
+      // This site's candidates: the top refine_top_k eligible curves at its probe
+      // point, best first, names breaking exact ties for determinism.
+      std::vector<LockCurve> curves = result.sites[s].sweep.EligibleCurves();
+      const size_t idx = probe_index[s];
+      std::stable_sort(curves.begin(), curves.end(),
+                       [idx](const LockCurve& a, const LockCurve& b) {
+                         if (a.throughput[idx] != b.throughput[idx]) {
+                           return a.throughput[idx] > b.throughput[idx];
+                         }
+                         return a.name < b.name;
+                       });
+      const size_t top_k = static_cast<size_t>(std::max(0, config.refine_top_k));
+      for (size_t c = 0; c < curves.size() && c < top_k; ++c) {
+        if (curves[c].name == assignment[s]) {
+          continue;
+        }
+        bench.site_locks = assignment;
+        bench.site_locks[s] = curves[c].name;
+        const double throughput = harness::RunServiceBench(bench).throughput_per_us;
+        if (throughput > best) {
+          best = throughput;
+          assignment[s] = curves[c].name;
+        }
+      }
+      result.sites[s].installed = assignment[s];
+    }
+    result.calibration_per_site = best;
+  }
+  return result;
+}
+
+}  // namespace clof::select

@@ -1,0 +1,96 @@
+// Per-site lock selection for multi-lock services (docs/SERVICE.md).
+//
+// The paper's scripted benchmark picks one composition for one lock. A service has
+// many lock sites with different contention shapes, and the central claim of the
+// service scenario is that running the scripted benchmark *per site* — each site swept
+// under its own effective single-lock proxy profile (workload::SiteSweepProfile) —
+// beats installing one process-wide winner everywhere. RunSiteSelection runs one
+// ordinary sweep per site on the unchanged executor/cache/journal/quarantine
+// machinery (the site's name and share join each cell's fingerprint, so per-site
+// cells never collide in the cache) and reports both answers: the per-site winners
+// and the best single global composition, so clof_bench --service can put them on the
+// same curve.
+#ifndef CLOF_SRC_SELECT_SITE_SELECTION_H_
+#define CLOF_SRC_SELECT_SITE_SELECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/select/scripted_bench.h"
+#include "src/workload/service.h"
+
+namespace clof::select {
+
+struct SiteSweepConfig {
+  // The sweep every site runs: spec (machine/hierarchy/registry/seed), lock list,
+  // thread counts, duration, jobs, cache, journal, watchdog. `base.spec.profile` and
+  // `base.spec.sites` are overwritten per site; everything else is shared verbatim.
+  SweepConfig base;
+  workload::ServiceProfile service;
+  // Worker threads the service will actually run with (harness::RunServiceBench's
+  // num_threads); 0 = the highest sweep thread count. Each site's winner is read off
+  // its curve at the sweep point nearest the site's *effective concurrency* —
+  // service_threads x normalized share / instances — because that, not the full
+  // HC-weighted curve, is the contention the site's lock sees in the service: a
+  // 54%-share cache spread over 8 shards runs its locks at ~1/15 of the thread count,
+  // while a 38%-share stats singleton sees over a third of every thread.
+  int service_threads = 0;
+
+  // In-situ refinement (the CLoF philosophy — measure, don't model): after the
+  // sweeps, start from the global winner installed everywhere and greedily try each
+  // site's top `refine_top_k` sweep candidates in the *actual* service bench at this
+  // offered load, keeping only strict aggregate-throughput improvements. The sweeps'
+  // single-lock proxies rank first-level composition choices reliably but cannot
+  // resolve near-ties (the service's queueing regime rotates lock-queue membership in
+  // a way no fixed-think sweep reproduces), and measuring settles exactly those.
+  // 0 disables refinement, leaving each site's sweep winner installed as-is.
+  double calibration_load_per_us = 0.0;
+  double refine_duration_ms = 0.5;  // virtual ms per refinement measurement
+  int refine_top_k = 3;             // sweep candidates tried per site
+};
+
+// One site's sweep and verdict.
+struct SiteReport {
+  workload::LockSite site;          // the service's own site entry
+  workload::Profile sweep_profile;  // the single-lock proxy profile it was swept under
+  SweepResult sweep;
+  // The sweep point the verdict was read at (nearest to the effective concurrency).
+  int probe_threads = 0;
+  std::string winner;               // best at the probe point (empty if all quarantined)
+  double winner_score = 0.0;        // its throughput (iter/us) at the probe point
+  // The composition per-site selection actually installs at this site: the refined
+  // choice when refinement ran, otherwise the sweep winner (or the global winner for
+  // a fully quarantined site).
+  std::string installed;
+};
+
+struct SiteSelectionResult {
+  std::vector<SiteReport> sites;  // service order
+  // The single composition a site-blind selection would install everywhere: argmax
+  // over locks eligible in every site of the share-weighted sum of per-site scores at
+  // each site's probe point, each normalized by that site's best (so a
+  // high-throughput site cannot drown out the others). Deterministic tie-break by
+  // name. Empty when no lock survived every site's quarantine.
+  std::string global_winner;
+  double global_score = 0.0;
+
+  // Refinement measurements at the calibration load (0 when refinement was off):
+  // aggregate throughput with the global winner everywhere, and with the final
+  // installed per-site assignment. calibration_per_site >= calibration_global by
+  // construction — refinement only ever keeps strict measured improvements.
+  double calibration_global = 0.0;
+  double calibration_per_site = 0.0;
+
+  // True when at least two sites install different compositions — the case where
+  // per-site selection can beat the global composition at all.
+  bool SitesDiffer() const;
+};
+
+// One scripted sweep per service site + the global verdict. Deterministic and
+// byte-identical across `base.jobs` and cached re-runs, because each per-site sweep
+// is. Throws std::invalid_argument on a malformed spec or service.
+SiteSelectionResult RunSiteSelection(const SiteSweepConfig& config);
+
+}  // namespace clof::select
+
+#endif  // CLOF_SRC_SELECT_SITE_SELECTION_H_

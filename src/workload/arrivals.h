@@ -1,0 +1,102 @@
+// Request-arrival samplers for the multi-lock service workload (docs/SERVICE.md).
+//
+// Both samplers are pure functions of a caller-owned runtime::Xoshiro256 stream, so a
+// simulated thread can interleave key draws and arrival gaps on its one seeded RNG and
+// every service run stays bit-reproducible.
+#ifndef CLOF_SRC_WORKLOAD_ARRIVALS_H_
+#define CLOF_SRC_WORKLOAD_ARRIVALS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "src/runtime/rng.h"
+
+namespace clof::workload {
+
+// Zipf-distributed ranks in [0, n): P(rank k) proportional to 1/(k+1)^theta. Uses Jim
+// Gray's rejection-free inverse-CDF approximation (the YCSB generator): O(n) setup to
+// sum the zeta series, O(1) per sample. theta = 0 degenerates to uniform; theta must
+// be < 1 (the classic approximation's domain — YCSB's default 0.99 skew lives here).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta) : n_(n), theta_(theta) {
+    if (n == 0) {
+      throw std::invalid_argument("ZipfSampler needs a non-empty rank space");
+    }
+    if (theta < 0.0 || theta >= 1.0) {
+      throw std::invalid_argument("ZipfSampler theta must be in [0, 1)");
+    }
+    for (uint64_t i = 1; i <= n_; ++i) {
+      zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+      if (i == 2) {
+        zeta2_ = zetan_;
+      }
+    }
+    if (n_ == 1) {
+      zeta2_ = zetan_;
+    }
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  // Exact probability of drawing `rank` (for distribution-shape tests).
+  double Probability(uint64_t rank) const {
+    return 1.0 / std::pow(static_cast<double>(rank + 1), theta_) / zetan_;
+  }
+
+  uint64_t Next(runtime::Xoshiro256& rng) const {
+    const double u = rng.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+      return n_ > 1 ? 1 : 0;
+    }
+    auto rank = static_cast<uint64_t>(static_cast<double>(n_) *
+                                      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank < n_ ? rank : n_ - 1;
+  }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double zetan_ = 0.0;
+  double zeta2_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+};
+
+// Open-loop (Poisson) arrival process: independent exponential inter-arrival gaps at
+// `rate_per_us` requests per virtual microsecond. Open-loop means arrivals do not wait
+// for the service: when a worker falls behind, its backlog grows and throughput
+// saturates — exactly the overload shape the service curve is after.
+class OpenLoopArrivals {
+ public:
+  explicit OpenLoopArrivals(double rate_per_us) : rate_per_us_(rate_per_us) {
+    if (!(rate_per_us > 0.0)) {
+      throw std::invalid_argument("OpenLoopArrivals needs a positive rate");
+    }
+  }
+
+  double rate_per_us() const { return rate_per_us_; }
+  double MeanGapNs() const { return 1000.0 / rate_per_us_; }
+
+  // Next inter-arrival gap in virtual nanoseconds; always > 0.
+  double NextGapNs(runtime::Xoshiro256& rng) const {
+    // -log1p(-u) = -log(1-u) is exact near u=0 and maps u in [0,1) to (0, inf).
+    return -std::log1p(-rng.NextDouble()) * MeanGapNs();
+  }
+
+ private:
+  double rate_per_us_;
+};
+
+}  // namespace clof::workload
+
+#endif  // CLOF_SRC_WORKLOAD_ARRIVALS_H_

@@ -1,0 +1,83 @@
+// Multi-lock service workloads (docs/SERVICE.md).
+//
+// The single-lock profiles in profiles.h model the paper's benchmarks: one process-wide
+// mutex whose contention the whole workload funnels through. Real services contend on
+// many locks at once — a traffic-server-style proxy holds a sharded object cache
+// (per-shard locks), a connection table (one lock) and a global stats lock, and each of
+// those *sites* sees different contention and wants a different CLoF composition.
+//
+// A LockSite names one such site: the fraction of requests that hit it, the shape of
+// its critical section (an ordinary workload::Profile), and how many lock instances
+// back it (a sharded site has one lock per shard; requests pick a shard through a
+// Zipf-distributed key). A ServiceProfile is the whole service: the site list plus the
+// key-popularity skew and the open-loop arrival process that drive the simulation
+// (harness::RunServiceBench) and the per-site selection (select::RunSiteSelection).
+#ifndef CLOF_SRC_WORKLOAD_SERVICE_H_
+#define CLOF_SRC_WORKLOAD_SERVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/workload/profiles.h"
+
+namespace clof::workload {
+
+// One lock site of a multi-lock service.
+struct LockSite {
+  std::string name;
+  // Fraction of requests whose critical section runs under this site's lock. Shares
+  // are normalized over the service's site list, so they need not sum to 1.
+  double share = 1.0;
+  // Critical-section shape at this site. `profile.think_ns` is the per-request work
+  // attributable to this site *outside* its critical section; the per-site sweep
+  // dilutes it by instances/share to approximate how often one thread visits one
+  // instance (see SiteSweepProfile).
+  Profile profile;
+  // Lock instances backing the site (shards). Requests to a multi-instance site pick
+  // an instance through the service's Zipf key distribution, so a popular key's shard
+  // is proportionally hotter.
+  int instances = 1;
+};
+
+// A whole multi-lock service: sites plus the request-arrival model.
+struct ServiceProfile {
+  std::string name;
+  std::vector<LockSite> sites;
+  // Zipf exponent for key popularity (YCSB-style; 0 = uniform). Only multi-instance
+  // sites consult the key distribution.
+  double zipf_theta = 0.99;
+  // Key space mapped onto shard instances (shard = key rank % instances).
+  uint64_t keys = 1 << 16;
+  // Open-loop offered load in requests per virtual microsecond across the whole
+  // service; each of N worker threads receives an independent exponential arrival
+  // stream at rate/N. RunServiceBench sweeps this axis for the fig9-style curve.
+  double arrival_rate_per_us = 1.0;
+
+  // The shipped demo service (docs/SERVICE.md): a sharded object cache with short
+  // read-mostly critical sections, a connection table with heavier write-mixed ones,
+  // and a tiny counter-bump global stats lock that forms the capacity bottleneck.
+  // Calibrated so the three sites want visibly different compositions on the paper
+  // machines.
+  static ServiceProfile MiniProxy(int cache_shards = 8);
+};
+
+// Mean per-request service work across the whole service, in nanoseconds: the
+// share-weighted sum of every site's out-of-CS think time and in-CS computation. This
+// is the (lock-overhead-free) request cost a worker pays between two visits to any
+// particular lock, and it anchors the sweep dilution below.
+double ServiceRequestNs(const ServiceProfile& service);
+
+// The single-lock sweep proxy for one site. A worker visits one specific instance of
+// a site once every instances/share requests, and each request costs about
+// ServiceRequestNs of service work wherever it lands — so between two visits to that
+// instance the worker is away for roughly (instances/share) x ServiceRequestNs. The
+// proxy profile keeps the site's own critical-section shape and sets think_ns to that
+// inter-visit gap (minus the time the visit itself spends in the profile's own think
+// and CS work, which the sweep loop already pays). Deterministic: pure function of
+// its inputs.
+Profile SiteSweepProfile(const ServiceProfile& service, const LockSite& site);
+
+}  // namespace clof::workload
+
+#endif  // CLOF_SRC_WORKLOAD_SERVICE_H_

@@ -1,5 +1,6 @@
-// MiniLevelDB and MiniKyoto: functional correctness plus concurrent stress through
-// composed CLoF locks (end-to-end through the type-erased registry path).
+// MiniLevelDB, MiniKyoto and MiniProxy: functional correctness plus concurrent
+// stress through composed CLoF locks (end-to-end through the type-erased registry
+// path).
 #include <gtest/gtest.h>
 
 #include <thread>
@@ -7,6 +8,7 @@
 
 #include "src/apps/mini_kyoto.h"
 #include "src/apps/mini_leveldb.h"
+#include "src/apps/mini_proxy.h"
 #include "src/clof/registry.h"
 #include "src/mem/native.h"
 #include "src/runtime/rng.h"
@@ -179,6 +181,107 @@ TEST(MiniKyotoTest, ConcurrentIncrementsAreExact) {
   }
   MiniKyoto::Session session(db);
   EXPECT_EQ(db.Get(session, "shared").value(), std::to_string(kThreads * kOps));
+}
+
+MiniProxy MakeProxy(size_t shards, MiniProxy::Options options) {
+  std::vector<std::shared_ptr<Lock>> shard_locks;
+  for (size_t i = 0; i < shards; ++i) {
+    shard_locks.push_back(MakeLock("mcs-tkt-tkt"));
+  }
+  return MiniProxy(std::move(shard_locks), MakeLock("clh-clh-clh"),
+                   MakeLock("mcs-mcs-mcs"), options);
+}
+
+MiniProxy MakeProxy(size_t shards) { return MakeProxy(shards, MiniProxy::Options{}); }
+
+TEST(MiniProxyTest, CacheRoundTrip) {
+  MiniProxy proxy = MakeProxy(4);
+  MiniProxy::Session session(proxy);
+  EXPECT_FALSE(proxy.CacheGet(session, "k").has_value());
+  proxy.CacheSet(session, "k", "v1");
+  EXPECT_EQ(proxy.CacheGet(session, "k").value(), "v1");
+  proxy.CacheSet(session, "k", "v2");  // replace in place
+  EXPECT_EQ(proxy.CacheGet(session, "k").value(), "v2");
+  auto stats = proxy.ReadStats(session);
+  EXPECT_EQ(stats.sets, 2u);
+  EXPECT_EQ(stats.gets, 3u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(MiniProxyTest, FifoEvictionPerShard) {
+  // One shard, capacity 3: the oldest insertion leaves first, replacement does not
+  // refresh insertion order (FIFO, not LRU).
+  MiniProxy proxy = MakeProxy(1, {.buckets_per_shard = 8, .capacity_per_shard = 3});
+  MiniProxy::Session session(proxy);
+  proxy.CacheSet(session, "a", "1");
+  proxy.CacheSet(session, "b", "2");
+  proxy.CacheSet(session, "c", "3");
+  proxy.CacheSet(session, "a", "1'");  // replace; "a" keeps its FIFO slot
+  proxy.CacheSet(session, "d", "4");   // evicts "a"
+  EXPECT_FALSE(proxy.CacheGet(session, "a").has_value());
+  EXPECT_EQ(proxy.CacheGet(session, "b").value(), "2");
+  EXPECT_EQ(proxy.CacheGet(session, "c").value(), "3");
+  EXPECT_EQ(proxy.CacheGet(session, "d").value(), "4");
+  EXPECT_EQ(proxy.ReadStats(session).evictions, 1u);
+}
+
+TEST(MiniProxyTest, ShardRoutingIsStable) {
+  const size_t shards = 8;
+  for (const auto& key : {"alpha", "beta", "gamma", "delta"}) {
+    const size_t shard = MiniProxy::ShardOf(key, shards);
+    EXPECT_LT(shard, shards);
+    EXPECT_EQ(shard, MiniProxy::ShardOf(key, shards));
+  }
+}
+
+TEST(MiniProxyTest, ConnectDisconnect) {
+  MiniProxy proxy = MakeProxy(2);
+  MiniProxy::Session session(proxy);
+  const uint64_t a = proxy.Connect(session, "client-a");
+  const uint64_t b = proxy.Connect(session, "client-b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(proxy.open_connections(), 2u);
+  EXPECT_TRUE(proxy.Disconnect(session, a));
+  EXPECT_FALSE(proxy.Disconnect(session, a));  // double close
+  EXPECT_FALSE(proxy.Disconnect(session, 9999));
+  EXPECT_EQ(proxy.open_connections(), 1u);
+  auto stats = proxy.ReadStats(session);
+  EXPECT_EQ(stats.connects, 2u);
+  EXPECT_EQ(stats.disconnects, 1u);
+}
+
+TEST(MiniProxyTest, ConcurrentMixedTrafficCountsAreExact) {
+  // Four threads hammer all three sites through different CLoF compositions; the
+  // stats block must account for every operation exactly.
+  MiniProxy proxy = MakeProxy(4);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 1500;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      mem::NativeMemory::ScopedCpu cpu(t * 16);
+      MiniProxy::Session session(proxy);
+      for (int i = 0; i < kOps; ++i) {
+        const std::string key = std::to_string(t) + ":" + std::to_string(i % 64);
+        proxy.CacheSet(session, key, "v");
+        proxy.CacheGet(session, key);
+        const uint64_t id = proxy.Connect(session, key);
+        proxy.Disconnect(session, id);
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  MiniProxy::Session session(proxy);
+  const auto stats = proxy.ReadStats(session);
+  EXPECT_EQ(stats.sets, static_cast<uint64_t>(kThreads * kOps));
+  EXPECT_EQ(stats.gets, static_cast<uint64_t>(kThreads * kOps));
+  EXPECT_EQ(stats.hits, static_cast<uint64_t>(kThreads * kOps));
+  EXPECT_EQ(stats.connects, static_cast<uint64_t>(kThreads * kOps));
+  EXPECT_EQ(stats.disconnects, static_cast<uint64_t>(kThreads * kOps));
+  EXPECT_EQ(proxy.open_connections(), 0u);
 }
 
 }  // namespace

@@ -254,6 +254,50 @@ TEST(FingerprintTest, EveryFaultPlanFieldChangeChangesTheHash) {
   EXPECT_EQ(std::adjacent_find(hashes.begin(), hashes.end()), hashes.end());
 }
 
+TEST(FingerprintTest, SiteListJoinsTheFingerprint) {
+  auto machine = sim::Machine::PaperArm();
+  RunSpec base_spec = ArmSpec(machine);
+  // The classic empty-sites spec fingerprints exactly as before the site field
+  // existed — no "sites=" line — so historical cache entries stay valid.
+  Fingerprint base = CellFingerprint(base_spec, "mcs-mcs", 8, 0.5, 1);
+  EXPECT_EQ(base.text().find("sites="), std::string::npos);
+
+  workload::LockSite site;
+  site.name = "cache_shard";
+  site.share = 0.5;
+  site.instances = 4;
+  site.profile = base_spec.profile;
+  RunSpec tagged_spec = base_spec;
+  tagged_spec.sites = {site};
+  Fingerprint tagged = CellFingerprint(tagged_spec, "mcs-mcs", 8, 0.5, 1);
+  EXPECT_NE(tagged.text().find("sites=1"), std::string::npos);
+
+  // Site name, share, and instance count each produce a distinct cell key — two
+  // sites sharing a critical-section shape must never collide in the cache.
+  std::vector<Fingerprint> variants{base, tagged};
+  {
+    RunSpec s = tagged_spec;
+    s.sites[0].name = "stats";
+    variants.push_back(CellFingerprint(s, "mcs-mcs", 8, 0.5, 1));
+  }
+  {
+    RunSpec s = tagged_spec;
+    s.sites[0].share = 0.25;
+    variants.push_back(CellFingerprint(s, "mcs-mcs", 8, 0.5, 1));
+  }
+  {
+    RunSpec s = tagged_spec;
+    s.sites[0].instances = 1;
+    variants.push_back(CellFingerprint(s, "mcs-mcs", 8, 0.5, 1));
+  }
+  std::vector<uint64_t> hashes;
+  for (const Fingerprint& v : variants) {
+    hashes.push_back(v.Hash());
+  }
+  std::sort(hashes.begin(), hashes.end());
+  EXPECT_EQ(std::adjacent_find(hashes.begin(), hashes.end()), hashes.end());
+}
+
 TEST(FingerprintTest, SchemaVersionIsPartOfTheKey) {
   auto machine = sim::Machine::PaperArm();
   RunSpec spec = ArmSpec(machine);

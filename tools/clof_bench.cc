@@ -25,6 +25,15 @@
 //              [--fault=preempt,hetero|all|storm]   perturb the run (src/fault/scenarios.h)
 //              [--trace=out.json]                   Chrome trace of the last sweep point
 //                                                   (open in Perfetto / chrome://tracing)
+//   clof_bench --service [--shards=N] [--loads=0.5,2,8]
+//              [--quick] [--check]                  multi-lock service scenario
+//                                                   (docs/SERVICE.md): per-site scripted
+//                                                   selection for the MiniProxy sites,
+//                                                   then the aggregate-throughput-vs-
+//                                                   offered-load curve comparing per-site
+//                                                   winners against the single global
+//                                                   winner; --check exits nonzero unless
+//                                                   per-site selection holds its ground
 //
 // Common flags: --machine=x86|arm (default arm), --topology=<spec> (custom machine,
 // see topo::Topology::FromSpec), --levels=<names,comma>, --duration_ms, --seed, --H.
@@ -46,8 +55,10 @@
 #include "src/exec/result_cache.h"
 #include "src/harness/lock_bench.h"
 #include "src/exec/sweep_journal.h"
+#include "src/harness/service_bench.h"
 #include "src/select/adaptive_policy.h"
 #include "src/select/scripted_bench.h"
+#include "src/select/site_selection.h"
 #include "src/sim/engine.h"
 #include "src/torture/mutants.h"
 #include "src/torture/torture.h"
@@ -246,6 +257,28 @@ void PrintRobustness(const select::RobustnessResult& result) {
 }
 
 int Run(const bench::Flags& flags) {
+  // Reject typos up front: benchmarking silently with a default because --thread=8
+  // didn't parse as --threads=8 is the worst possible failure mode for a tool whose
+  // output people paste into papers.
+  const auto unknown = flags.UnknownKeys(
+      {"machine", "topology", "list",   "discover",  "rounds",   "stride",
+       "jobs",    "sweep",    "levels", "profile",   "seed",     "duration_ms",
+       "threads", "cache",    "journal", "robustness", "torture", "lock",
+       "verbose", "adaptive", "lc",     "hc",        "up_ns",    "down_ns",
+       "force_switch", "fault", "trace", "trace_capacity", "stats", "H",
+       "service", "shards",   "loads",  "quick",     "check"});
+  if (!unknown.empty()) {
+    std::fprintf(stderr, "unknown flag(s):");
+    for (const auto& key : unknown) {
+      std::fprintf(stderr, " --%s", key.c_str());
+    }
+    std::fprintf(stderr,
+                 "\nusage: clof_bench --list | --discover | --sweep | --torture |"
+                 " --adaptive | --service | --lock=<name>\n"
+                 "       (see the header of tools/clof_bench.cc for every mode's"
+                 " flags)\n");
+    return 2;
+  }
   std::string machine_name = flags.GetString("machine", "arm");
   std::string topology_spec = flags.GetString("topology", "");
   sim::Machine machine =
@@ -299,6 +332,160 @@ int Run(const bench::Flags& flags) {
   }
 
   auto hierarchy = DefaultHierarchy(machine.topology, flags.GetString("levels", ""));
+
+  if (flags.GetBool("service")) {
+    // Service scenario (docs/SERVICE.md): per-site selection, then the offered-load
+    // curve. Default to a 2-level hierarchy when --levels was not given — the 3-site
+    // sweep is three full scripted benchmarks, and the depth-2 composition space (16
+    // locks) already separates the sites' preferences.
+    if (flags.GetString("levels", "").empty() && hierarchy.depth() > 2) {
+      hierarchy = topo::Hierarchy::Select(
+          machine.topology,
+          {hierarchy.LevelName(hierarchy.depth() - 3), hierarchy.LevelName(hierarchy.depth() - 1)});
+    }
+    std::printf("machine %s, hierarchy %s\n", machine.platform.name.c_str(),
+                hierarchy.Describe().c_str());
+    const bool quick = flags.GetBool("quick");
+
+    select::SiteSweepConfig config;
+    config.service = workload::ServiceProfile::MiniProxy(flags.GetInt("shards", 8));
+    config.base.spec.machine = &machine;
+    config.base.spec.hierarchy = hierarchy;
+    config.base.spec.registry = &registry;
+    config.base.spec.seed = seed;
+    config.base.duration_ms = flags.GetDouble("duration_ms", 0.5);
+    config.base.thread_counts =
+        flags.GetString("threads", "").empty() && quick
+            ? std::vector<int>{4, 8, 16, 48}
+            : ParseThreads(flags.GetString("threads", ""), machine.topology);
+    config.base.jobs = flags.GetInt("jobs", 0);
+    // The service itself always runs with every simulated CPU but one (the paper's
+    // convention), even in --quick — quick only trims the sweep grid and the curve.
+    // Probe points are therefore read off the same effective concurrencies in both
+    // modes, so quick and full agree on the winners.
+    config.service_threads = harness::PaperThreadCounts(machine.topology).back();
+
+    // The demo service saturates its stats bottleneck near 10 req/us; the default
+    // load grid brackets that knee, and the in-situ refinement calibrates at the
+    // grid's top — the point where the bottleneck site's composition matters most.
+    std::vector<double> loads;
+    for (const auto& token :
+         SplitCsv(flags.GetString("loads", quick ? "4,12,20" : "1,2,4,8,12,16,20,24"))) {
+      loads.push_back(std::stod(token));
+    }
+    const double service_duration = flags.GetDouble("duration_ms", quick ? 0.25 : 1.0);
+    config.calibration_load_per_us = *std::max_element(loads.begin(), loads.end());
+    config.refine_duration_ms = service_duration;
+    std::unique_ptr<exec::ResultCache> cache;
+    const std::string cache_dir = flags.GetString("cache", "");
+    if (!cache_dir.empty()) {
+      cache = std::make_unique<exec::ResultCache>(cache_dir);
+      config.base.cache = cache.get();
+    }
+    std::unique_ptr<exec::SweepJournal> journal;
+    const std::string journal_path = flags.GetString("journal", "");
+    if (!journal_path.empty()) {
+      journal = std::make_unique<exec::SweepJournal>(journal_path);
+      config.base.journal = journal.get();
+    }
+
+    auto selection = select::RunSiteSelection(config);
+    std::printf("\nper-site selection (%zu sites, %zu locks swept each):\n",
+                selection.sites.size(),
+                selection.sites.empty() ? 0 : selection.sites.front().sweep.curves.size());
+    std::printf("%-14s%8s%10s%8s  %-14s%14s  %-14s\n", "site", "share", "instances",
+                "probe", "sweep winner", "iter/us@probe", "installed");
+    for (const auto& report : selection.sites) {
+      std::printf("%-14s%7.0f%%%10d%8d  %-14s%14.3f  %-14s\n", report.site.name.c_str(),
+                  100.0 * report.site.share, report.site.instances,
+                  report.probe_threads,
+                  report.winner.empty() ? "(quarantined)" : report.winner.c_str(),
+                  report.winner_score, report.installed.c_str());
+      PrintQuarantine(report.sweep);
+    }
+    std::printf("single global winner: %-18s (share-weighted score %.3f)\n",
+                selection.global_winner.empty() ? "(none)"
+                                                : selection.global_winner.c_str(),
+                selection.global_score);
+    if (selection.calibration_global > 0.0) {
+      std::printf("in-situ refinement at %.0f req/us offered: global %.3f /us ->"
+                  " per-site %.3f /us (%+.1f%%)\n",
+                  config.calibration_load_per_us, selection.calibration_global,
+                  selection.calibration_per_site,
+                  100.0 * (selection.calibration_per_site / selection.calibration_global -
+                           1.0));
+    }
+    if (cache != nullptr) {
+      std::printf("cache %s: %llu hits, %llu misses, %llu stored\n", cache->dir().c_str(),
+                  static_cast<unsigned long long>(cache->hits()),
+                  static_cast<unsigned long long>(cache->misses()),
+                  static_cast<unsigned long long>(cache->stores()));
+    }
+    if (selection.global_winner.empty()) {
+      std::fprintf(stderr, "error: no composition survived every site's sweep\n");
+      return 1;
+    }
+
+    // The fig9-style curve: aggregate completed throughput vs offered load, per-site
+    // winners against the one-composition-everywhere baseline.
+    std::vector<std::string> per_site_locks;
+    std::vector<std::string> global_locks;
+    for (const auto& report : selection.sites) {
+      per_site_locks.push_back(report.installed);
+      global_locks.push_back(selection.global_winner);
+    }
+    const int service_threads = config.service_threads;
+
+    harness::ServiceBenchConfig bench;
+    bench.spec = config.base.spec;
+    bench.service = config.service;
+    bench.num_threads = service_threads;
+    bench.duration_ms = service_duration;
+    std::printf("\nservice curve: %d threads, %.2f virtual ms per point\n",
+                service_threads, service_duration);
+    std::printf("%-14s%16s%12s%16s%12s%9s\n", "offered(/us)", "per-site(/us)",
+                "completed", "global(/us)", "completed", "gain");
+    double per_site_mean = 0.0;
+    double global_mean = 0.0;
+    for (double load : loads) {
+      bench.offered_load_per_us = load;
+      bench.site_locks = per_site_locks;
+      auto per_site = harness::RunServiceBench(bench);
+      bench.site_locks = global_locks;
+      auto global = harness::RunServiceBench(bench);
+      per_site_mean += per_site.throughput_per_us / loads.size();
+      global_mean += global.throughput_per_us / loads.size();
+      std::printf("%-14.2f%16.3f%11.1f%%%16.3f%11.1f%%%8.1f%%\n", load,
+                  per_site.throughput_per_us, 100.0 * per_site.completion_ratio,
+                  global.throughput_per_us, 100.0 * global.completion_ratio,
+                  global.throughput_per_us > 0.0
+                      ? 100.0 * (per_site.throughput_per_us / global.throughput_per_us - 1.0)
+                      : 0.0);
+    }
+    std::printf("\nmean aggregate throughput: per-site winners %.3f /us, global winner"
+                " %.3f /us (%+.1f%%)\n",
+                per_site_mean, global_mean,
+                global_mean > 0.0 ? 100.0 * (per_site_mean / global_mean - 1.0) : 0.0);
+
+    if (flags.GetBool("check")) {
+      // Self-check (scripts/check_all.sh): per-site selection must actually differ
+      // between sites and must not lose to the site-blind baseline.
+      if (!selection.SitesDiffer()) {
+        std::fprintf(stderr, "CHECK FAILED: every site selected the same composition\n");
+        return 1;
+      }
+      if (per_site_mean + 1e-9 < global_mean) {
+        std::fprintf(stderr,
+                     "CHECK FAILED: per-site winners (%.3f /us) lost to the global"
+                     " winner (%.3f /us)\n",
+                     per_site_mean, global_mean);
+        return 1;
+      }
+      std::printf("service check passed: winners differ across sites and per-site"
+                  " selection holds its ground\n");
+    }
+    return 0;
+  }
   std::printf("machine %s, hierarchy %s\n", machine.platform.name.c_str(),
               hierarchy.Describe().c_str());
 
