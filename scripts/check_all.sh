@@ -10,15 +10,19 @@
 #           preset): times the engine microbench, appends to BENCH_wallclock.json, and
 #           fails if throughput regressed below 0.9x the previous same-label record.
 #
-# A torture smoke stage (clof_torture, short duration) runs after tier-1: the six
-# mutant locks must be flagged and the genuine control set must stay clean, so a
-# harness or oracle regression fails the ladder even when the unit tests pass. An
-# adaptive smoke stage follows: bench/adaptive_ramp with an explicit LC/HC pair
-# self-checks the 10% tracking envelope (docs/ADAPTIVE.md) and exits nonzero when
-# the facade stops riding the winning inner lock. A service smoke stage runs the
-# multi-lock scenario (docs/SERVICE.md) with --check: per-site selection must install
-# different compositions at different sites and hold its ground against the
-# single-global-winner baseline on the saturation curve.
+# A torture smoke stage (clof_torture, short duration) runs after tier-1: the eight
+# mutant locks must be flagged and the genuine control set — now including the
+# combining locks — must stay clean, so a harness or oracle regression fails the
+# ladder even when the unit tests pass. An adaptive smoke stage follows:
+# bench/adaptive_ramp with an explicit LC/HC pair self-checks the 10% tracking
+# envelope (docs/ADAPTIVE.md) and exits nonzero when the facade stops riding the
+# winning inner lock. A service smoke stage runs the multi-lock scenario
+# (docs/SERVICE.md) with --check: per-site selection must install different
+# compositions at different sites and hold its ground against the
+# single-global-winner baseline on the saturation curve. A combining smoke stage
+# runs bench/combining_bench --quick --check (docs/COMBINING.md): CC-Synch/H-Synch
+# must survive the sweep unquarantined and beat the best non-combining entry at the
+# saturated end.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -67,6 +71,13 @@ service_smoke() {
   ./build/tools/clof_bench --service --quick --check
 }
 
+combining_smoke() {
+  # Quick combining-vs-queue-locks sweep with its acceptance check: exits nonzero
+  # when a combining lock is quarantined or none beats the non-combining field at
+  # the top thread count. Deterministic, so the outcome is CI-stable.
+  ./build/bench/combining_bench --quick --check
+}
+
 perf_stage() {
   scripts/bench_wallclock.sh "check_all" || return $?
   # Regression gate: the record just appended must be >= 0.9x the previous
@@ -96,6 +107,7 @@ run_stage "tier-1 (default preset)" tier1
 run_stage "torture smoke" torture_smoke
 run_stage "adaptive smoke" adaptive_smoke
 run_stage "service smoke" service_smoke
+run_stage "combining smoke" combining_smoke
 run_stage "asan+ubsan" scripts/check_sanitized.sh
 run_stage "tsan" scripts/check_tsan.sh
 if [[ "${perf}" -eq 1 ]]; then

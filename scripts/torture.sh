@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Long-form lock torture: runs clof_torture across many seeds and both paper
 # machines, at a longer per-run duration than the check_all.sh smoke stage. Every
-# seed must produce the same verdict — mutants flagged, genuine locks clean — so a
-# schedule-dependent oracle gap that a single seed would miss fails here.
+# seed must produce the same verdict — the eight mutants flagged, genuine locks
+# clean — so a schedule-dependent oracle gap that a single seed would miss fails
+# here. The genuine control set includes the combining locks (CC-Synch and H-Synch
+# at the lowest hierarchy level) via clof_torture's defaults, so the closure-path
+# oracles get the same multi-seed soak as the queue locks.
 #
 # Usage: scripts/torture.sh [seeds] [duration_ms] [extra clof_torture flags...]
 #   seeds        number of seeds to sweep (default 8; seeds are 1..N)

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/clof/clof_tree.h"
+#include "src/runtime/function_ref.h"
 #include "src/topo/topology.h"
 #include "src/trace/trace.h"
 
@@ -33,6 +34,24 @@ class Lock {
   // `ctx` must have been created by this lock's MakeContext().
   virtual void Acquire(Context& ctx) = 0;
   virtual void Release(Context& ctx) = 0;
+
+  // Closure-mode critical section (docs/COMBINING.md): runs `fn` exactly once under
+  // this lock's mutual exclusion. For ordinary locks this is literally
+  // Acquire-fn-Release — the same simulated access sequence, so harness results are
+  // byte-identical on either path (tests/combining_test.cc asserts equality).
+  // Combining locks override it: `fn` may execute on the current combiner's thread,
+  // which is the entire point of the family. `fn` must stay alive until Execute
+  // returns; it is never retained.
+  virtual void Execute(Context& ctx, runtime::FunctionRef<void()> fn) {
+    Acquire(ctx);
+    fn();
+    Release(ctx);
+  }
+
+  // True when Execute() may run the closure on a different thread (a combining lock).
+  // The harnesses use this to route critical sections through the closure path while
+  // every classic lock keeps the historical acquire/release path untouched.
+  virtual bool combining() const { return false; }
 
   virtual const std::string& name() const = 0;
   virtual int levels() const = 0;

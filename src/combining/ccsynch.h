@@ -1,0 +1,189 @@
+// CC-Synch combining lock (Fatourou & Kallimanis, PPoPP'12; docs/COMBINING.md).
+//
+// Threads do not fight over the lock word: each one *announces* its critical section
+// as a closure on a publication list (one Exchange on the shared tail), and whichever
+// thread currently holds the combiner role walks the list executing up to H announced
+// closures before handing the role to the next waiter. The protected data stays in the
+// combiner's cache for the whole pass — under extreme contention that beats every
+// handover-based queue lock, because a queue lock migrates the critical-section lines
+// on every single handover.
+//
+// The publication list is the classic node-rotation scheme: every thread owns one node;
+// to announce it installs that node as the queue's new dummy (tail Exchange), writes
+// its request into the *previous* dummy, links it, and adopts the previous dummy as its
+// own. Nodes therefore circulate forever and are owned by the lock's pool, never by a
+// context — a context only caches the pointer to the node it currently owns, so
+// destroying a context mid-life never frees a node another thread still spins on.
+//
+// Both the harness's execution models run over one protocol:
+//   Execute(ctx, fn)  announce fn; either wake as combiner (run fn inline, then serve
+//                     successors) or wake with fn already executed by a combiner.
+//   Acquire/Release   announce a *null* request. A combiner never executes a null
+//                     request — it stops the pass and hands the combiner role to that
+//                     node's owner, so Acquire degenerates to a fair FIFO queue lock
+//                     (the acquire/release shim the clof::Lock surface requires) and
+//                     the two modes compose: lock-mode holders serve closures too.
+#ifndef CLOF_SRC_COMBINING_CCSYNCH_H_
+#define CLOF_SRC_COMBINING_CCSYNCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/mem/memory_policy.h"
+#include "src/runtime/function_ref.h"
+
+namespace clof::combining {
+
+template <class M>
+  requires mem::MemoryPolicy<M>
+class CcSynchLock {
+ public:
+  static constexpr const char* kName = "ccsynch";
+  static constexpr bool kIsFair = true;  // FIFO in announce (tail Exchange) order
+
+  using Closure = runtime::FunctionRef<void()>;
+
+  // Node handoff states. kStatusCombine is 0 so a freshly constructed node is already
+  // in the "you are the combiner" state the initial dummy needs — the lock constructor
+  // performs no atomic stores, which keeps construction legal outside a simulation or
+  // mck exploration (plain-access degradation, same contract as the basic locks).
+  enum : uint32_t {
+    kStatusCombine = 0,  // owner wakes holding the combiner role (and the lock)
+    kStatusSpin = 1,     // owner parks here after announcing
+    kStatusDone = 2,     // a combiner executed the owner's closure; nothing to do
+  };
+
+  struct alignas(64) Node {
+    typename M::template Atomic<Closure*> req{nullptr};
+    typename M::template Atomic<Node*> next{nullptr};
+    typename M::template Atomic<uint32_t> status{kStatusCombine};
+  };
+
+  // The context invariant (paper §4.1.3) applies: never share a live context between
+  // threads or concurrent acquisitions. `node` is lazily adopted from the lock's pool
+  // on first use and rotates on every announce.
+  struct Context {
+    Node* node = nullptr;
+  };
+
+  // `combine_degree`: closures one combiner pass may execute (the combining degree H);
+  // the registry ties it to ClofParams.keep_local_threshold so --H tunes queue locks
+  // and combining locks uniformly. `drop_period` is the seeded torture-mutant bug
+  // (mut-ccsynch-lost-closure): every drop_period-th delegated closure is marked done
+  // without being executed; 0 = correct.
+  explicit CcSynchLock(uint32_t combine_degree, uint64_t drop_period = 0)
+      : degree_(combine_degree < 1 ? 1 : combine_degree),
+        drop_period_(drop_period),
+        tail_(NewNode()) {}
+  CcSynchLock(const CcSynchLock&) = delete;
+  CcSynchLock& operator=(const CcSynchLock&) = delete;
+
+  // Closure-mode critical section: runs `fn` exactly once under mutual exclusion,
+  // possibly on the current combiner's thread. `fn` only needs to live until Execute
+  // returns (a delegated closure is finished before the announcer's spin breaks).
+  void Execute(Context& ctx, Closure fn) {
+    if (Announce(ctx, &fn)) {
+      fn();
+      ++inline_runs_;
+      Combine(ctx);
+    }
+  }
+
+  // Lock-mode: announce a null request. A combiner never executes a null request, so
+  // the announcer always wakes holding the combiner role — i.e. the lock.
+  void Acquire(Context& ctx) {
+    Announce(ctx, nullptr);
+    ++inline_runs_;
+  }
+
+  void Release(Context& ctx) { Combine(ctx); }
+
+  // Combiner-side counters (docs/COMBINING.md). Host-side plain variables: only the
+  // unique combiner/holder of the moment touches them, and the combiner role itself
+  // is handed over with release/acquire ordering, so they are race-free even under
+  // the native memory policy.
+  struct CombiningStats {
+    uint64_t inline_runs = 0;  // critical sections run by their announcing thread
+    uint64_t delegated = 0;    // closures a combiner executed for another thread
+    uint64_t passes = 0;       // combiner passes (handovers of the combiner role)
+  };
+  CombiningStats stats() const { return {inline_runs_, delegated_, passes_}; }
+
+ private:
+  // Publishes `req` and parks. Returns true when the caller woke as the combiner
+  // (its request was NOT executed by someone else); it must call Combine() when done.
+  bool Announce(Context& ctx, Closure* req) {
+    if (ctx.node == nullptr) {
+      ctx.node = NewNode();
+    }
+    Node* fresh = ctx.node;  // becomes the queue's new dummy
+    fresh->status.Store(kStatusSpin, std::memory_order_relaxed);
+    fresh->next.Store(nullptr, std::memory_order_relaxed);
+    Node* mine = tail_.Exchange(fresh, std::memory_order_acq_rel);
+    mine->req.Store(req, std::memory_order_relaxed);
+    mine->next.Store(fresh, std::memory_order_release);
+    ctx.node = mine;  // node rotation: adopt the previous dummy
+    const uint32_t status =
+        M::SpinUntil(mine->status, [](uint32_t s) { return s != kStatusSpin; });
+    return status == kStatusCombine;
+  }
+
+  // Serves announced closures starting after `ctx.node` until the chain ends, the
+  // budget H is spent, or a lock-mode (null) request is reached, then hands the
+  // combiner role to the stop node's owner. A node's `req` is only read after its
+  // `next` link is observed: the announcer stores req before next, so a linked node's
+  // request is always visible.
+  void Combine(Context& ctx) {
+    Node* node = ctx.node->next.Load(std::memory_order_acquire);
+    uint32_t combined = 1;  // the combiner's own critical section spends budget too
+    for (;;) {
+      Node* succ = node->next.Load(std::memory_order_acquire);
+      if (succ == nullptr || combined >= degree_) {
+        break;  // chain end, or combining budget H exhausted: hand over
+      }
+      Closure* req = node->req.Load(std::memory_order_relaxed);
+      if (req == nullptr) {
+        break;  // lock-mode waiter: it must run its own critical section
+      }
+      if (drop_period_ != 0 && ++served_ % drop_period_ == 0) {
+        // BUG (mut-ccsynch-lost-closure): acknowledge without executing. The
+        // announcer proceeds as if its update happened — a lost update.
+      } else {
+        (*req)();
+        ++delegated_;
+      }
+      node->status.Store(kStatusDone, std::memory_order_release);
+      ++combined;
+      node = succ;
+    }
+    ++passes_;
+    node->status.Store(kStatusCombine, std::memory_order_release);
+  }
+
+  Node* NewNode() {
+    // Nodes are lock-owned (see file comment): contexts may die while their rotated
+    // node is still the shared dummy. The mutex only guards pool growth — node
+    // construction performs no simulated accesses — and makes lazy adoption safe
+    // under the native policy.
+    std::lock_guard<std::mutex> guard(pool_mutex_);
+    pool_.push_back(std::make_unique<Node>());
+    return pool_.back().get();
+  }
+
+  std::mutex pool_mutex_;
+  std::vector<std::unique_ptr<Node>> pool_;
+  const uint32_t degree_;
+  const uint64_t drop_period_;
+  uint64_t served_ = 0;  // combiner-side, like the stats counters below
+  uint64_t inline_runs_ = 0;
+  uint64_t delegated_ = 0;
+  uint64_t passes_ = 0;
+  typename M::template Atomic<Node*> tail_;
+};
+
+}  // namespace clof::combining
+
+#endif  // CLOF_SRC_COMBINING_CCSYNCH_H_

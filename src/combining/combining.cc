@@ -1,0 +1,143 @@
+#include "src/combining/combining.h"
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/clof/clof_tree.h"
+#include "src/locks/clh.h"
+#include "src/locks/mcs.h"
+#include "src/locks/ticket.h"
+#include "src/mem/sim_memory.h"
+#include "src/topo/topology.h"
+
+namespace clof::combining {
+namespace {
+
+std::vector<std::string> EffectiveLevels(const CombiningOptions& options) {
+  if (options.hsynch_levels.empty()) {
+    return {"numa"};
+  }
+  return options.hsynch_levels;
+}
+
+// Depth index of the level named `level_name`, resolved at Make() time so the same
+// augmented registry works for any hierarchy that actually has the level.
+int ResolveLevel(const topo::Hierarchy& hierarchy, const std::string& level_name,
+                 const std::string& lock_name) {
+  for (int i = 0; i < hierarchy.depth(); ++i) {
+    if (hierarchy.LevelName(i) == level_name) {
+      return i;
+    }
+  }
+  throw std::invalid_argument("combining: lock '" + lock_name + "' needs a '" +
+                              level_name + "' level, but the hierarchy has: " +
+                              hierarchy.Describe());
+}
+
+uint32_t EffectiveDegree(const CombiningOptions& options, const ClofParams& params) {
+  return options.combine_degree != 0 ? options.combine_degree
+                                     : params.keep_local_threshold;
+}
+
+template <class Top>
+std::unique_ptr<Lock> MakeHsynchWith(const std::string& name,
+                                     const topo::Hierarchy& hierarchy, int level,
+                                     uint32_t degree) {
+  using L = HsynchLock<mem::SimMemory, Top>;
+  return std::make_unique<CombiningLockAdapter<L>>(name, /*levels=*/2,
+                                                   locks::kIsFair<Top>, hierarchy,
+                                                   level, degree);
+}
+
+std::unique_ptr<Lock> MakeHsynch(const std::string& name,
+                                 const topo::Hierarchy& hierarchy, int level,
+                                 uint32_t degree, const std::string& top) {
+  if (top == "mcs") {
+    return MakeHsynchWith<locks::McsLock<mem::SimMemory>>(name, hierarchy, level,
+                                                          degree);
+  }
+  if (top == "tkt") {
+    return MakeHsynchWith<locks::TicketLock<mem::SimMemory>>(name, hierarchy, level,
+                                                             degree);
+  }
+  if (top == "clh") {
+    return MakeHsynchWith<locks::ClhLock<mem::SimMemory>>(name, hierarchy, level,
+                                                          degree);
+  }
+  throw std::invalid_argument("combining: unsupported top lock '" + top +
+                              "' (supported: mcs, tkt, clh)");
+}
+
+void ValidateTop(const CombiningOptions& options) {
+  if (options.top_lock != "mcs" && options.top_lock != "tkt" &&
+      options.top_lock != "clh") {
+    throw std::invalid_argument("combining: unsupported top lock '" +
+                                options.top_lock + "' (supported: mcs, tkt, clh)");
+  }
+}
+
+}  // namespace
+
+std::string DescribeOptions(const CombiningOptions& options) {
+  std::string out = "H=";
+  out += options.combine_degree == 0 ? "params"
+                                     : std::to_string(options.combine_degree);
+  out += ",top=" + options.top_lock + ",levels=";
+  const std::vector<std::string> levels = EffectiveLevels(options);
+  for (size_t i = 0; i < levels.size(); ++i) {
+    if (i > 0) {
+      out += "+";
+    }
+    out += levels[i];
+  }
+  return out;
+}
+
+std::vector<std::string> CombiningLockNames(const CombiningOptions& options) {
+  std::vector<std::string> names = {"ccsynch"};
+  for (const std::string& level : EffectiveLevels(options)) {
+    names.push_back("hsynch-" + level);
+  }
+  return names;
+}
+
+Registry WithCombining(const Registry& base, const CombiningOptions& options) {
+  ValidateTop(options);
+  Registry augmented = base;
+  augmented.set_description(base.description() + "+combining:" +
+                            DescribeOptions(options));
+  const uint32_t degree = options.combine_degree;
+  augmented.Register(
+      "ccsynch", Registry::kAnyDepth, /*fair=*/true,
+      [degree](const std::string& name, const topo::Hierarchy& /*hierarchy*/,
+               const ClofParams& params) -> std::unique_ptr<Lock> {
+        CombiningOptions opts;
+        opts.combine_degree = degree;
+        using L = CcSynchLock<mem::SimMemory>;
+        return std::make_unique<CombiningLockAdapter<L>>(
+            name, /*levels=*/1, /*fair=*/true, EffectiveDegree(opts, params));
+      },
+      Registry::Kind::kBaseline);
+  const bool top_fair = true;  // mcs, tkt, clh are all fair
+  for (const std::string& level_name : EffectiveLevels(options)) {
+    const std::string top = options.top_lock;
+    augmented.Register(
+        "hsynch-" + level_name, Registry::kAnyDepth, top_fair,
+        [degree, level_name, top](const std::string& name,
+                                  const topo::Hierarchy& hierarchy,
+                                  const ClofParams& params) -> std::unique_ptr<Lock> {
+          CombiningOptions opts;
+          opts.combine_degree = degree;
+          const int level = ResolveLevel(hierarchy, level_name, name);
+          return MakeHsynch(name, hierarchy, level, EffectiveDegree(opts, params),
+                            top);
+        },
+        Registry::Kind::kBaseline);
+  }
+  return augmented;
+}
+
+}  // namespace clof::combining

@@ -1,0 +1,192 @@
+// H-Synch: hierarchical combining (Fatourou & Kallimanis, PPoPP'12; docs/COMBINING.md).
+//
+// One CC-Synch publication list per cohort of a chosen hierarchy level (classically
+// one per NUMA node), arbitrated by a global "top" lock. A thread announces on its own
+// cohort's list; whichever announcer wakes as that cohort's local combiner first
+// acquires the top lock, then serves up to H of its cohort's closures while holding
+// it, releases the top lock, and hands the local combiner role on. Combining keeps the
+// protected lines inside one cohort for a whole pass; the top lock rotates passes
+// across cohorts, so fairness degrades gracefully: with a fair arbiter no cohort can
+// be starved for more than H critical sections per competing cohort pass.
+//
+// This is the CLoF composition rule transplanted to delegation: the per-cohort
+// CC-Synch instance plays the low lock, the arbiter plays the high lock — and the
+// arbiter is a type parameter, so any CLoF-level basic lock (MCS, ticket, CLH) can be
+// the top. The protocol per cohort list is identical to CcSynchLock (see ccsynch.h for
+// the node-rotation and null-request conventions).
+#ifndef CLOF_SRC_COMBINING_HSYNCH_H_
+#define CLOF_SRC_COMBINING_HSYNCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/locks/traits.h"
+#include "src/mem/memory_policy.h"
+#include "src/runtime/function_ref.h"
+#include "src/topo/topology.h"
+
+namespace clof::combining {
+
+template <class M, class Top>
+  requires mem::MemoryPolicy<M>
+class HsynchLock {
+ public:
+  static constexpr const char* kName = "hsynch";
+  // Bounded combining degree + a fair arbiter = starvation freedom; an unfair top
+  // forfeits fairness for the whole composition, exactly like a CLoF tree (§4.2.3).
+  static constexpr bool kIsFair = locks::kIsFair<Top>;
+
+  using Closure = runtime::FunctionRef<void()>;
+
+  enum : uint32_t {
+    kStatusCombine = 0,  // owner wakes as its cohort's local combiner
+    kStatusSpin = 1,
+    kStatusDone = 2,
+  };
+
+  struct alignas(64) Node {
+    typename M::template Atomic<Closure*> req{nullptr};
+    typename M::template Atomic<Node*> next{nullptr};
+    typename M::template Atomic<uint32_t> status{kStatusCombine};
+  };
+
+  struct Context {
+    Node* node = nullptr;
+    int cohort = -1;  // resolved from M::CpuId() on first use; fibers never migrate
+    typename Top::Context top;
+    bool barged = false;  // only ever true under the skip_top_period mutant bug
+  };
+
+  // `level`: hierarchy depth index whose cohorts each get their own publication list.
+  // `combine_degree`: closures per local combiner pass (H). `skip_top_period` is the
+  // seeded torture-mutant bug (mut-hsynch-skip-top): every skip_top_period-th local
+  // combiner barges past the inter-cohort arbiter; 0 = correct. The hierarchy must
+  // outlive the lock (the same contract as the CLoF trees and HMCS).
+  HsynchLock(const topo::Hierarchy& hierarchy, int level, uint32_t combine_degree,
+             uint64_t skip_top_period = 0)
+      : hierarchy_(&hierarchy),
+        level_(level),
+        degree_(combine_degree < 1 ? 1 : combine_degree),
+        skip_top_period_(skip_top_period),
+        queues_(static_cast<size_t>(hierarchy.NumCohorts(level))) {
+    for (auto& queue : queues_) {
+      // Plain store: construction happens outside any simulation/exploration.
+      queue.tail.Store(NewNode(), std::memory_order_relaxed);
+    }
+  }
+  HsynchLock(const HsynchLock&) = delete;
+  HsynchLock& operator=(const HsynchLock&) = delete;
+
+  void Execute(Context& ctx, Closure fn) {
+    if (Announce(ctx, &fn)) {
+      fn();
+      ++inline_runs_;
+      Combine(ctx);
+    }
+  }
+
+  void Acquire(Context& ctx) {
+    Announce(ctx, nullptr);  // null request: always wakes holding combiner role + top
+    ++inline_runs_;
+  }
+
+  void Release(Context& ctx) { Combine(ctx); }
+
+  struct CombiningStats {
+    uint64_t inline_runs = 0;
+    uint64_t delegated = 0;
+    uint64_t passes = 0;  // local combiner passes == top-lock acquisitions
+  };
+  CombiningStats stats() const { return {inline_runs_, delegated_, passes_}; }
+
+ private:
+  struct alignas(64) LocalQueue {
+    typename M::template Atomic<Node*> tail{nullptr};
+  };
+
+  // Returns true when the caller woke as its cohort's combiner — in which case it
+  // already holds the top lock (unless the seeded barge bug fired) and must call
+  // Combine() when done.
+  bool Announce(Context& ctx, Closure* req) {
+    if (ctx.node == nullptr) {
+      ctx.node = NewNode();
+      ctx.cohort = hierarchy_->CohortOf(M::CpuId(), level_);
+    }
+    Node* fresh = ctx.node;
+    fresh->status.Store(kStatusSpin, std::memory_order_relaxed);
+    fresh->next.Store(nullptr, std::memory_order_relaxed);
+    Node* mine = queues_[static_cast<size_t>(ctx.cohort)].tail.Exchange(
+        fresh, std::memory_order_acq_rel);
+    mine->req.Store(req, std::memory_order_relaxed);
+    mine->next.Store(fresh, std::memory_order_release);
+    ctx.node = mine;
+    const uint32_t status =
+        M::SpinUntil(mine->status, [](uint32_t s) { return s != kStatusSpin; });
+    if (status != kStatusCombine) {
+      return false;
+    }
+    if (skip_top_period_ != 0 && ++wakeups_ % skip_top_period_ == 0) {
+      // BUG (mut-hsynch-skip-top): serve the cohort without global arbitration —
+      // two cohorts' critical sections can now run concurrently.
+      ctx.barged = true;
+      return true;
+    }
+    ctx.barged = false;
+    top_.Acquire(ctx.top);
+    return true;
+  }
+
+  void Combine(Context& ctx) {
+    Node* node = ctx.node->next.Load(std::memory_order_acquire);
+    uint32_t combined = 1;
+    for (;;) {
+      Node* succ = node->next.Load(std::memory_order_acquire);
+      if (succ == nullptr || combined >= degree_) {
+        break;
+      }
+      Closure* req = node->req.Load(std::memory_order_relaxed);
+      if (req == nullptr) {
+        break;  // lock-mode waiter: hand it the combiner role (and thus the top lock
+                // arbitration duty) so it can run its own critical section
+      }
+      (*req)();
+      ++delegated_;
+      node->status.Store(kStatusDone, std::memory_order_release);
+      ++combined;
+      node = succ;
+    }
+    ++passes_;
+    // Release the arbiter before waking the next local combiner: the successor
+    // re-acquires it itself (bounded combining — each pass re-arbitrates globally).
+    if (!ctx.barged) {
+      top_.Release(ctx.top);
+    }
+    node->status.Store(kStatusCombine, std::memory_order_release);
+  }
+
+  Node* NewNode() {
+    std::lock_guard<std::mutex> guard(pool_mutex_);
+    pool_.push_back(std::make_unique<Node>());
+    return pool_.back().get();
+  }
+
+  const topo::Hierarchy* hierarchy_;
+  const int level_;
+  const uint32_t degree_;
+  const uint64_t skip_top_period_;
+  uint64_t wakeups_ = 0;  // mutant bookkeeping (host-side; the bug is sim-only)
+  std::mutex pool_mutex_;
+  std::vector<std::unique_ptr<Node>> pool_;
+  std::vector<LocalQueue> queues_;
+  Top top_;
+  uint64_t inline_runs_ = 0;
+  uint64_t delegated_ = 0;
+  uint64_t passes_ = 0;
+};
+
+}  // namespace clof::combining
+
+#endif  // CLOF_SRC_COMBINING_HSYNCH_H_

@@ -46,6 +46,10 @@ BenchResult RunLockBench(const BenchConfig& config) {
   }
   auto lock = registry.Make(config.lock_name, config.spec.hierarchy, config.spec.params);
   SharedState shared(config.spec.ActiveProfile());
+  // Combining locks run critical sections as closures (docs/COMBINING.md): the work may
+  // execute on the current combiner's thread. Non-combining locks keep the classic
+  // acquire/release path byte for byte unless a test forces the closure shim.
+  const bool closure_path = lock->combining() || config.force_closure_api;
 
   const sim::Time end = sim::PsFromNs(config.duration_ms * 1e6);
   const int num_levels = machine.topology.num_levels();
@@ -85,6 +89,36 @@ BenchResult RunLockBench(const BenchConfig& config) {
           eng.Work(p.think_ns * jitter);
         }
         const sim::Time acquire_begin = eng.Now();
+        if (closure_path) {
+          // All bookkeeping happens at closure entry, on whichever CPU actually runs
+          // the critical section (the combiner's under delegation). For non-combining
+          // locks the default Execute shim runs this on the announcing thread at the
+          // exact virtual instant the classic path would — same simulated access
+          // sequence, so BenchResult is byte-identical (tests/combining_test.cc).
+          auto body = [&] {
+            const sim::Time waited = eng.Now() - acquire_begin;
+            result.acquire_latency.Record(waited);
+            latency_ns.push_back(sim::NsFromPs(waited));
+            const int owner_cpu = sim::Engine::Current().Cpu();
+            if (last_owner_cpu >= 0) {
+              const int level =
+                  last_owner_cpu == owner_cpu
+                      ? topo::Topology::kSameCpu
+                      : machine.topology.SharingLevel(last_owner_cpu, owner_cpu);
+              ++result.handovers_by_level[trace::LevelBucket(level, num_levels)];
+              ++result.total_handovers;
+            }
+            last_owner_cpu = owner_cpu;
+            shared.TouchCriticalSection(rng);
+            if (p.cs_work_ns > 0.0) {
+              eng.Work(p.cs_work_ns);
+            }
+          };
+          lock->Execute(*ctx, body);
+          ++ops[t];
+          eng.ReportProgress();
+          continue;
+        }
         lock->Acquire(*ctx);
         const sim::Time waited = eng.Now() - acquire_begin;
         result.acquire_latency.Record(waited);

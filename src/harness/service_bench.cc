@@ -136,13 +136,26 @@ ServiceBenchResult RunServiceBench(const ServiceBenchConfig& config) {
           ctx[s][inst] = locks[s][inst]->MakeContext();
         }
         const sim::Time acquire_begin = eng.Now();
-        locks[s][inst]->Acquire(*ctx[s][inst]);
-        site_latency_ns[s].push_back(sim::NsFromPs(eng.Now() - acquire_begin));
-        shards[s][inst]->TouchCriticalSection(rng);
-        if (p.cs_work_ns > 0.0) {
-          eng.Work(p.cs_work_ns);
+        if (locks[s][inst]->combining()) {
+          // Closure-mode site (docs/COMBINING.md): latency and shard work recorded at
+          // closure entry, on whichever thread the combiner delegates the request to.
+          auto body = [&] {
+            site_latency_ns[s].push_back(sim::NsFromPs(eng.Now() - acquire_begin));
+            shards[s][inst]->TouchCriticalSection(rng);
+            if (p.cs_work_ns > 0.0) {
+              eng.Work(p.cs_work_ns);
+            }
+          };
+          locks[s][inst]->Execute(*ctx[s][inst], body);
+        } else {
+          locks[s][inst]->Acquire(*ctx[s][inst]);
+          site_latency_ns[s].push_back(sim::NsFromPs(eng.Now() - acquire_begin));
+          shards[s][inst]->TouchCriticalSection(rng);
+          if (p.cs_work_ns > 0.0) {
+            eng.Work(p.cs_work_ns);
+          }
+          locks[s][inst]->Release(*ctx[s][inst]);
         }
-        locks[s][inst]->Release(*ctx[s][inst]);
         ++site_ops[s];
         eng.ReportProgress();
       }

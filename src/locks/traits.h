@@ -4,6 +4,8 @@
 
 #include <concepts>
 
+#include "src/runtime/function_ref.h"
+
 namespace clof::locks {
 
 // A lock may expose an owner-side waiter probe (paper §4.1.2: "in some lock algorithms,
@@ -12,6 +14,20 @@ namespace clof::locks {
 template <class L>
 concept HasWaitersHook = requires(const L& lock, const typename L::Context& ctx) {
   { lock.HasWaiters(ctx) } -> std::convertible_to<bool>;
+};
+
+// A combining (delegation) lock: the primary API is Execute(ctx, closure) — the lock
+// runs the closure exactly once under mutual exclusion, possibly on *another* thread
+// (the current combiner), so the protected data stays in the combiner's cache instead
+// of migrating on every handover. Every combining lock also keeps the classic
+// Acquire/Release surface (announcing a null request degenerates to a queue lock), so
+// it satisfies the type-erased clof::Lock interface unchanged. See docs/COMBINING.md.
+template <class L>
+concept CombiningLock = requires(L& lock, typename L::Context& ctx,
+                                 runtime::FunctionRef<void()> fn) {
+  lock.Execute(ctx, fn);
+  lock.Acquire(ctx);
+  lock.Release(ctx);
 };
 
 // Every lock declares whether it is fair (starvation-free). Composing any unfair lock

@@ -30,6 +30,18 @@
 //                       the drain barrier: new-side acquirers enter while committed
 //                       old-side waiters are still finishing their critical sections.
 //                       -> mutual-exclusion / lost-update oracles.
+//   mut-ccsynch-lost-closure
+//                       Genuine CC-Synch (src/combining/ccsynch.h) whose combiner
+//                       acknowledges every kDropPeriod-th delegated closure without
+//                       executing it (the drop_period knob). The announcer proceeds
+//                       as if its update happened.
+//                       -> lost-update oracle, via the torture closure path.
+//   mut-hsynch-skip-top
+//                       Genuine H-Synch (src/combining/hsynch.h) whose local combiner
+//                       barges past the inter-cohort arbiter every kSkipTopPeriod-th
+//                       pass (the skip_top_period knob): two cohorts' critical
+//                       sections run concurrently.
+//                       -> mutual-exclusion / lost-update oracles.
 //
 // The bugs are written against the simulated memory policy's sequentially consistent
 // execution (see src/mem/memory_policy.h): every one manifests from interleaving
@@ -47,6 +59,9 @@
 #include "src/clof/adaptive.h"
 #include "src/clof/lock.h"
 #include "src/clof/registry.h"
+#include "src/combining/ccsynch.h"
+#include "src/combining/combining.h"
+#include "src/combining/hsynch.h"
 #include "src/locks/mcs.h"
 #include "src/locks/ticket.h"
 #include "src/mem/memory_policy.h"
@@ -283,9 +298,39 @@ std::unique_ptr<Lock> MakeCpuCountMutant(const std::string& name,
                                         hierarchy.num_cpus());
 }
 
+// The combining mutants wrap the genuine algorithms with their seeded-bug knobs armed
+// (the same pattern as mut-adaptive-nodrain's skip_drain) and go through
+// combining::CombiningLockAdapter so the torture harness drives them on the closure
+// path — the only path where delegation, and therefore the bugs, can fire. Both are
+// constructed with levels = kAnyDepth so the pass-budget starvation model keeps
+// judging them against the flat floor (torture::StarvationBudgetNs).
+inline constexpr uint64_t kCcsynchDropPeriod = 3;
+inline std::unique_ptr<Lock> MakeCcsynchLostClosureMutant(const std::string& name,
+                                                          const topo::Hierarchy&,
+                                                          const ClofParams& params) {
+  using L = combining::CcSynchLock<mem::SimMemory>;
+  return std::make_unique<combining::CombiningLockAdapter<L>>(
+      name, Registry::kAnyDepth, /*fair=*/true, params.keep_local_threshold,
+      kCcsynchDropPeriod);
+}
+
+// Level 0 (the smallest cohorts) with combining degree 1: even when every torture
+// thread lands in one cohort of the higher levels, level 0 splits them, and each pass
+// serving exactly one critical section maximizes top-lock round trips — so the
+// every-other-pass barge overlaps with another cohort's critical section quickly.
+inline constexpr uint64_t kHsynchSkipTopPeriod = 2;
+inline std::unique_ptr<Lock> MakeHsynchSkipTopMutant(const std::string& name,
+                                                     const topo::Hierarchy& hierarchy,
+                                                     const ClofParams&) {
+  using L = combining::HsynchLock<mem::SimMemory, locks::McsLock<mem::SimMemory>>;
+  return std::make_unique<combining::CombiningLockAdapter<L>>(
+      name, Registry::kAnyDepth, /*fair=*/true, hierarchy, /*level=*/0,
+      /*combine_degree=*/1, kHsynchSkipTopPeriod);
+}
+
 }  // namespace internal
 
-// Registers the six simulated-memory mutants into `registry` (Kind::kBaseline: they
+// Registers the eight simulated-memory mutants into `registry` (Kind::kBaseline: they
 // must never enter a generated-locks sweep by accident).
 inline void RegisterMutants(Registry& registry) {
   using M = mem::SimMemory;
@@ -313,12 +358,18 @@ inline void RegisterMutants(Registry& registry) {
                     MutAdaptiveNoDrainLock<M>::kIsFair,
                     &internal::MakeCpuCountMutant<MutAdaptiveNoDrainLock<M>>,
                     Registry::Kind::kBaseline);
+  registry.Register("mut-ccsynch-lost-closure", Registry::kAnyDepth, /*fair=*/true,
+                    &internal::MakeCcsynchLostClosureMutant,
+                    Registry::Kind::kBaseline);
+  registry.Register("mut-hsynch-skip-top", Registry::kAnyDepth, /*fair=*/true,
+                    &internal::MakeHsynchSkipTopMutant, Registry::Kind::kBaseline);
 }
 
 // The mutant names in registration order (the order docs and reports use).
 inline std::vector<std::string> MutantNames() {
-  return {"mut-split-acquire", "mut-skip-unlock", "mut-stuck-spin", "mut-drop-handover",
-          "mut-yield-turn", "mut-adaptive-nodrain"};
+  return {"mut-split-acquire",  "mut-skip-unlock",         "mut-stuck-spin",
+          "mut-drop-handover",  "mut-yield-turn",          "mut-adaptive-nodrain",
+          "mut-ccsynch-lost-closure", "mut-hsynch-skip-top"};
 }
 
 // A registry holding only the mutants. Built once; immutable afterwards (magic-static

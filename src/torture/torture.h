@@ -18,12 +18,22 @@
 //                       (livelock / budget trips) — both surface with the per-thread
 //                       diagnostic dump;
 //   bounded-starvation  the longest single Acquire() wait must stay under
-//                       `starvation_fraction` of the run, judged only for locks
-//                       registered fair and only under the unperturbed scenario
-//                       (every injector legitimately stalls or stretches individual
-//                       waits in a short run).
+//                       StarvationBudgetNs() — a pass-budget model: hierarchical and
+//                       combining locks legitimately keep the lock local for up to
+//                       ClofParams.keep_local_threshold handovers per level (H-Synch's
+//                       combining degree H maps to the same parameter), so the budget
+//                       scales with the lock's level count and the run's mean
+//                       critical-section time, floored at `starvation_fraction` of
+//                       the run. Judged only for locks registered fair and only under
+//                       the unperturbed scenario (every injector legitimately stalls
+//                       or stretches individual waits in a short run).
 //
-// The oracles are validated by construction: src/torture/mutants.h ships six locks
+// Combining locks (combining() == true) are driven through their closure path —
+// Execute() with the oracle read-modify-write inside the closure — so delegation
+// itself is under test: a combiner that drops or double-runs an announced closure
+// trips the lost-update oracle, and a barging combiner trips mutual exclusion.
+//
+// The oracles are validated by construction: src/torture/mutants.h ships eight locks
 // with classic seeded-in bugs, one per oracle family, and tests/torture_test.cc
 // asserts that the default matrix flags every mutant and passes every genuine lock.
 //
@@ -63,10 +73,27 @@ struct TortureConfig {
   ClofParams params;
   sim::WatchdogConfig watchdog;           // !Enabled() = DefaultTortureWatchdog(duration_ms)
   int jobs = 1;                           // exec::Executor workers (0 = all host CPUs)
-  // Bounded-starvation threshold: flag when one Acquire() waits longer than this
-  // fraction of the run's virtual duration.
+  // Bounded-starvation floor: the budget never drops below this fraction of the
+  // run's virtual duration (see StarvationBudgetNs for the full pass-budget model).
   double starvation_fraction = 0.5;
 };
+
+// Safety slack multiplier in the pass-budget starvation model: the worst admissible
+// wait is `slack * (1 + (levels - 1) * keep_local_threshold)` mean critical sections —
+// one pass of keep-local handovers per lower level, doubled to absorb think-time and
+// scheduling jitter around each handover.
+inline constexpr double kStarvationPassSlack = 2.0;
+
+// The bounded-starvation budget for one run: how long one Acquire() may wait before a
+// fair lock is flagged. Models keep-local pass runs — a lock with L levels may
+// legitimately serve up to `keep_local_threshold` consecutive local critical sections
+// per lower level (CLoF trees) or combining pass (H-Synch, where H maps onto the same
+// parameter) before a remote waiter gets its turn. The mean critical-section time is
+// estimated from the run itself (duration / total_ops). Locks registered with
+// kAnyDepth (levels < 1) and empty runs fall back to the flat floor, so the
+// single-level mutants stay judged against the tight historical bound.
+double StarvationBudgetNs(const TortureConfig& config, int lock_levels,
+                          uint64_t total_ops);
 
 // One oracle violation in one (lock, scenario) run.
 struct Violation {

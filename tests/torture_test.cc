@@ -74,6 +74,12 @@ TEST(TortureTest, EveryMutantIsFlaggedWithItsOracle) {
   // overlap a still-live old-side critical section (src/clof/adaptive.h).
   EXPECT_TRUE(HasOracle(report, "mut-adaptive-nodrain", "mutual-exclusion") ||
               HasOracle(report, "mut-adaptive-nodrain", "lost-update"));
+  // The combiner that drops announced closures leaves their increments missing.
+  EXPECT_TRUE(HasOracle(report, "mut-ccsynch-lost-closure", "lost-update"));
+  // The local combiner that barges past the top arbiter overlaps another cohort's
+  // combiner (src/combining/hsynch.h).
+  EXPECT_TRUE(HasOracle(report, "mut-hsynch-skip-top", "mutual-exclusion") ||
+              HasOracle(report, "mut-hsynch-skip-top", "lost-update"));
 
   // Deadlock/watchdog violations carry the engine's per-thread diagnostic dump.
   bool saw_diagnostic = false;

@@ -37,6 +37,11 @@
 //
 // Common flags: --machine=x86|arm (default arm), --topology=<spec> (custom machine,
 // see topo::Topology::FromSpec), --levels=<names,comma>, --duration_ms, --seed, --H.
+// --combining enrolls the combining locks (docs/COMBINING.md) — "ccsynch" plus one
+// "hsynch-<level>" per non-system hierarchy level — next to the queue-lock
+// compositions in --sweep (incl. --robustness), --service, and --lock= runs; their
+// registry entries carry the combining options in the description, so cached sweep
+// cells with and without --combining never collide.
 // docs/OBSERVABILITY.md documents the per-level metrics and the trace workflow;
 // docs/PARALLEL_SWEEP.md documents the executor and the cache key;
 // docs/FAULT_INJECTION.md documents the perturbation layer and the robustness mode.
@@ -49,6 +54,7 @@
 
 #include "bench/bench_util.h"
 #include "src/clof/adaptive.h"
+#include "src/combining/combining.h"
 #include "src/discover/heatmap.h"
 #include "src/fault/scenarios.h"
 #include "src/exec/executor.h"
@@ -266,7 +272,7 @@ int Run(const bench::Flags& flags) {
        "threads", "cache",    "journal", "robustness", "torture", "lock",
        "verbose", "adaptive", "lc",     "hc",        "up_ns",    "down_ns",
        "force_switch", "fault", "trace", "trace_capacity", "stats", "H",
-       "service", "shards",   "loads",  "quick",     "check"});
+       "service", "shards",   "loads",  "quick",     "check",   "combining"});
   if (!unknown.empty()) {
     std::fprintf(stderr, "unknown flag(s):");
     for (const auto& key : unknown) {
@@ -333,6 +339,34 @@ int Run(const bench::Flags& flags) {
 
   auto hierarchy = DefaultHierarchy(machine.topology, flags.GetString("levels", ""));
 
+  // --combining (docs/COMBINING.md): enroll ccsynch and one hsynch per non-system
+  // hierarchy level next to the queue-lock compositions. Flag-gated so the default
+  // registry description — and with it every historical cache fingerprint — stays
+  // untouched. Options are derived per mode because --service may narrow the
+  // hierarchy first.
+  const bool combining_enabled = flags.GetBool("combining");
+  auto combining_options = [](const topo::Hierarchy& h) {
+    combining::CombiningOptions options;
+    for (int i = 0; i + 1 < h.depth(); ++i) {
+      options.hsynch_levels.push_back(h.LevelName(i));
+    }
+    if (options.hsynch_levels.empty()) {  // depth-1 hierarchy: combine at that level
+      options.hsynch_levels.push_back(h.LevelName(h.depth() - 1));
+    }
+    return options;
+  };
+  // The sweep's default enrollment when --combining is on: every generated
+  // composition of the hierarchy's depth plus the combining locks.
+  auto combining_sweep_names = [&registry](const topo::Hierarchy& h,
+                                           const combining::CombiningOptions& options) {
+    std::vector<std::string> names =
+        registry.Names({.levels = h.depth(), .generated_only = true});
+    for (const auto& name : combining::CombiningLockNames(options)) {
+      names.push_back(name);
+    }
+    return names;
+  };
+
   if (flags.GetBool("service")) {
     // Service scenario (docs/SERVICE.md): per-site selection, then the offered-load
     // curve. Default to a 2-level hierarchy when --levels was not given — the 3-site
@@ -353,6 +387,14 @@ int Run(const bench::Flags& flags) {
     config.base.spec.hierarchy = hierarchy;
     config.base.spec.registry = &registry;
     config.base.spec.seed = seed;
+    std::unique_ptr<Registry> service_registry;
+    if (combining_enabled) {
+      const auto options = combining_options(hierarchy);
+      service_registry =
+          std::make_unique<Registry>(combining::WithCombining(registry, options));
+      config.base.spec.registry = service_registry.get();
+      config.base.lock_names = combining_sweep_names(hierarchy, options);
+    }
     config.base.duration_ms = flags.GetDouble("duration_ms", 0.5);
     config.base.thread_counts =
         flags.GetString("threads", "").empty() && quick
@@ -492,7 +534,7 @@ int Run(const bench::Flags& flags) {
   if (flags.GetBool("torture")) {
     // Torture mode (docs/TORTURE.md): correctness oracles instead of throughput. With
     // --lock= the named genuine lock runs the matrix (clean = exit 0); without it the
-    // six mutants run and every one must be flagged (oracle validation).
+    // eight mutants run and every one must be flagged (oracle validation).
     torture::TortureConfig config;
     config.machine = &machine;
     config.hierarchy = hierarchy;
@@ -529,6 +571,14 @@ int Run(const bench::Flags& flags) {
     config.spec.registry = &registry;
     config.spec.profile = ProfileByName(flags.GetString("profile", "leveldb"));
     config.spec.seed = seed;
+    std::unique_ptr<Registry> sweep_registry;
+    if (combining_enabled) {
+      const auto options = combining_options(hierarchy);
+      sweep_registry =
+          std::make_unique<Registry>(combining::WithCombining(registry, options));
+      config.spec.registry = sweep_registry.get();
+      config.lock_names = combining_sweep_names(hierarchy, options);
+    }
     config.duration_ms = duration;
     config.thread_counts = ParseThreads(flags.GetString("threads", ""), machine.topology);
     config.jobs = flags.GetInt("jobs", 0);
@@ -604,7 +654,7 @@ int Run(const bench::Flags& flags) {
         std::printf("%s (none: every swept lock was quarantined)\n", tag);
         return;
       }
-      Registry::LockInfo info = registry.Info(name);
+      Registry::LockInfo info = config.spec.registry->Info(name);
       std::printf("%s %-18s (score %.3f, %s)", tag, name.c_str(), score,
                   info.fair ? "fair" : "unfair");
       const select::LockCurve* curve = result.Curve(name);
@@ -740,6 +790,13 @@ int Run(const bench::Flags& flags) {
   }
   ClofParams params;
   params.keep_local_threshold = static_cast<uint32_t>(flags.GetInt("H", 128));
+  std::unique_ptr<Registry> single_registry;
+  const Registry* active_registry = &registry;
+  if (combining_enabled) {
+    single_registry = std::make_unique<Registry>(
+        combining::WithCombining(registry, combining_options(hierarchy)));
+    active_registry = single_registry.get();
+  }
   auto threads = ParseThreads(flags.GetString("threads", ""), machine.topology);
   const std::string trace_path = flags.GetString("trace", "");
   const bool want_stats = flags.GetBool("stats");
@@ -763,7 +820,7 @@ int Run(const bench::Flags& flags) {
     harness::BenchConfig config;
     config.spec.machine = &machine;
     config.spec.hierarchy = hierarchy;
-    config.spec.registry = &registry;
+    config.spec.registry = active_registry;
     config.spec.profile = ProfileByName(flags.GetString("profile", "leveldb"));
     config.spec.seed = seed;
     config.spec.params = params;

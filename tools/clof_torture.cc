@@ -1,8 +1,10 @@
 // clof_torture — the lock torture driver (docs/TORTURE.md).
 //
-//   clof_torture                     validate the oracles: torture the six mutant
+//   clof_torture                     validate the oracles: torture the eight mutant
 //                                    locks (all must be FLAGGED) and a genuine control
-//                                    set (all must stay clean); exit 0 iff both hold
+//                                    set — generated compositions, baselines, and the
+//                                    combining locks — (all must stay clean); exit 0
+//                                    iff both hold
 //   clof_torture --mutants           mutants only
 //   clof_torture --locks=a,b,...     named genuine locks only (clean = exit 0)
 //
@@ -19,6 +21,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/combining/combining.h"
 #include "src/fault/scenarios.h"
 #include "src/torture/mutants.h"
 #include "src/torture/torture.h"
@@ -117,10 +120,22 @@ int Run(const bench::Flags& flags) {
   }
 
   if (!mutants_only) {
-    // Genuine phase: every real lock must pass the same matrix cleanly.
-    const Registry& registry = SimRegistry(machine.platform.arch == sim::Arch::kX86);
+    // Genuine phase: every real lock must pass the same matrix cleanly. The registry
+    // is augmented with the combining locks (H-Synch at the lowest hierarchy level,
+    // so the torture thread block spans multiple cohorts) and they join the default
+    // control set — the genuine algorithms must survive the same matrix the seeded
+    // combining mutants fail.
+    const Registry& base = SimRegistry(machine.platform.arch == sim::Arch::kX86);
+    combining::CombiningOptions combining_options;
+    combining_options.hsynch_levels = {hierarchy.LevelName(0)};
+    const Registry registry = combining::WithCombining(base, combining_options);
     std::vector<std::string> locks =
         named.empty() ? ControlLocks(registry, hierarchy) : SplitCsv(named);
+    if (named.empty()) {
+      for (const auto& name : combining::CombiningLockNames(combining_options)) {
+        locks.push_back(name);
+      }
+    }
     auto report = Torture(flags, machine, hierarchy, registry, locks);
     std::printf("%s", torture::FormatTortureReport(report, verbose).c_str());
     for (const auto& verdict : report.verdicts) {
