@@ -3,13 +3,23 @@
 // Everything downstream — the fig9 N^M sweep, the robustness matrix, the heatmap —
 // funnels through sim::Engine::Access, so the simulator's own host throughput bounds
 // how much of the design space a sweep can afford to explore (ROADMAP north star).
-// This binary times a fixed fig9-style sub-sweep (a pinned set of generated CLoF
-// locks, thread counts, seeds and durations on both paper machines) and reports
-// *simulated atomic ops per wall-clock second*: engine accesses divided by host
-// seconds. The workload is pinned so numbers are comparable across commits.
+// This binary times a pinned workload and reports *simulated atomic ops per
+// wall-clock second*: engine accesses divided by host seconds. Two scenarios:
 //
-// Run through scripts/bench_wallclock.sh (release preset) to append a labelled
-// record to BENCH_wallclock.json; raw output is one JSON object on stdout.
+//  * default ("sim_hot_path"): a fixed fig9-style sub-sweep (a pinned set of
+//    generated CLoF locks, thread counts, seeds and durations on both paper
+//    machines) — the historical trajectory in BENCH_wallclock.json;
+//  * --topology=cxl-pod-1024 ("sim_scale_cxl1024"): the data-center scale scenario —
+//    a 4-level hierarchy on the 1024-CPU CXL-pod preset, thread counts up to the
+//    full machine, mixing local-handover compositions with global-spinning ones so
+//    the engine sees 1000-waiter wakeup herds and deep sharing-level lookups.
+//
+// --scheduler=heap|wheel selects the ready-queue implementation (docs/SIM_ENGINE.md;
+// results are byte-identical, only wall-clock differs), so the two variants can be
+// benchmarked head-to-head on either scenario.
+//
+// Run through scripts/bench_wallclock.sh (release preset) to append labelled
+// records to BENCH_wallclock.json; raw output is one JSON object on stdout.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -33,19 +43,15 @@ struct SweepTotals {
 
 // One fixed sub-sweep: every listed lock at every thread count, one run each.
 SweepTotals RunVariant(const sim::Machine& machine, const std::vector<std::string>& levels,
-                       bool ctr_registry, double duration_ms) {
+                       bool ctr_registry, double duration_ms, sim::SchedulerKind scheduler,
+                       const std::vector<std::string>& locks, const std::vector<int>& threads) {
   SweepTotals totals;
   harness::BenchConfig config;
   config.spec.machine = &machine;
   config.spec.hierarchy = topo::Hierarchy::Select(machine.topology, levels);
   config.spec.registry = &SimRegistry(ctr_registry);
+  config.spec.scheduler = scheduler;
   config.duration_ms = duration_ms;
-  // Fig9c/d highlighted compositions plus uniform stacks: a mix of handover-local
-  // winners and global-spinning losers, so the engine sees both short critical-path
-  // handovers and refetch-storm park/wake churn.
-  const std::vector<std::string> locks = {"hem-mcs-tkt", "tkt-mcs-mcs", "clh-tkt-tkt",
-                                          "mcs-mcs-mcs", "tkt-clh-tkt", "mcs-tkt-hem"};
-  const std::vector<int> threads = {1, 8, 24, 48};
   for (const std::string& lock : locks) {
     config.lock_name = lock;
     for (int t : threads) {
@@ -58,38 +64,99 @@ SweepTotals RunVariant(const sim::Machine& machine, const std::vector<std::strin
   return totals;
 }
 
+// The historical sim_hot_path workload: fig9c/d highlighted compositions plus uniform
+// stacks — a mix of handover-local winners and global-spinning losers, so the engine
+// sees both short critical-path handovers and refetch-storm park/wake churn.
+SweepTotals RunHotPath(const sim::Machine& x86, const sim::Machine& arm, double duration_ms,
+                       sim::SchedulerKind scheduler) {
+  const std::vector<std::string> locks = {"hem-mcs-tkt", "tkt-mcs-mcs", "clh-tkt-tkt",
+                                          "mcs-mcs-mcs", "tkt-clh-tkt", "mcs-tkt-hem"};
+  const std::vector<int> threads = {1, 8, 24, 48};
+  SweepTotals a = RunVariant(x86, {"cache", "numa", "system"}, true, duration_ms, scheduler,
+                             locks, threads);
+  SweepTotals b = RunVariant(arm, {"cache", "numa", "system"}, false, duration_ms, scheduler,
+                             locks, threads);
+  return {a.sim_ops + b.sim_ops, a.lock_acquires + b.lock_acquires};
+}
+
+// The scale workload: a 4-level hierarchy over all 1024 CPUs of the CXL-pod preset.
+// Compositions chosen as in the hot path — keep-local winners (mcs/clh stacks) next
+// to a uniform ticket stack whose top level globally spins, which at 1024 threads
+// produces the ~thousand-waiter wakeup herds the batched heap build targets.
+SweepTotals RunScale(const sim::Machine& machine, double duration_ms,
+                     sim::SchedulerKind scheduler) {
+  const std::vector<std::string> locks = {"mcs-mcs-mcs-mcs", "tkt-mcs-mcs-mcs",
+                                          "clh-clh-mcs-tkt", "tkt-tkt-tkt-tkt"};
+  const std::vector<int> threads = {64, 256, 1024};
+  return RunVariant(machine, {"cache", "numa", "pod", "system"}, true, duration_ms,
+                    scheduler, locks, threads);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
-  const double duration_ms = flags.GetDouble("duration_ms", 8.0);
+  const auto unknown = flags.UnknownKeys({"duration_ms", "repeat", "topology", "scheduler"});
+  if (!unknown.empty()) {
+    std::fprintf(stderr, "unknown flag(s):");
+    for (const auto& key : unknown) {
+      std::fprintf(stderr, " --%s", key.c_str());
+    }
+    std::fprintf(stderr, "\nusage: engine_bench [--topology=cxl-pod-1024] "
+                         "[--scheduler=heap|wheel] [--duration_ms=N] [--repeat=N]\n");
+    return 2;
+  }
   const int repeat = flags.GetInt("repeat", 3);
+  const std::string topology = flags.GetString("topology", "");
+  const std::string scheduler_name = flags.GetString("scheduler", "heap");
+  const bool scale = topology == "cxl-pod-1024";
+  if (!topology.empty() && !scale) {
+    std::fprintf(stderr, "unknown --topology=%s (supported: cxl-pod-1024)\n",
+                 topology.c_str());
+    return 2;
+  }
+  // Scale-scenario default tuned so per-run setup (1024 fibers, lock construction over
+  // 1024 CPUs) amortizes against steady-state simulation: below ~4 virtual ms the
+  // number measures startup, not the hot path.
+  const double duration_ms = flags.GetDouble("duration_ms", scale ? 6.0 : 8.0);
+  sim::SchedulerKind scheduler;
+  if (scheduler_name == "heap") {
+    scheduler = sim::SchedulerKind::kIndexedHeap;
+  } else if (scheduler_name == "wheel") {
+    scheduler = sim::SchedulerKind::kTimingWheel;
+  } else {
+    std::fprintf(stderr, "unknown --scheduler=%s (supported: heap, wheel)\n",
+                 scheduler_name.c_str());
+    return 2;
+  }
 
   auto x86 = sim::Machine::PaperX86();
   auto arm = sim::Machine::PaperArm();
+  auto cxl = sim::Machine::CxlPod1024();
 
   uint64_t sim_ops = 0;
   uint64_t lock_acquires = 0;
   double best_wall_s = -1.0;
-  // Repeat the whole sub-sweep and keep the fastest pass: the virtual-time results are
+  // Repeat the whole workload and keep the fastest pass: the virtual-time results are
   // identical every pass (determinism invariant), so variance is pure host noise.
   for (int r = 0; r < repeat; ++r) {
     auto begin = std::chrono::steady_clock::now();
-    SweepTotals a = RunVariant(x86, {"cache", "numa", "system"}, true, duration_ms);
-    SweepTotals b = RunVariant(arm, {"cache", "numa", "system"}, false, duration_ms);
+    SweepTotals totals = scale ? RunScale(cxl, duration_ms, scheduler)
+                               : RunHotPath(x86, arm, duration_ms, scheduler);
     auto end = std::chrono::steady_clock::now();
     double wall_s = std::chrono::duration<double>(end - begin).count();
-    sim_ops = a.sim_ops + b.sim_ops;
-    lock_acquires = a.lock_acquires + b.lock_acquires;
+    sim_ops = totals.sim_ops;
+    lock_acquires = totals.lock_acquires;
     if (best_wall_s < 0.0 || wall_s < best_wall_s) {
       best_wall_s = wall_s;
     }
   }
 
   double ops_per_sec = static_cast<double>(sim_ops) / best_wall_s;
-  std::printf("{\"bench\":\"sim_hot_path\",\"duration_ms\":%.3f,\"repeat\":%d,"
+  std::printf("{\"bench\":\"%s\",\"scheduler\":\"%s\",\"duration_ms\":%.3f,\"repeat\":%d,"
               "\"sim_ops\":%llu,\"lock_acquires\":%llu,\"best_wall_s\":%.4f,"
               "\"sim_ops_per_sec\":%.0f}\n",
+              scale ? "sim_scale_cxl1024" : "sim_hot_path", scheduler_name.c_str(),
               duration_ms, repeat, static_cast<unsigned long long>(sim_ops),
               static_cast<unsigned long long>(lock_acquires), best_wall_s, ops_per_sec);
   return 0;

@@ -7,8 +7,10 @@
 #
 # Usage: scripts/check_all.sh [--perf]
 #   --perf  also run the wall-clock perf stage (scripts/bench_wallclock.sh, release
-#           preset): times the engine microbench, appends to BENCH_wallclock.json, and
-#           fails if throughput regressed below 0.9x the previous same-label record.
+#           preset): times the engine microbench on both the fig9-style hot path and
+#           the 1024-CPU scale scenario, each under both ready-queue variants, appends
+#           all rows to BENCH_wallclock.json, and fails if any (bench, scheduler)
+#           series regressed below 0.9x its previous check_all record.
 #
 # A torture smoke stage (clof_torture, short duration) runs after tier-1: the eight
 # mutant locks must be flagged and the genuine control set — now including the
@@ -79,27 +81,48 @@ combining_smoke() {
 }
 
 perf_stage() {
+  # Both scenarios, both scheduler variants (bench_wallclock.sh loops over heap and
+  # wheel itself): the historical fig9-style hot path and the 1024-CPU scale scenario.
   scripts/bench_wallclock.sh "check_all" || return $?
-  # Regression gate: the record just appended must be >= 0.9x the previous
-  # measurement with the same label (records are one JSON object per line,
-  # newest last; only same-label numbers are comparable).
+  scripts/bench_wallclock.sh "check_all" --topology=cxl-pod-1024 || return $?
+  # Regression gate: within every (bench, scheduler) series of check_all records, the
+  # row just appended must be >= 0.9x the previous one (records are one JSON object
+  # per line, newest last; only same-series numbers are comparable).
   awk -F'"sim_ops_per_sec":' '
     /"label":"check_all"/ {
-      prev = last
+      series = ""
+      if (match($0, /"bench":"[^"]*"/)) {
+        series = substr($0, RSTART, RLENGTH)
+      }
+      if (match($0, /"scheduler":"[^"]*"/)) {
+        series = series " " substr($0, RSTART, RLENGTH)
+      }
+      prev[series] = last[series]
       split($2, f, /[,}]/)
-      last = f[1]
+      last[series] = f[1]
     }
     END {
-      if (prev == "" || last == "") {
-        print "perf gate: no prior check_all record to compare against, skipping"
-        exit 0
+      gated = 0
+      failed = 0
+      for (series in last) {
+        if (prev[series] == "" || last[series] == "") {
+          printf "perf gate: no prior check_all record for %s, skipping\n", series
+          continue
+        }
+        ++gated
+        ratio = last[series] / prev[series]
+        printf "perf gate: %s %.0f vs previous %.0f sim_ops/sec (%.2fx)\n", series,
+               last[series], prev[series], ratio
+        if (ratio < 0.9) {
+          printf "perf gate: FAIL — %s regressed below 0.9x of the previous record\n",
+                 series
+          failed = 1
+        }
       }
-      ratio = last / prev
-      printf "perf gate: %.0f vs previous %.0f sim_ops/sec (%.2fx)\n", last, prev, ratio
-      if (ratio < 0.9) {
-        print "perf gate: FAIL — regressed below 0.9x of the previous record"
-        exit 1
+      if (gated == 0) {
+        print "perf gate: no prior check_all records to compare against, skipping"
       }
+      exit failed
     }' BENCH_wallclock.json
 }
 

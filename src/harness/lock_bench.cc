@@ -31,6 +31,7 @@ BenchResult RunLockBench(const BenchConfig& config) {
   }
 
   sim::Engine engine(machine.topology, machine.platform);
+  engine.SetScheduler(config.spec.scheduler);
   engine.SetEventSink(config.trace_sink);
   if (config.watchdog.Enabled()) {
     engine.SetWatchdog(config.watchdog);

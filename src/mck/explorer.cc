@@ -3,7 +3,6 @@
 #include <array>
 #include <cstdio>
 #include <cstdlib>
-#include <unordered_map>
 #include <utility>
 
 namespace clof::mck {
@@ -16,6 +15,114 @@ thread_local Explorer* g_current_explorer = nullptr;
 struct CancelExecution {};
 
 uint64_t Bit(int tid) { return uint64_t{1} << tid; }
+
+// Open-addressed hash map whose "clear" is an epoch bump. The explorer needs two
+// per-address maps (write versions, DPOR access records) that logically reset between
+// executions; node-based maps made that reset O(entries) worth of frees followed by
+// the same allocations all over again next execution — the dominant cost of short
+// explorations. Here NextEpoch() just increments a counter: stale entries read as
+// absent, and when an address reappears (executions allocate their shared state the
+// same way, so the allocator hands back the same blocks) the entry — including any
+// heap-backed vectors inside Value — is recycled in place by the caller-supplied
+// reset functor. Steady-state exploration therefore performs no heap allocation at
+// all (mck_alloc_test pins this).
+template <typename Value>
+class EpochTable {
+ public:
+  // Starts a new epoch: every existing entry becomes stale (logically absent).
+  void NextEpoch() {
+    ++epoch_;
+    live_ = 0;
+  }
+
+  // Current-epoch entry for `addr`, created (or revived from a stale slot) with
+  // `reset(value)` when absent. `addr` must be nonzero (0 is the empty-slot marker;
+  // real watch/access addresses are object addresses, never null).
+  template <typename Reset>
+  Value& Ref(uintptr_t addr, Reset reset) {
+    if (slots_.size() - used_ <= slots_.size() / 4) {
+      Rebuild();  // keep at least a quarter of the probes landing on empty slots
+    }
+    const size_t mask = slots_.size() - 1;
+    size_t i = Hash(addr) & mask;
+    while (true) {
+      Slot& slot = slots_[i];
+      if (slot.addr == 0) {
+        slot.addr = addr;
+        slot.epoch = epoch_;
+        ++used_;
+        ++live_;
+        reset(slot.value);
+        return slot.value;
+      }
+      if (slot.addr == addr) {
+        if (slot.epoch != epoch_) {
+          slot.epoch = epoch_;
+          ++live_;
+          reset(slot.value);
+        }
+        return slot.value;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  // Read-only probe: the current-epoch entry for `addr`, or nullptr.
+  const Value* Find(uintptr_t addr) const {
+    const size_t mask = slots_.size() - 1;
+    size_t i = Hash(addr) & mask;
+    while (true) {
+      const Slot& slot = slots_[i];
+      if (slot.addr == 0) {
+        return nullptr;
+      }
+      if (slot.addr == addr) {
+        return slot.epoch == epoch_ ? &slot.value : nullptr;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+ private:
+  struct Slot {
+    uintptr_t addr = 0;  // 0 = never occupied
+    uint64_t epoch = 0;
+    Value value{};
+  };
+
+  static size_t Hash(uintptr_t addr) {
+    return static_cast<size_t>((static_cast<uint64_t>(addr) * 0x9E3779B97F4A7C15ull) >> 32);
+  }
+
+  // Re-inserts only live entries, sized from the live count: stale slots left by
+  // address churn are dropped (their values freed) instead of forcing growth forever.
+  // Rebuilds allocate, but they stop once the table spans the program's footprint.
+  void Rebuild() {
+    size_t capacity = 64;
+    while (capacity < (live_ + 1) * 4) {
+      capacity *= 2;
+    }
+    std::vector<Slot> fresh(capacity);
+    const size_t mask = capacity - 1;
+    for (Slot& slot : slots_) {
+      if (slot.addr == 0 || slot.epoch != epoch_) {
+        continue;
+      }
+      size_t i = Hash(slot.addr) & mask;
+      while (fresh[i].addr != 0) {
+        i = (i + 1) & mask;
+      }
+      fresh[i] = std::move(slot);
+    }
+    slots_ = std::move(fresh);
+    used_ = live_;
+  }
+
+  std::vector<Slot> slots_ = std::vector<Slot>(64);
+  uint64_t epoch_ = 0;
+  size_t used_ = 0;  // occupied slots, any epoch
+  size_t live_ = 0;  // occupied slots stamped with the current epoch
+};
 
 // Stateless apply for SchedulePoint's pending no-op (a FunctionRef target must
 // outlive its calls; a namespace-scope object trivially does).
@@ -43,6 +150,11 @@ struct Explorer::ThreadState {
   MckOpKind pending_kind = MckOpKind::kLoad;
   runtime::FunctionRef<bool()> pending_apply;
   std::function<void()> arrival_probe;
+  // The thread's program for the current execution. It lives here (not captured in the
+  // fiber's std::function) so re-arming a recycled fiber only captures one ThreadState
+  // pointer — small enough for std::function's inline storage, keeping the
+  // per-execution reset allocation-free.
+  std::function<void()> body;
 
   // Sleep-set independence check: can executing (addr, is_write) affect this thread's
   // next visible action? Unknown next actions (fresh threads) count as dependent.
@@ -65,9 +177,12 @@ struct Explorer::ThreadState {
 
 struct Explorer::ExecutionContext {
   runtime::Fiber main_fiber = runtime::Fiber::Main();
-  std::vector<std::unique_ptr<runtime::Fiber>> fiber_pool;  // reused across executions
+  // Execution-scoped state lives in pools reset per execution, not in per-execution
+  // allocations: fibers and ThreadStates are recycled, the two per-address maps are
+  // epoch-cleared, and the vector clocks are reassigned in place.
+  std::vector<std::unique_ptr<runtime::Fiber>> fiber_pool;
   std::vector<std::unique_ptr<ThreadState>> threads;
-  std::unordered_map<uintptr_t, uint64_t> versions;
+  EpochTable<uint64_t> versions;
   ThreadState* current = nullptr;
 
   // Per-execution schedule record (node i = state before step i).
@@ -87,15 +202,21 @@ struct Explorer::ExecutionContext {
   // plus the vector clocks realizing the happens-before relation (clock[q] = index of
   // q's latest step that happens-before; hb edges are exactly the dependent-access
   // pairs: write->read, read->write, write->write on one address).
+  //
+  // The per-tid clocks are fixed arrays, not vectors: the explorer caps thread counts
+  // at 64 anyway, and a heap-free AddrAccess means a brand-new address (executions
+  // rebuild shared state, so the allocator hands each one fresh-ish blocks) costs the
+  // epoch table nothing but a slot — steady-state explorations stay allocation-free
+  // even when addresses wander.
   struct AddrAccess {
     int last_write_step = -1;
     int last_write_tid = -1;
-    std::vector<int> last_read_step;    // per tid
-    std::vector<int> write_clock;       // clock released by the last write
-    std::vector<int> readers_clock;     // join of clocks released by reads-since-write
+    std::array<int, 64> last_read_step;  // per tid
+    std::array<int, 64> write_clock;     // clock released by the last write
+    std::array<int, 64> readers_clock;   // join of clocks released by reads-since-write
   };
-  std::unordered_map<uintptr_t, AddrAccess> accesses;
-  std::vector<std::vector<int>> thread_clock;  // per tid
+  EpochTable<AddrAccess> accesses;
+  std::vector<std::array<int, 64>> thread_clock;  // per tid
 
   int step = 0;
   bool cancelling = false;
@@ -159,7 +280,7 @@ void Explorer::OnAccess(uintptr_t addr, MckOpKind kind, runtime::FunctionRef<boo
     probe();
   }
   if (changed && kind != MckOpKind::kLoad) {
-    ++ec.versions[addr];
+    ++ec.versions.Ref(addr, [](uint64_t& version) { version = 0; });
     for (auto& thread : ec.threads) {
       if (!thread->parked) {
         continue;
@@ -198,7 +319,10 @@ void Explorer::SchedulePoint() {
   self->has_pending = false;
 }
 
-uint64_t Explorer::VersionOf(uintptr_t addr) { return exec_->versions[addr]; }
+uint64_t Explorer::VersionOf(uintptr_t addr) {
+  const uint64_t* version = exec_->versions.Find(addr);
+  return version != nullptr ? *version : 0;  // unwritten addresses are at version 0
+}
 
 void Explorer::ParkOnAddr(uintptr_t addr, uint64_t seen_version) {
   ParkOnAddrs({AddrVersion{addr, seen_version}});
@@ -212,7 +336,8 @@ void Explorer::ParkOnAddrs(std::initializer_list<AddrVersion> watches) {
   }
   self->parked_count = 0;
   for (const AddrVersion& watch : watches) {
-    if (ec.versions[watch.addr] != watch.seen_version) {
+    const uint64_t* version = ec.versions.Find(watch.addr);
+    if ((version != nullptr ? *version : 0) != watch.seen_version) {
       return;  // raced with a write to one of the watches: re-probe
     }
     if (self->parked_count == ThreadState::kMaxWatches) {
@@ -252,9 +377,8 @@ Explorer::Result Explorer::Explore(const std::function<std::vector<ThreadSpec>()
   // violations and deadlocks.
   for (;;) {
     ++result.executions;
-    ec.threads.clear();
-    ec.versions.clear();
-    ec.accesses.clear();
+    ec.versions.NextEpoch();
+    ec.accesses.NextEpoch();
     ec.enabled_history.clear();
     ec.sleep_history.clear();
     ec.chosen_history.clear();
@@ -264,33 +388,51 @@ Explorer::Result Explorer::Explore(const std::function<std::vector<ThreadSpec>()
     ec.violation_message.clear();
 
     auto specs = make_threads();
-    ec.thread_clock.assign(specs.size(), std::vector<int>(specs.size(), -1));
-    if (specs.size() > 64) {
+    const size_t num_threads = specs.size();
+    if (num_threads > 64) {
       std::fprintf(stderr, "mck: at most 64 threads supported\n");
       std::abort();
     }
-    for (size_t i = 0; i < specs.size(); ++i) {
-      auto thread = std::make_unique<ThreadState>();
-      thread->tid = static_cast<int>(i);
-      thread->cpu = specs[i].cpu;
-      ThreadState* raw = thread.get();
+    if (ec.thread_clock.size() != num_threads) {
+      ec.thread_clock.resize(num_threads);
+    }
+    for (auto& clock : ec.thread_clock) {
+      clock.fill(-1);
+    }
+    if (ec.threads.size() > num_threads) {
+      ec.threads.resize(num_threads);
+    }
+    while (ec.threads.size() < num_threads) {
+      ec.threads.push_back(std::make_unique<ThreadState>());
+    }
+    for (size_t i = 0; i < num_threads; ++i) {
+      ThreadState* raw = ec.threads[i].get();
+      raw->tid = static_cast<int>(i);
+      raw->cpu = specs[i].cpu;
+      raw->finished = false;
+      raw->parked = false;
+      raw->parked_count = 0;
+      raw->has_pending = false;
+      raw->arrival_probe = nullptr;
+      raw->body = std::move(specs[i].body);
       if (i >= ec.fiber_pool.size()) {
         ec.fiber_pool.push_back(std::make_unique<runtime::Fiber>([] {}, &ec.main_fiber,
                                                                  options_.fiber_stack_bytes));
         runtime::Fiber::Switch(ec.main_fiber, *ec.fiber_pool.back());  // drain the stub
       }
-      thread->fiber = ec.fiber_pool[i].get();
-      thread->fiber->Reset(
-          [body = std::move(specs[i].body), raw]() {
+      raw->fiber = ec.fiber_pool[i].get();
+      // The re-arm closure captures a single pointer, which fits std::function's
+      // inline storage: recycling a fiber costs no allocation.
+      raw->fiber->Reset(
+          [raw]() {
             try {
-              body();
+              raw->body();
             } catch (const CancelExecution&) {
             } catch (const ViolationError&) {
             }
             raw->finished = true;
           },
           &ec.main_fiber);
-      ec.threads.push_back(std::move(thread));
     }
 
     // --- run one execution ---
@@ -382,13 +524,14 @@ Explorer::Result Explorer::Explore(const std::function<std::vector<ThreadSpec>()
         // access already happens-before us (then the two cannot be reordered and no
         // alternative exists). Record the alternative at the node preceding the access.
         const size_t n = ec.threads.size();
-        auto& access = ec.accesses[op_addr];
-        if (access.last_read_step.empty()) {
-          access.last_read_step.assign(n, -1);
-          access.write_clock.assign(n, -1);
-          access.readers_clock.assign(n, -1);
-        }
-        std::vector<int>& my_clock = ec.thread_clock[chosen];
+        auto& access = ec.accesses.Ref(op_addr, [](ExecutionContext::AddrAccess& record) {
+          record.last_write_step = -1;
+          record.last_write_tid = -1;
+          record.last_read_step.fill(-1);
+          record.write_clock.fill(-1);
+          record.readers_clock.fill(-1);
+        });
+        std::array<int, 64>& my_clock = ec.thread_clock[chosen];
         auto consider = [&](int step, int tid) {
           if (step < 0 || tid == chosen || step <= my_clock[tid]) {
             return;  // absent, own, or already ordered before us
@@ -414,10 +557,10 @@ Explorer::Result Explorer::Explore(const std::function<std::vector<ThreadSpec>()
         my_clock[chosen] = this_step;
         if (op_write) {
           access.write_clock = my_clock;
-          access.readers_clock.assign(n, -1);  // absorbed into the write clock
+          access.readers_clock.fill(-1);  // absorbed into the write clock
           access.last_write_step = this_step;
           access.last_write_tid = chosen;
-          access.last_read_step.assign(n, -1);
+          access.last_read_step.fill(-1);
         } else {
           for (size_t u = 0; u < n; ++u) {
             access.readers_clock[u] = std::max(access.readers_clock[u], my_clock[u]);

@@ -11,19 +11,20 @@ namespace {
 
 // One thread per immediate sub-cohort of cohort 0 at hierarchy level `depth_index`
 // (every CPU for the lowest level) — Figure 3's "maximum contention" placement.
+// Iterates the topology's memoized cohort view instead of rescanning every CPU per
+// level (at 1024 CPUs the full-scan version walked the whole machine once per level).
 std::vector<int> LevelContentionCpus(const topo::Hierarchy& hierarchy, int depth_index) {
+  const topo::Topology& topology = hierarchy.topology();
+  const topo::Topology::CpuSpan members =
+      topology.CohortMembers(hierarchy.TopologyLevel(depth_index), 0);
+  if (depth_index == 0) {
+    return std::vector<int>(members.begin(), members.end());
+  }
+  // One CPU per *distinct* sub-cohort (a seen-set: e.g. the x86 hyperthread numbering
+  // revisits each core's cohort in a second pass).
   std::vector<int> cpus;
   std::set<int> seen;
-  for (int cpu = 0; cpu < hierarchy.num_cpus(); ++cpu) {
-    if (hierarchy.CohortOf(cpu, depth_index) != 0) {
-      continue;
-    }
-    if (depth_index == 0) {
-      cpus.push_back(cpu);
-      continue;
-    }
-    // One CPU per *distinct* sub-cohort (a seen-set: e.g. the x86 hyperthread numbering
-    // revisits each core's cohort in a second pass).
+  for (int cpu : members) {
     if (seen.insert(hierarchy.CohortOf(cpu, depth_index - 1)).second) {
       cpus.push_back(cpu);
     }

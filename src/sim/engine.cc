@@ -17,6 +17,36 @@ static_assert(static_cast<int>(trace::EventKind::kLoad) == static_cast<int>(OpKi
 
 constexpr size_t kInitialLineIndexSlots = 1024;  // power of two
 
+// A wakeup herd at least this large is queued with one bulk heap build instead of N
+// individual sift-ups: N sift-ups cost O(N log n) while the Floyd rebuild is O(n), so
+// small herds (the common case) keep the cheap path and storm wakeups — hundreds of
+// spinners re-fetching after a write to a globally-spun-on line — amortize to O(1)
+// heap work per woken thread.
+constexpr int32_t kBulkWakeThreshold = 8;
+
+// Retired arena chunks kept per host thread for reuse (64 lines each): 512 chunks =
+// 32k distinct lines, far above any benchmark cell, while bounding idle memory held
+// by sweep workers to a few megabytes.
+constexpr size_t kChunkPoolCap = 512;
+
+// First set bit of `bits` at position >= from (bit indices 0..255), or -1.
+int NextOccupied(const std::array<uint64_t, 4>& bits, int from) {
+  if (from >= 256) {
+    return -1;
+  }
+  int word = from >> 6;
+  uint64_t masked = bits[word] & (~uint64_t{0} << (from & 63));
+  while (true) {
+    if (masked != 0) {
+      return (word << 6) + __builtin_ctzll(masked);
+    }
+    if (++word == 4) {
+      return -1;
+    }
+    masked = bits[word];
+  }
+}
+
 }  // namespace
 
 Engine::Engine(const topo::Topology& topology, PlatformModel platform)
@@ -33,7 +63,35 @@ Engine::Engine(const topo::Topology& topology, PlatformModel platform)
   }
 }
 
-Engine::~Engine() = default;
+auto Engine::HotChunkPool() -> std::vector<std::unique_ptr<LineHot[]>>& {
+  thread_local std::vector<std::unique_ptr<LineHot[]>> pool;
+  return pool;
+}
+
+auto Engine::ColdChunkPool() -> std::vector<std::unique_ptr<LineCold[]>>& {
+  thread_local std::vector<std::unique_ptr<LineCold[]>> pool;
+  return pool;
+}
+
+Engine::~Engine() {
+  // Park this engine's arena chunks for the next engine on this host thread (the
+  // ParallelSweep per-cell pattern). AddLine resets each slot on first touch, so
+  // recycled chunks need no scrubbing here.
+  auto& hot_pool = HotChunkPool();
+  for (auto& chunk : hot_chunks_) {
+    if (hot_pool.size() >= kChunkPoolCap) {
+      break;
+    }
+    hot_pool.push_back(std::move(chunk));
+  }
+  auto& cold_pool = ColdChunkPool();
+  for (auto& chunk : cold_chunks_) {
+    if (cold_pool.size() >= kChunkPoolCap) {
+      break;
+    }
+    cold_pool.push_back(std::move(chunk));
+  }
+}
 
 void Engine::Spawn(int cpu, std::function<void()> fn) {
   if (running_) {
@@ -41,6 +99,10 @@ void Engine::Spawn(int cpu, std::function<void()> fn) {
   }
   if (cpu < 0 || cpu >= topology_->num_cpus()) {
     throw std::invalid_argument("Spawn: cpu out of range");
+  }
+  if (threads_.size() >= (uint64_t{1} << kThreadIdBits)) {
+    // Thread ids share the ready-queue key word with the FIFO stamp (ReadyEntry).
+    throw std::invalid_argument("Spawn: too many simulated threads");
   }
   auto thread = std::make_unique<SimThread>();
   thread->cpu = cpu;
@@ -66,9 +128,13 @@ void Engine::Run() {
   Engine* previous = current_engine_;
   current_engine_ = this;
   unfinished_ = static_cast<int>(threads_.size());
-  // Each thread occupies at most one heap slot (it is either running, parked on a
-  // line, or queued), so this one reservation covers the whole run.
-  ready_.reserve(threads_.size());
+  if (scheduler_ == SchedulerKind::kIndexedHeap) {
+    // Each thread occupies at most one heap slot (it is either running, parked on a
+    // line, or queued), so this one reservation covers the whole run.
+    heap_.reserve(threads_.size());
+  } else if (wheel_ == nullptr) {
+    wheel_ = std::make_unique<WheelState>();
+  }
   for (auto& thread : threads_) {
     MakeReady(thread.get());
   }
@@ -76,8 +142,8 @@ void Engine::Run() {
   // ParkOnLine); control returns to this loop only when the running thread finishes
   // (its fiber's parent is the main fiber) or parks with nothing left runnable. Either
   // way `current_` names the thread that gave control back.
-  while (!ready_.empty()) {
-    SimThread* thread = HeapPop();
+  while (queue_size_ > 0) {
+    SimThread* thread = QueuePop();
     current_ = thread;
     runtime::Fiber::Switch(main_fiber_, *thread->fiber);
     SimThread* last = current_;
@@ -180,11 +246,11 @@ void Engine::WatchdogTrip(std::string reason) {
   // Force-wake every parked thread so each unwinds via AbortSimulation on its next
   // access probe, and clear the intrusive waiter lists so no stale links survive.
   for (uint32_t i = 0; i < num_lines_; ++i) {
-    Line& line = LineAt(i);
-    line.waiter_head = nullptr;
-    line.waiter_tail = nullptr;
-    line.num_waiters = 0;
-    line.rmw_waiters = 0;
+    LineHot& hot = HotAt(i);
+    hot.waiter_head = nullptr;
+    hot.waiter_tail = nullptr;
+    hot.num_waiters = 0;
+    hot.rmw_waiters = 0;
   }
   for (auto& thread : threads_) {
     SimThread* t = thread.get();
@@ -217,9 +283,10 @@ EngineDiagnostic Engine::CaptureDiagnostic(const char* reason) {
                                  : ThreadState::kRunnable;
     if (t->parked) {
       info.parked_line = LineOrdinal(t->parked_line);
-      if (const Line* line = PeekLine(t->parked_line)) {
-        info.line_owner_cpu = line->owner;
-        info.line_waiters = line->num_waiters;
+      const uint32_t index = PeekLineIndex(t->parked_line);
+      if (index != kNoLine) {
+        info.line_owner_cpu = ColdAt(index).owner;
+        info.line_waiters = HotAt(index).num_waiters;
       }
     }
     diagnostic.now = std::max(diagnostic.now, t->time);
@@ -237,16 +304,13 @@ EngineDiagnostic Engine::CaptureDiagnostic(const char* reason) {
   return diagnostic;
 }
 
-Engine::Line* Engine::PeekLine(uintptr_t line_addr) {
+uint32_t Engine::PeekLineIndex(uintptr_t line_addr) {
   const size_t mask = line_index_.size() - 1;
   size_t slot = HashLineAddr(line_addr) & mask;
   while (true) {
     const LineSlot& entry = line_index_[slot];
-    if (entry.index == kNoLine) {
-      return nullptr;
-    }
-    if (entry.addr == line_addr) {
-      return &LineAt(entry.index);
+    if (entry.index == kNoLine || entry.addr == line_addr) {
+      return entry.index;
     }
     slot = (slot + 1) & mask;
   }
@@ -269,7 +333,7 @@ void Engine::AbortNoEngine() {
   std::abort();
 }
 
-Engine::Line& Engine::AddLine(uintptr_t line_addr, size_t slot) {
+uint32_t Engine::AddLine(uintptr_t line_addr, size_t slot) {
   if ((num_lines_ + 1) * 4 > line_index_.size() * 3) {  // keep load factor <= 3/4
     GrowLineIndex();
     const size_t mask = line_index_.size() - 1;
@@ -279,11 +343,28 @@ Engine::Line& Engine::AddLine(uintptr_t line_addr, size_t slot) {
     }
   }
   if (num_lines_ % kLinesPerChunk == 0) {
-    line_chunks_.push_back(std::make_unique<Line[]>(kLinesPerChunk));
+    auto& hot_pool = HotChunkPool();
+    if (!hot_pool.empty()) {
+      hot_chunks_.push_back(std::move(hot_pool.back()));
+      hot_pool.pop_back();
+    } else {
+      hot_chunks_.push_back(std::make_unique<LineHot[]>(kLinesPerChunk));
+    }
+    auto& cold_pool = ColdChunkPool();
+    if (!cold_pool.empty()) {
+      cold_chunks_.push_back(std::move(cold_pool.back()));
+      cold_pool.pop_back();
+    } else {
+      cold_chunks_.push_back(std::make_unique<LineCold[]>(kLinesPerChunk));
+    }
   }
   const uint32_t index = num_lines_++;
+  // Recycled chunks still carry a previous engine's state; reset the claimed slot at
+  // first touch instead of scrubbing whole chunks on hand-over.
+  HotAt(index) = LineHot{};
+  ColdAt(index) = LineCold{};
   line_index_[slot] = LineSlot{line_addr, index};
-  return LineAt(index);
+  return index;
 }
 
 void Engine::GrowLineIndex() {
@@ -318,25 +399,39 @@ void Engine::EmitAccessEvent(const PreparedAccess& prepared) {
   sink_->OnEvent(event);
 }
 
-void Engine::WakeWaiters(Line& line, const PreparedAccess& prepared) {
+void Engine::WakeWaiters(LineHot& hot, const PreparedAccess& prepared) {
   const int num_levels = topology_->num_levels();
   const Time completion = prepared.completion;
-  // Detach the whole FIFO first, then wake in park order: MakeReady stamps each
-  // waiter's heap_order in sequence, matching the pre-intrusive-list wake order.
-  SimThread* waiter = line.waiter_head;
-  line.waiter_head = nullptr;
-  line.waiter_tail = nullptr;
-  line.num_waiters = 0;
+  // Detach the whole FIFO first, then wake in park order: each waiter's FIFO stamp is
+  // taken in sequence, matching the pre-intrusive-list wake order.
+  SimThread* waiter = hot.waiter_head;
+  hot.waiter_head = nullptr;
+  hot.waiter_tail = nullptr;
+  const int32_t count = hot.num_waiters;
+  hot.num_waiters = 0;
+  // Storm herds under the heap scheduler bypass MakeReady: append every woken thread
+  // to the heap tail (stamps still taken in park order), then restore the heap
+  // property with one bulk build in HeapBulkAppend. The pop sequence is a function of
+  // the (time, order) key multiset alone, so results are byte-identical to the
+  // one-push-per-waiter path.
+  const bool bulk =
+      scheduler_ == SchedulerKind::kIndexedHeap && count >= kBulkWakeThreshold;
+  const size_t first_new = heap_.size();
   while (waiter != nullptr) {
     SimThread* next = waiter->next_waiter;
     waiter->next_waiter = nullptr;
     waiter->parked = false;
     if (waiter->rmw_spinner) {
-      --line.rmw_waiters;
+      --hot.rmw_waiters;
       waiter->rmw_spinner = false;
     }
     waiter->time = std::max(waiter->time, completion);
-    MakeReady(waiter);
+    if (bulk) {
+      heap_.push_back(ReadyEntry{waiter->time, MakeKey(waiter)});
+      ++queue_size_;
+    } else {
+      MakeReady(waiter);
+    }
     const int wake_level = topology_->SharingLevel(prepared.cpu, waiter->cpu);
     ++level_metrics_[trace::LevelBucket(wake_level, num_levels)].spin_wakeups;
     if (sink_ != nullptr) {
@@ -351,6 +446,9 @@ void Engine::WakeWaiters(Line& line, const PreparedAccess& prepared) {
     }
     waiter = next;
   }
+  if (bulk) {
+    HeapBulkAppend(first_new);
+  }
 }
 
 void Engine::ParkOnLine(uintptr_t line_addr, uint64_t seen_version, bool rmw_spinner) {
@@ -358,111 +456,318 @@ void Engine::ParkOnLine(uintptr_t line_addr, uint64_t seen_version, bool rmw_spi
     throw AbortSimulation{};  // never re-park while a watchdog trip is draining
   }
   SimThread* self = current_;
-  Line& line = LineFor(line_addr);
-  if (line.version != seen_version) {
+  LineHot& hot = HotAt(LineIndexFor(line_addr));
+  if (hot.version != seen_version) {
     return;  // a value-changing write raced in between the load and the park
   }
   self->parked = true;
   self->parked_line = line_addr;
   self->rmw_spinner = rmw_spinner;
   if (rmw_spinner) {
-    ++line.rmw_waiters;
+    ++hot.rmw_waiters;
   }
   self->next_waiter = nullptr;
-  if (line.waiter_tail != nullptr) {
-    line.waiter_tail->next_waiter = self;
+  if (hot.waiter_tail != nullptr) {
+    hot.waiter_tail->next_waiter = self;
   } else {
-    line.waiter_head = self;
+    hot.waiter_head = self;
   }
-  line.waiter_tail = self;
-  ++line.num_waiters;
-  if (ready_.empty()) {
+  hot.waiter_tail = self;
+  ++hot.num_waiters;
+  if (queue_size_ == 0) {
     SwitchToScheduler(self);  // nothing runnable: let Run() detect end or deadlock
     return;
   }
-  SimThread* next = HeapPop();
+  SimThread* next = QueuePop();
   current_ = next;
   runtime::Fiber::Switch(*self->fiber, *next->fiber);
 }
 
 void Engine::HeapSiftUp(size_t slot) {
-  SimThread* moving = ready_[slot];
+  const ReadyEntry moving = heap_[slot];
   while (slot > 0) {
     const size_t parent = (slot - 1) / 2;
-    if (!ReadyBefore(moving, ready_[parent])) {
+    if (!EntryBefore(moving, heap_[parent])) {
       break;
     }
-    ready_[slot] = ready_[parent];
-    ready_[slot]->heap_slot = static_cast<int32_t>(slot);
+    heap_[slot] = heap_[parent];
     slot = parent;
   }
-  ready_[slot] = moving;
-  moving->heap_slot = static_cast<int32_t>(slot);
+  heap_[slot] = moving;
 }
 
 void Engine::HeapSiftDown(size_t slot) {
-  SimThread* moving = ready_[slot];
-  const size_t size = ready_.size();
+  const ReadyEntry moving = heap_[slot];
+  const size_t size = heap_.size();
   while (true) {
     size_t child = slot * 2 + 1;
     if (child >= size) {
       break;
     }
-    if (child + 1 < size && ReadyBefore(ready_[child + 1], ready_[child])) {
+    if (child + 1 < size && EntryBefore(heap_[child + 1], heap_[child])) {
       ++child;
     }
-    if (!ReadyBefore(ready_[child], moving)) {
+    if (!EntryBefore(heap_[child], moving)) {
       break;
     }
-    ready_[slot] = ready_[child];
-    ready_[slot]->heap_slot = static_cast<int32_t>(slot);
+    heap_[slot] = heap_[child];
     slot = child;
   }
-  ready_[slot] = moving;
-  moving->heap_slot = static_cast<int32_t>(slot);
+  heap_[slot] = moving;
 }
 
 Engine::SimThread* Engine::HeapPop() {
-  SimThread* top = ready_.front();
-  top->heap_slot = -1;
-  SimThread* last = ready_.back();
-  ready_.pop_back();
-  if (!ready_.empty()) {
-    ready_[0] = last;
-    last->heap_slot = 0;
+  SimThread* top = ThreadOf(heap_.front());
+  const ReadyEntry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
     HeapSiftDown(0);
   }
   return top;
 }
 
-void Engine::MakeReady(SimThread* thread) {
-  thread->heap_order = next_order_++;
-  if (thread->heap_slot >= 0) {
-    // Already queued: re-key in place (decrease-key analogue). Never hit on the
-    // current callers — a thread is queued XOR running XOR parked — but keeps the
-    // heap a set under any future caller instead of silently duplicating.
-    HeapSiftUp(static_cast<size_t>(thread->heap_slot));
-    HeapSiftDown(static_cast<size_t>(thread->heap_slot));
+void Engine::HeapBulkAppend(size_t first_new) {
+  const size_t added = heap_.size() - first_new;
+  const size_t size = heap_.size();
+  // Floyd pays O(n) regardless of herd size; per-entry sift-ups pay O(added * log n).
+  // Rebuild only when the herd is a meaningful fraction of the heap, so medium herds
+  // over a huge heap don't trigger a full O(n) pass for nothing.
+  if (added * 4 >= size) {
+    for (size_t i = size / 2; i-- > 0;) {
+      HeapSiftDown(i);
+    }
     return;
   }
-  thread->heap_slot = static_cast<int32_t>(ready_.size());
-  ready_.push_back(thread);
-  HeapSiftUp(ready_.size() - 1);
+  for (size_t i = first_new; i < size; ++i) {
+    HeapSiftUp(i);
+  }
+}
+
+void Engine::MakeReady(SimThread* thread) {
+  // Callers only ever ready a thread that is not queued (it is running XOR queued XOR
+  // parked), so this is a plain insert — no membership test or re-key path needed.
+  const ReadyEntry entry{thread->time, MakeKey(thread)};
+  if (scheduler_ == SchedulerKind::kIndexedHeap) {
+    heap_.push_back(entry);
+    HeapSiftUp(heap_.size() - 1);
+  } else {
+    WheelInsert(entry);
+  }
+  ++queue_size_;
+}
+
+Engine::SimThread* Engine::QueuePop() {
+  --queue_size_;
+  return scheduler_ == SchedulerKind::kIndexedHeap ? HeapPop() : WheelPop();
+}
+
+void Engine::WheelInsert(const ReadyEntry& entry) {
+  WheelState& w = *wheel_;
+  if (entry.time < w.cursor + (Time{1} << kWheelShift)) {
+    // In the active bucket's span (or before it — only a watchdog force-wake of a
+    // stale-clock thread can do that, and a draining run no longer needs exact
+    // order): push onto the current min-heap.
+    w.current.push_back(entry);
+    size_t slot = w.current.size() - 1;
+    while (slot > 0) {
+      const size_t parent = (slot - 1) / 2;
+      if (!EntryBefore(w.current[slot], w.current[parent])) {
+        break;
+      }
+      std::swap(w.current[slot], w.current[parent]);
+      slot = parent;
+    }
+    return;
+  }
+  const uint64_t delta = (entry.time - w.cursor) >> kWheelShift;  // >= 1
+  int level = (63 - __builtin_clzll(delta)) >> 3;                 // log base 256
+  int slot;
+  if (level >= kWheelLevels) {
+    // Beyond the wheel horizon (~17.6 virtual seconds): clamp to the farthest
+    // top-level slot; each cascade re-files it until it comes within range.
+    level = kWheelLevels - 1;
+    slot = static_cast<int>(((w.cursor >> WheelLevelShift(level)) + kWheelSlots - 1) &
+                            (kWheelSlots - 1));
+  } else {
+    slot = static_cast<int>((entry.time >> WheelLevelShift(level)) & (kWheelSlots - 1));
+  }
+  w.slots[level][slot].push_back(entry);
+  w.occupancy[level][slot >> 6] |= uint64_t{1} << (slot & 63);
+}
+
+void Engine::WheelCascade(int level, int slot) {
+  WheelState& w = *wheel_;
+  std::vector<ReadyEntry> bucket = std::move(w.slots[level][slot]);
+  w.occupancy[level][slot >> 6] &= ~(uint64_t{1} << (slot & 63));
+  for (const ReadyEntry& entry : bucket) {
+    WheelInsert(entry);  // lands at a lower level or in the current bucket
+  }
+  bucket.clear();
+  w.slots[level][slot] = std::move(bucket);  // keep the capacity for reuse
+}
+
+bool Engine::WheelLevelEmpty(int level) const {
+  const auto& occ = wheel_->occupancy[level];
+  return (occ[0] | occ[1] | occ[2] | occ[3]) == 0;
+}
+
+void Engine::WheelAdvanceTo(Time new_cursor) {
+  WheelState& w = *wheel_;
+  const Time old = w.cursor;
+  w.cursor = new_cursor;
+  // Open every bucket the cursor newly entered, highest level first: each cascade
+  // re-files its entries relative to the new cursor, dropping them into lower levels
+  // (possibly the lower level's own new bucket, which a later iteration then opens)
+  // or straight into `current`. A bit at a bucket the cursor did NOT just enter means
+  // next-epoch entries (filed under a wrapped slot index) and must stay shut.
+  for (int level = kWheelLevels - 1; level >= 1; --level) {
+    const int shift = WheelLevelShift(level);
+    if ((new_cursor >> shift) == (old >> shift)) {
+      continue;  // still inside the same bucket at this level
+    }
+    const int slot = static_cast<int>((new_cursor >> shift) & (kWheelSlots - 1));
+    if ((w.occupancy[level][slot >> 6] >> (slot & 63)) & 1u) {
+      WheelCascade(level, slot);
+    }
+  }
+}
+
+void Engine::WheelRefill() {
+  WheelState& w = *wheel_;
+  // Caller guarantees at least one filed entry. Level-0 slot indices wrap every 256
+  // buckets, so a set bit at or before the cursor's slot was filed one epoch ahead
+  // and must not drain yet: the scan is strictly-after. Right after a boundary
+  // advance the cursor sits at a fresh epoch start where every surviving bit is
+  // current-epoch (own-slot filings are impossible from a boundary cursor), so the
+  // scan becomes inclusive there.
+  int from0 = static_cast<int>((w.cursor >> kWheelShift) & (kWheelSlots - 1)) + 1;
+  while (true) {
+    const int target = NextOccupied(w.occupancy[0], from0);
+    if (target >= 0) {
+      constexpr Time kEpochMask = (Time{1} << (kWheelShift + 8)) - 1;
+      w.cursor = (w.cursor & ~kEpochMask) | (Time{static_cast<uint64_t>(target)}
+                                             << kWheelShift);
+      std::vector<ReadyEntry> bucket = std::move(w.slots[0][target]);
+      w.occupancy[0][target >> 6] &= ~(uint64_t{1} << (target & 63));
+      // Merge the drained bucket into `current` (usually empty; a cascade may have
+      // pre-filled it) and restore the heap with one Floyd build. Mixing two adjacent
+      // buckets in one heap is order-safe: pops compare full (time, order) keys, and
+      // every still-filed entry is later than both buckets.
+      for (const ReadyEntry& entry : bucket) {
+        w.current.push_back(entry);
+      }
+      bucket.clear();
+      w.slots[0][target] = std::move(bucket);  // keep the capacity for reuse
+      for (size_t i = w.current.size() / 2; i-- > 0;) {
+        size_t slot = i;
+        const ReadyEntry moving = w.current[slot];
+        const size_t size = w.current.size();
+        while (true) {
+          size_t child = slot * 2 + 1;
+          if (child >= size) {
+            break;
+          }
+          if (child + 1 < size && EntryBefore(w.current[child + 1], w.current[child])) {
+            ++child;
+          }
+          if (!EntryBefore(w.current[child], moving)) {
+            break;
+          }
+          w.current[slot] = w.current[child];
+          slot = child;
+        }
+        w.current[slot] = moving;
+      }
+      return;
+    }
+    if (!w.current.empty()) {
+      return;  // an advance below cascaded entries straight into the active bucket
+    }
+    // This level-0 epoch is dry. Advance the cursor: from the lowest level up, either
+    // jump to the next occupied bucket in that level's current epoch, or — when the
+    // level below still holds wrapped (next-epoch) entries — step exactly one slot
+    // boundary at this level, which is where that next epoch begins. WheelAdvanceTo
+    // opens whatever buckets the new position lands in (including carry ripples).
+    bool advanced = false;
+    for (int level = 1; level < kWheelLevels && !advanced; ++level) {
+      const int shift = WheelLevelShift(level);
+      if (!WheelLevelEmpty(level - 1)) {
+        WheelAdvanceTo(((w.cursor >> shift) + 1) << shift);
+        advanced = true;
+        break;
+      }
+      const int slot = static_cast<int>((w.cursor >> shift) & (kWheelSlots - 1));
+      const int next_slot = NextOccupied(w.occupancy[level], slot + 1);
+      if (next_slot >= 0) {
+        const Time base = (w.cursor >> (shift + 8)) << (shift + 8);
+        WheelAdvanceTo(base | (Time{static_cast<uint64_t>(next_slot)} << shift));
+        advanced = true;
+      }
+    }
+    if (!advanced) {
+      // Everything below the top level is empty and the top has nothing ahead this
+      // epoch: only wrapped top-level entries remain (including beyond-horizon
+      // clamps) — one whole wheel horizon ahead. If even those are absent the wheel
+      // truly lost an entry; fail loudly rather than spin.
+      if (WheelLevelEmpty(kWheelLevels - 1)) {
+        std::fprintf(stderr, "sim::Engine: timing wheel lost a ready entry\n");
+        std::abort();
+      }
+      const int horizon_shift = WheelLevelShift(kWheelLevels - 1) + 8;
+      WheelAdvanceTo(((w.cursor >> horizon_shift) + 1) << horizon_shift);
+    }
+    from0 = 0;
+  }
+}
+
+Engine::SimThread* Engine::WheelPop() {
+  WheelState& w = *wheel_;
+  if (w.current.empty()) {
+    WheelRefill();
+  }
+  const ReadyEntry top = w.current.front();
+  const ReadyEntry last = w.current.back();
+  w.current.pop_back();
+  const size_t size = w.current.size();
+  if (size > 0) {
+    size_t slot = 0;
+    while (true) {
+      size_t child = slot * 2 + 1;
+      if (child >= size) {
+        break;
+      }
+      if (child + 1 < size && EntryBefore(w.current[child + 1], w.current[child])) {
+        ++child;
+      }
+      if (!EntryBefore(w.current[child], last)) {
+        break;
+      }
+      w.current[slot] = w.current[child];
+      slot = child;
+    }
+    w.current[slot] = last;
+  }
+  return ThreadOf(top);
 }
 
 void Engine::HandOff(SimThread* self) {
-  // Direct handoff: take the earliest thread and switch straight to it. The heap front
-  // is guaranteed to order before `self` — it was at or before self's time, and self's
-  // FIFO stamp below is strictly newer — so push-self-then-pop would pop the current
-  // front anyway; replacing the root in place yields the same key multiset (and hence
-  // the same future pop sequence) with one sift instead of two. Compared to bouncing
-  // through the main scheduler fiber this also halves the context-switch cost.
-  SimThread* next = ready_.front();
-  next->heap_slot = -1;
-  self->heap_order = next_order_++;
-  self->heap_slot = 0;
-  ready_[0] = self;
-  HeapSiftDown(0);
+  SimThread* next;
+  if (scheduler_ == SchedulerKind::kIndexedHeap) {
+    // Direct handoff: take the earliest thread and switch straight to it. The heap
+    // front is guaranteed to order before `self` — it was at or before self's time,
+    // and self's FIFO stamp below is strictly newer — so push-self-then-pop would pop
+    // the current front anyway; replacing the root in place yields the same key
+    // multiset (and hence the same future pop sequence) with one sift instead of two.
+    // Compared to bouncing through the main scheduler fiber this also halves the
+    // context-switch cost.
+    next = ThreadOf(heap_.front());
+    heap_[0] = ReadyEntry{self->time, MakeKey(self)};
+    HeapSiftDown(0);
+  } else {
+    next = WheelPop();
+    WheelInsert(ReadyEntry{self->time, MakeKey(self)});
+  }
   current_ = next;
   runtime::Fiber::Switch(*self->fiber, *next->fiber);
 }

@@ -98,7 +98,10 @@ class FaultHook {
 
 class Engine {
  public:
-  static constexpr int kMaxCpus = 256;
+  // Hard cap on simulated CPUs, sized for the data-center topology presets
+  // (topo::Topology::CxlPod1024()). Per-CPU engine state is allocated from
+  // topology.num_cpus(), not this bound, so small machines pay nothing for it.
+  static constexpr int kMaxCpus = 1024;
 
   Engine(const topo::Topology& topology, PlatformModel platform);
   ~Engine();
@@ -217,6 +220,13 @@ class Engine {
   void SetFaultHook(FaultHook* hook) { fault_hook_ = hook; }
   FaultHook* fault_hook() const { return fault_hook_; }
 
+  // Selects the ready-queue implementation (SchedulerKind doc in platform.h). Must be
+  // called before Run(); both variants pop threads in the identical (time, FIFO-stamp)
+  // total order, so simulated results are byte-identical either way
+  // (tests/scheduler_identity_test.cc) — only host wall-clock differs.
+  void SetScheduler(SchedulerKind kind) { scheduler_ = kind; }
+  SchedulerKind scheduler() const { return scheduler_; }
+
   // Arms (or, with a config where !Enabled(), removes) the runaway watchdog
   // (src/sim/watchdog.h). Call before Run(); the wall-clock budget starts here. A trip
   // unwinds every simulated thread and Run() throws SimWatchdogError carrying the
@@ -236,23 +246,24 @@ class Engine {
     bool done = false;
     uint64_t id = 0;
     // Intrusive scheduler state (docs/SIM_ENGINE.md): a thread is parked on at most
-    // one line's waiter list XOR queued in the ready heap, so one link and one slot
-    // suffice — parking and waking never allocate.
+    // one line's waiter list XOR queued in the ready queue XOR running, so one link
+    // suffices — parking and waking never allocate. The queue key (time, FIFO stamp)
+    // and the thread's identity live entirely in the ReadyEntry; nothing here needs
+    // updating while the thread sits in the queue.
     SimThread* next_waiter = nullptr;  // next in the parked line's FIFO waiter list
-    int32_t heap_slot = -1;            // index in ready_; -1 = not queued
-    uint64_t heap_order = 0;           // FIFO tie-break stamp for equal times
     uintptr_t parked_line = 0;         // line the thread last parked on (diagnostics)
   };
 
-  struct Line {
-    // CPUs holding a valid copy, most recent first (owner included). Bounded to model
-    // finite private-cache residency: a line not re-touched recently is evicted, so
-    // read-mostly data does not end up permanently "cached everywhere" — without this,
-    // data-locality effects (the whole point of NUMA-aware locks) wash out.
-    static constexpr int kMaxHolders = 4;
-    std::array<int16_t, kMaxHolders> holders;  // -1 = empty slot
-    int owner = -1;  // last writer, -1 if never written
-    bool touched = false;
+  // One simulated cache line, split structure-of-arrays style into the fields the
+  // scheduler/wakeup machinery hammers (LineHot: port availability, version, parked
+  // waiter list) and the coherence bookkeeping only the access cost model reads
+  // (LineCold: holder set, owner). The two live in parallel chunked arenas sharing one
+  // index, so the wakeup path — version checks, park/wake list splices, next_free
+  // updates — walks densely packed 40-byte records instead of dragging the holder
+  // array through the cache with every touch. Both arenas keep the stable-reference
+  // contract: chunks never move, so a LineHot& taken before a first-touch insertion
+  // (e.g. across an apply callback or a park) stays valid.
+  struct LineHot {
     Time next_free = 0;    // transfer port availability
     uint64_t version = 0;  // bumped on every value-changing write
     // Intrusive FIFO of parked spinners (threaded through SimThread::next_waiter;
@@ -261,40 +272,58 @@ class Engine {
     SimThread* waiter_tail = nullptr;
     int32_t num_waiters = 0;
     int32_t rmw_waiters = 0;
+  };
+  struct LineCold {
+    // CPUs holding a valid copy, most recent first (owner included). Bounded by
+    // kLineMaxHolders (documented with the cost model in platform.h) to model finite
+    // private-cache residency: a line not re-touched recently is evicted, so
+    // read-mostly data does not end up permanently "cached everywhere" — without
+    // this, data-locality effects (the whole point of NUMA-aware locks) wash out.
+    std::array<int16_t, kLineMaxHolders> holders;  // -1 = empty slot
+    int16_t owner = -1;  // last writer, -1 if never written
+    bool touched = false;
 
-    Line() { holders.fill(-1); }
-    bool Holds(int cpu) const {
+    LineCold() { holders.fill(-1); }
+    // The holder array is MRU-packed: TouchBy/ResetTo keep every -1 in the tail, so
+    // scans stop at the first empty slot.
+    bool Holds(int16_t cpu) const {
       for (int16_t h : holders) {
         if (h == cpu) {
           return true;
         }
+        if (h < 0) {
+          break;
+        }
       }
       return false;
     }
-    void TouchBy(int cpu) {  // move-to-front insert
-      int previous = cpu;
-      for (auto& h : holders) {
-        int evicted = h;
-        h = static_cast<int16_t>(previous);
+    void TouchBy(int16_t cpu) {  // move-to-front insert, all in the storage type
+      int16_t previous = cpu;
+      for (int16_t& h : holders) {
+        const int16_t evicted = h;
+        h = previous;
         if (evicted == cpu || evicted < 0) {
           return;
         }
         previous = evicted;
       }
     }
-    void ResetTo(int cpu) {
+    void ResetTo(int16_t cpu) {
       holders.fill(-1);
-      holders[0] = static_cast<int16_t>(cpu);
+      holders[0] = cpu;
     }
   };
 
-  // --- Line table: open-addressing index over a chunked arena ---
+  // --- Line table: open-addressing index over two parallel chunked arenas ---
   //
   // The index maps line address -> arena slot and only ever moves its own 16-byte
-  // entries when it grows; Line records live in fixed-size chunks and never move, so a
-  // Line& taken before an insertion (e.g. across an apply callback) stays valid —
-  // the property the old unordered_map provided, without its per-node allocation or
-  // pointer-chasing lookups.
+  // entries when it grows; LineHot/LineCold records live in fixed-size chunks (one hot
+  // chunk + one cold chunk per 64 lines) and never move, so a reference taken before
+  // an insertion (e.g. across an apply callback) stays valid — the property the old
+  // unordered_map provided, without its per-node allocation or pointer-chasing
+  // lookups. Retired chunks are recycled through a host-thread-local pool
+  // (engine.cc), so the per-cell engines a ParallelSweep churns through reuse each
+  // other's arenas instead of re-faulting fresh pages every cell.
   static constexpr uint32_t kNoLine = 0xffffffffu;
   static constexpr uint32_t kLinesPerChunk = 64;
   struct LineSlot {
@@ -308,26 +337,91 @@ class Engine {
   static size_t HashLineAddr(uintptr_t line_addr) {
     return static_cast<size_t>(line_addr * 0x9e3779b97f4a7c15ull);
   }
-  Line& LineAt(uint32_t index) {
-    return line_chunks_[index / kLinesPerChunk][index % kLinesPerChunk];
+  LineHot& HotAt(uint32_t index) {
+    return hot_chunks_[index / kLinesPerChunk][index % kLinesPerChunk];
   }
-  Line& LineFor(uintptr_t line_addr);     // find-or-create (first touch claims a slot)
-  Line& AddLine(uintptr_t line_addr, size_t slot);  // cold: first-touch claim
+  LineCold& ColdAt(uint32_t index) {
+    return cold_chunks_[index / kLinesPerChunk][index % kLinesPerChunk];
+  }
+  uint32_t LineIndexFor(uintptr_t line_addr);  // find-or-create (first touch claims)
+  uint32_t AddLine(uintptr_t line_addr, size_t slot);  // cold: first-touch claim
   void GrowLineIndex();
 
-  // --- Ready queue: indexed binary min-heap ---
+  // --- Ready queue ---
   //
-  // Keyed by (time, heap_order); positions live in SimThread::heap_slot, so membership
-  // is O(1) and a queued thread whose key changes is re-sifted in place (decrease-key)
-  // instead of pushed as a lazy duplicate. Each thread occupies at most one slot, so
-  // one reserve() at Run() start makes the heap allocation-free for the whole run.
-  static bool ReadyBefore(const SimThread* a, const SimThread* b) {
-    return a->time != b->time ? a->time < b->time : a->heap_order < b->heap_order;
+  // Two interchangeable implementations behind SetScheduler() (SchedulerKind doc in
+  // platform.h). Both pop runnable threads in the exact (time, FIFO-stamp) total
+  // order, which is all the simulation's results depend on, so they are byte-identical
+  // and the choice stays out of cache fingerprints.
+  //
+  // Keys are stored IN the queue entries (structure-of-arrays style), not read through
+  // the thread pointer: at 1024 runnable threads a sift compares two entries per level
+  // of a 10-deep heap, and chasing two scattered SimThread allocations per compare was
+  // the dominant scheduler cost — with the key inline, compares touch only the
+  // contiguous entry array. A queued thread's key cannot change while queued (it is
+  // running XOR queued XOR parked), so the copies cannot go stale. Each entry is 16
+  // bytes: the FIFO stamp and the owning thread's index share one word (stamp in the
+  // high bits, so comparing `key` IS comparing the stamp — stamps are unique), which
+  // keeps sift moves to two 8-byte copies and no stores outside the entry array.
+  struct ReadyEntry {
+    Time time = 0;
+    uint64_t key = 0;  // (FIFO stamp << kThreadIdBits) | thread index
+  };
+  static constexpr int kThreadIdBits = 16;  // Spawn() enforces the matching thread cap
+  static bool EntryBefore(const ReadyEntry& a, const ReadyEntry& b) {
+    return a.time != b.time ? a.time < b.time : a.key < b.key;
   }
+  uint64_t MakeKey(const SimThread* thread) {
+    return (next_order_++ << kThreadIdBits) | thread->id;
+  }
+  SimThread* ThreadOf(const ReadyEntry& entry) const {
+    return threads_[entry.key & ((uint64_t{1} << kThreadIdBits) - 1)].get();
+  }
+
+  // Variant 1: binary min-heap over ReadyEntry. A thread is queued at most once, so
+  // one reserve() at Run() start makes the heap allocation-free for the whole run.
+  // Same-time wakeup herds are appended in bulk and rebuilt with one Floyd pass
+  // (HeapBulkAppend) instead of N individual sift-ups.
   void HeapSiftUp(size_t slot);
   void HeapSiftDown(size_t slot);
   SimThread* HeapPop();
+  void HeapBulkAppend(size_t first_new);  // entries [first_new, end) already appended
+
+  // Host-thread-local recycling pools for the line arenas (the ParallelSweep chunk
+  // pool): ~Engine parks its chunks there, the next engine on the same host thread
+  // reclaims them in AddLine. Thread-local, so sweep workers never contend or share
+  // chunks across host threads — reuse stays deterministic.
+  static auto HotChunkPool() -> std::vector<std::unique_ptr<LineHot[]>>&;
+  static auto ColdChunkPool() -> std::vector<std::unique_ptr<LineCold[]>>&;
+
+  // Variant 2: hierarchical timing wheel. kWheelLevels levels of kWheelSlots buckets;
+  // level L buckets span 2^(kWheelShift + 8L) ps, so the wheel covers ~17.6 virtual
+  // seconds before far-future entries get clamped into the top level and re-cascaded.
+  // The active bucket is drained into a small min-heap (wheel_current_), giving exact
+  // (time, order) pops; a per-level occupancy bitmap skips empty buckets. Inserts are
+  // O(1) and pops amortize the cascade, but on lock workloads wakeup herds land whole
+  // waiter lists in one bucket, so the bucket heap grows as deep as the global heap
+  // and the wheel pays its cascades on top — the indexed heap wins head-to-head at
+  // every scale measured so far (docs/SIM_ENGINE.md has the numbers). Kept as a
+  // benchmarked alternative for time-sparse workloads. Correctness rests on the DES
+  // invariant that every insert's key is >= the last popped key, so the cursor only
+  // ever advances.
+  static constexpr int kWheelLevels = 4;
+  static constexpr int kWheelSlots = 256;  // 8 bits per level
+  static constexpr int kWheelShift = 12;   // level-0 bucket = 2^12 ps ~ 4 ns
+  static int WheelLevelShift(int level) { return kWheelShift + 8 * level; }
+  void WheelInsert(const ReadyEntry& entry);
+  void WheelRefill();  // advance cursor/cascade until wheel_current_ is non-empty
+  void WheelCascade(int level, int slot);
+  void WheelAdvanceTo(Time new_cursor);  // move cursor, opening newly-entered buckets
+  bool WheelLevelEmpty(int level) const;
+  SimThread* WheelPop();
+
+  // The facade the scheduler hot paths use; each is one predictable branch on
+  // scheduler_. QueueMinTime requires a non-empty queue and may cascade the wheel.
   void MakeReady(SimThread* thread);
+  SimThread* QueuePop();
+  Time QueueMinTime();
 
   // A miss's cost plus where the servicing copy came from: a topology level index,
   // topo::Topology::kSameCpu, or num_levels() when no valid copy exists (cold).
@@ -335,7 +429,7 @@ class Engine {
     double latency_ns = 0.0;
     int level = 0;
   };
-  MissSource MissFrom(int cpu, const Line& line) const;
+  MissSource MissFrom(int cpu, const LineCold& cold) const;
 
   // The two non-template halves of Access(): PrepareAccess charges the cache-model
   // cost and updates coherence state, FinishAccess emits trace events, delivers
@@ -345,7 +439,7 @@ class Engine {
   // OpKind — the write-path cost model compiles out of every load site and vice
   // versa; only the cold tails (waiter wakeup, reschedule) stay in engine.cc.
   struct PreparedAccess {
-    Line* line = nullptr;
+    LineHot* hot = nullptr;  // arena-backed: stable across the apply callback
     uintptr_t line_addr = 0;
     OpKind kind = OpKind::kLoad;
     int cpu = 0;
@@ -366,14 +460,14 @@ class Engine {
   // only resumed when a thread finishes or nothing is runnable, not on every
   // reschedule.
   void YieldRunnable(SimThread* self) {
-    if (ready_.empty() || ready_.front()->time > self->time) {
+    if (queue_size_ == 0 || QueueMinTime() > self->time) {
       return;
     }
     HandOff(self);
   }
   void HandOff(SimThread* self);
   void SwitchToScheduler(SimThread* self);
-  void WakeWaiters(Line& line, const PreparedAccess& prepared);
+  void WakeWaiters(LineHot& hot, const PreparedAccess& prepared);
   void EmitAccessEvent(const PreparedAccess& prepared);  // cold: sink installed
 
   // --- Watchdog (src/sim/watchdog.h) ---
@@ -402,7 +496,7 @@ class Engine {
   void WatchdogWorkCheck(SimThread* self);                // per Work(), watchdog on
   [[noreturn]] void WatchdogTrip(std::string reason);
   EngineDiagnostic CaptureDiagnostic(const char* reason);
-  Line* PeekLine(uintptr_t line_addr);  // lookup without first-touch creation
+  uint32_t PeekLineIndex(uintptr_t line_addr);  // lookup sans creation; kNoLine if absent
   // Arena first-touch ordinal of a line (kNoLine if never touched). Used to label
   // lines in diagnostics: ordinals follow deterministic simulation order, so dumps
   // are byte-identical across identical runs, unlike raw heap addresses.
@@ -412,12 +506,25 @@ class Engine {
   // member so the hot-path accessors above compile to direct TLS loads.
   static inline thread_local Engine* current_engine_ = nullptr;
 
+  // Timing-wheel state (variant 2), allocated lazily in Run() only when selected so a
+  // heap-mode engine never pays for the 4x256 bucket vectors.
+  struct WheelState {
+    std::array<std::array<std::vector<ReadyEntry>, kWheelSlots>, kWheelLevels> slots;
+    std::array<std::array<uint64_t, kWheelSlots / 64>, kWheelLevels> occupancy{};
+    std::vector<ReadyEntry> current;  // min-heap (EntryBefore): the active bucket
+    Time cursor = 0;                  // low edge of the active level-0 bucket, aligned
+  };
+
   const topo::Topology* topology_;
   PlatformModel platform_;
   std::vector<std::unique_ptr<SimThread>> threads_;
-  std::vector<SimThread*> ready_;                     // indexed binary min-heap
-  std::vector<LineSlot> line_index_;                  // open addressing, power-of-two
-  std::vector<std::unique_ptr<Line[]>> line_chunks_;  // arena: references never move
+  std::vector<ReadyEntry> heap_;  // variant 1: indexed binary min-heap
+  std::unique_ptr<WheelState> wheel_;
+  size_t queue_size_ = 0;  // runnable threads queued, whichever variant holds them
+  std::vector<LineSlot> line_index_;  // open addressing, power-of-two
+  // Parallel arenas (SoA line table); chunk i of each covers the same 64 lines.
+  std::vector<std::unique_ptr<LineHot[]>> hot_chunks_;
+  std::vector<std::unique_ptr<LineCold[]>> cold_chunks_;
   uint32_t num_lines_ = 0;
   runtime::Fiber main_fiber_;
   SimThread* current_ = nullptr;
@@ -425,6 +532,7 @@ class Engine {
   uint64_t total_accesses_ = 0;
   uint64_t total_line_transfers_ = 0;
   std::vector<trace::LevelMetrics> level_metrics_;  // trace::LevelBucket layout
+  SchedulerKind scheduler_ = SchedulerKind::kIndexedHeap;
   trace::EventSink* sink_ = nullptr;
   FaultHook* fault_hook_ = nullptr;
   std::unique_ptr<WatchdogState> watchdog_;  // null = no watchdog (fast path)
@@ -442,7 +550,7 @@ class Engine {
 // Cold tails — first-touch line claims, index growth, trace emission, waiter wakeup,
 // the actual fiber switch — stay out-of-line in engine.cc.
 
-inline Engine::Line& Engine::LineFor(uintptr_t line_addr) {
+inline uint32_t Engine::LineIndexFor(uintptr_t line_addr) {
   const size_t mask = line_index_.size() - 1;
   size_t slot = HashLineAddr(line_addr) & mask;
   while (true) {
@@ -451,22 +559,25 @@ inline Engine::Line& Engine::LineFor(uintptr_t line_addr) {
       return AddLine(line_addr, slot);  // first touch: claim an arena slot (cold)
     }
     if (entry.addr == line_addr) {
-      return LineAt(entry.index);
+      return entry.index;
     }
     slot = (slot + 1) & mask;
   }
 }
 
-inline Engine::MissSource Engine::MissFrom(int cpu, const Line& line) const {
+inline Engine::MissSource Engine::MissFrom(int cpu, const LineCold& cold) const {
   const int num_levels = topology_->num_levels();
-  if (!line.touched) {
+  if (!cold.touched) {
     return {platform_.cold_miss_ns, num_levels};
   }
   // Fetch from the closest CPU holding a valid copy (the owner is always a holder after
   // a write; a read-only line has holders but no owner).
   int best_level = num_levels;  // worse than any real level
-  for (int16_t other : line.holders) {
-    if (other < 0 || other == cpu) {
+  for (int16_t other : cold.holders) {
+    if (other < 0) {
+      break;  // holders are MRU-packed; nothing past the first empty slot
+    }
+    if (other == cpu) {
       continue;
     }
     int level = topology_->SharingLevel(cpu, other);
@@ -483,6 +594,16 @@ inline Engine::MissSource Engine::MissFrom(int cpu, const Line& line) const {
   return {platform_.LatencyNs(best_level), best_level};
 }
 
+inline Time Engine::QueueMinTime() {
+  if (scheduler_ == SchedulerKind::kIndexedHeap) {
+    return heap_.front().time;
+  }
+  if (wheel_->current.empty()) {
+    WheelRefill();  // queue_size_ > 0, so a bucket somewhere holds the next entry
+  }
+  return wheel_->current.front().time;
+}
+
 inline Engine::PreparedAccess Engine::PrepareAccess(uintptr_t line_addr, OpKind kind) {
   SimThread* self = current_;
   if (fault_hook_ != nullptr) {
@@ -490,14 +611,17 @@ inline Engine::PreparedAccess Engine::PrepareAccess(uintptr_t line_addr, OpKind 
     // lock holder delays every waiter queued behind its next handover store.
     self->time += fault_hook_->PreAccessStall(self->id, self->cpu, self->time);
   }
-  Line& line = LineFor(line_addr);
+  const uint32_t line_index = LineIndexFor(line_addr);
+  LineHot& hot = HotAt(line_index);
+  LineCold& cold = ColdAt(line_index);
   ++total_accesses_;
 
   const int cpu = self->cpu;
+  const int16_t cpu16 = static_cast<int16_t>(cpu);  // cpu < kMaxCpus fits by contract
   const int num_levels = topology_->num_levels();
-  const bool have_copy = line.Holds(cpu);
+  const bool have_copy = cold.Holds(cpu16);
   const bool is_write = kind != OpKind::kLoad;
-  const bool exclusive = line.owner == cpu && have_copy && line.holders[1] < 0;
+  const bool exclusive = cold.owner == cpu16 && have_copy && cold.holders[1] < 0;
 
   double cost_ns = 0.0;
   bool transferred = false;
@@ -510,12 +634,12 @@ inline Engine::PreparedAccess Engine::PrepareAccess(uintptr_t line_addr, OpKind 
     if (have_copy) {
       cost_ns = platform_.l1_hit_ns;
     } else {
-      MissSource miss = MissFrom(cpu, line);
+      MissSource miss = MissFrom(cpu, cold);
       cost_ns = miss.latency_ns;
       transfer_level = miss.level;
       transferred = true;
     }
-    line.TouchBy(cpu);
+    cold.TouchBy(cpu16);
   } else {
     if (exclusive) {
       cost_ns = kind == OpKind::kStore ? platform_.l1_hit_ns : platform_.local_rmw_ns;
@@ -526,16 +650,17 @@ inline Engine::PreparedAccess Engine::PrepareAccess(uintptr_t line_addr, OpKind 
       // ack cost per additional sharer. Making the invalidation a full round trip is
       // what gives Hemlock's CTR its x86 benefit: RMW-mode spinning keeps the sharer
       // set empty, so the handover store skips the upgrade round (§2.1).
-      double transfer_ns = 0.0;
-      if (!have_copy) {
-        MissSource miss = MissFrom(cpu, line);
-        transfer_ns = miss.latency_ns;
-        transfer_level = miss.level;
-      }
+      // One pass over the (MRU-packed) holder list computes both the closest copy to
+      // source the data from (what MissFrom computes on the read path) and the farthest
+      // sharer to invalidate — each holder's SharingLevel is looked up exactly once.
+      int best_level = num_levels;  // worse than any real level
       double farthest_inv_ns = 0.0;
       int farthest_inv_level = topo::Topology::kSameCpu;
-      for (int16_t other : line.holders) {
-        if (other < 0 || other == cpu) {
+      for (int16_t other : cold.holders) {
+        if (other < 0) {
+          break;
+        }
+        if (other == cpu) {
           continue;
         }
         ++invalidated_sharers;
@@ -547,9 +672,19 @@ inline Engine::PreparedAccess Engine::PrepareAccess(uintptr_t line_addr, OpKind 
           farthest_inv_ns = lat;
           farthest_inv_level = level;
         }
+        if (level < best_level) {
+          best_level = level;
+        }
       }
+      double transfer_ns = 0.0;
       if (have_copy) {
         transfer_level = farthest_inv_level;  // pure upgrade: attribute to the inv round
+      } else if (best_level >= num_levels) {
+        transfer_ns = platform_.cold_miss_ns;  // no valid copy anywhere (or never touched)
+        transfer_level = num_levels;
+      } else {
+        transfer_ns = platform_.LatencyNs(best_level);
+        transfer_level = best_level;
       }
       double extra_acks = invalidated_sharers > 1
                               ? (invalidated_sharers - 1) * platform_.sharer_invalidation_ns
@@ -559,25 +694,25 @@ inline Engine::PreparedAccess Engine::PrepareAccess(uintptr_t line_addr, OpKind 
       if (kind != OpKind::kStore) {
         cost_ns += platform_.contended_rmw_extra_ns;
       }
-      if (line.num_waiters > 0) {
+      if (hot.num_waiters > 0) {
         // The write fights the spinners' continuous polling for line ownership.
         double poll_lat = std::max(farthest_inv_ns, transfer_ns);
-        cost_ns += static_cast<double>(line.num_waiters) *
+        cost_ns += static_cast<double>(hot.num_waiters) *
                    platform_.spinner_interference * poll_lat;
       }
       transferred = true;
     }
-    if (platform_.arch == Arch::kArm && kind == OpKind::kCmpXchg && line.rmw_waiters > 0) {
+    if (platform_.arch == Arch::kArm && kind == OpKind::kCmpXchg && hot.rmw_waiters > 0) {
       // LL/SC reservation stealing: every RMW-mode spinner on this line keeps breaking
       // the releaser's exclusive reservation (Hemlock-CTR pathology, paper §3.2).
-      cost_ns += static_cast<double>(line.rmw_waiters) * platform_.sc_retry_penalty_ns;
+      cost_ns += static_cast<double>(hot.rmw_waiters) * platform_.sc_retry_penalty_ns;
     }
-    line.owner = cpu;
-    line.ResetTo(cpu);
+    cold.owner = cpu16;
+    cold.ResetTo(cpu16);
   }
-  line.touched = true;
+  cold.touched = true;
 
-  const Time start = std::max(self->time, transferred ? line.next_free : Time{0});
+  const Time start = std::max(self->time, transferred ? hot.next_free : Time{0});
   const Time completion = start + PsFromNs(cost_ns);
   Time queue_ps = 0;
   if (transferred) {
@@ -587,11 +722,11 @@ inline Engine::PreparedAccess Engine::PrepareAccess(uintptr_t line_addr, OpKind 
     queue_ps = start - self->time;  // time spent queued behind the busy transfer port
     level_metrics_[bucket].port_queue_ps += queue_ps;
     // The transfer port stays busy for a fraction of the latency, serializing storms.
-    line.next_free = start + PsFromNs(cost_ns * platform_.port_occupancy);
+    hot.next_free = start + PsFromNs(cost_ns * platform_.port_occupancy);
   }
 
   PreparedAccess prepared;
-  prepared.line = &line;
+  prepared.hot = &hot;
   prepared.line_addr = line_addr;
   prepared.kind = kind;
   prepared.cpu = cpu;
@@ -608,7 +743,7 @@ inline Engine::PreparedAccess Engine::PrepareAccess(uintptr_t line_addr, OpKind 
 inline Engine::AccessResult Engine::FinishAccess(const PreparedAccess& prepared,
                                                  bool changed) {
   SimThread* self = current_;
-  Line& line = *prepared.line;  // arena-backed: stable across the apply callback
+  LineHot& hot = *prepared.hot;  // arena-backed: stable across the apply callback
   const Time completion = prepared.completion;
   if (sink_ != nullptr) {
     EmitAccessEvent(prepared);
@@ -617,12 +752,12 @@ inline Engine::AccessResult Engine::FinishAccess(const PreparedAccess& prepared,
     WatchdogObserve(prepared);  // may unwind this fiber on a trip / during an abort
   }
   if (prepared.is_write && changed) {
-    ++line.version;
-    if (line.waiter_head != nullptr) {
-      WakeWaiters(line, prepared);
+    ++hot.version;
+    if (hot.waiter_head != nullptr) {
+      WakeWaiters(hot, prepared);
     }
   }
-  AccessResult result{completion, line.version};
+  AccessResult result{completion, hot.version};
   self->time = completion;
   YieldRunnable(self);
   return result;

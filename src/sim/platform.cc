@@ -40,4 +40,38 @@ PlatformModel PlatformModel::Arm() {
   return m;
 }
 
+PlatformModel PlatformModel::CxlPod() {
+  PlatformModel m;
+  m.name = "cxl-pod-sim";
+  m.arch = Arch::kX86;
+  // Levels of topo::Topology::CxlPod1024(): cache, numa, package, pod, system.
+  // Intra-socket latencies track the x86 model; the pod level is a CXL switch hop and
+  // the system level crosses pods (see the header note — extrapolated, not calibrated).
+  m.level_latency_ns = {9.7, 76.5, 120.0, 350.0, 700.0};
+  m.l1_hit_ns = 1.0;
+  m.local_rmw_ns = 2.5;
+  m.cold_miss_ns = 300.0;  // local DRAM behind a deeper fabric
+  m.sharer_invalidation_ns = 4.0;
+  m.port_occupancy = 0.6;
+  m.contended_rmw_extra_ns = 12.0;
+  m.sc_retry_penalty_ns = 0.0;
+  return m;
+}
+
+PlatformModel PlatformModel::Dc() {
+  PlatformModel m;
+  m.name = "dc-sim";
+  m.arch = Arch::kX86;
+  // Levels of topo::Topology::Dc4Level(): cache, numa, pod, system.
+  m.level_latency_ns = {11.0, 80.0, 280.0, 600.0};
+  m.l1_hit_ns = 1.0;
+  m.local_rmw_ns = 2.5;
+  m.cold_miss_ns = 280.0;
+  m.sharer_invalidation_ns = 4.0;
+  m.port_occupancy = 0.6;
+  m.contended_rmw_extra_ns = 12.0;
+  m.sc_retry_penalty_ns = 0.0;
+  return m;
+}
+
 }  // namespace clof::sim

@@ -29,6 +29,28 @@ constexpr double NsFromPs(Time ps) { return static_cast<double>(ps) * 1e-3; }
 
 enum class Arch { kX86, kArm };
 
+// Simulated private-cache residency bound: how many CPUs can hold a valid copy of one
+// cache line at once (most-recently-touching wins; see Engine::LineCold). This models
+// finite private-cache capacity — a line not re-touched recently is evicted — so
+// read-mostly data does not end up permanently "cached everywhere" and data-locality
+// effects survive. It deliberately does NOT scale with machine size: on the 1024-CPU
+// presets a popular line still lives in at most 4 private caches, which is exactly why
+// keep-local handover (ClofParams::keep_local_threshold) matters more there — a
+// cross-pod handover evicts the line from the whole local cohort's caches. Part of the
+// cost-model semantics: changing it invalidates golden transcripts and cached sweep
+// cells (bump exec::kCellSchemaVersion).
+inline constexpr int kLineMaxHolders = 4;
+
+// Ready-queue implementation of the discrete-event engine (docs/SIM_ENGINE.md). Both
+// variants pop runnable threads in the exact same (time, FIFO-stamp) total order, so
+// every simulated result is byte-identical across them — the choice only affects host
+// wall-clock, which is why it deliberately stays out of the sweep cache fingerprint
+// (src/exec/fingerprint.h), like BenchConfig::force_closure_api.
+enum class SchedulerKind {
+  kIndexedHeap,  // indexed binary min-heap embedded in the thread records (default)
+  kTimingWheel,  // hierarchical timing wheel bucketed by virtual time
+};
+
 struct PlatformModel {
   std::string name;
   Arch arch = Arch::kX86;
@@ -65,6 +87,13 @@ struct PlatformModel {
   // must be PaperX86()/PaperArm() respectively (latencies are indexed by its levels).
   static PlatformModel X86();
   static PlatformModel Arm();
+  // Data-center-scale models for the 1024-CPU topology presets (topo::Topology::
+  // CxlPod1024()/Dc4Level()). Latencies are extrapolated, not calibrated against a
+  // physical machine: intra-socket levels follow the x86 model, the pod level adds a
+  // CXL-switch hop (~3x a NUMA hop), and the cross-pod system level another ~2x —
+  // the regime where multi-level compositions should pay off hardest.
+  static PlatformModel CxlPod();
+  static PlatformModel Dc();
 
   double LatencyNs(int sharing_level) const { return level_latency_ns[sharing_level]; }
 };
@@ -76,6 +105,10 @@ struct Machine {
 
   static Machine PaperX86() { return {topo::Topology::PaperX86(), PlatformModel::X86()}; }
   static Machine PaperArm() { return {topo::Topology::PaperArm(), PlatformModel::Arm()}; }
+  static Machine CxlPod1024() {
+    return {topo::Topology::CxlPod1024(), PlatformModel::CxlPod()};
+  }
+  static Machine Dc4Level() { return {topo::Topology::Dc4Level(), PlatformModel::Dc()}; }
 };
 
 }  // namespace clof::sim

@@ -62,6 +62,26 @@ Topology::Topology(std::string name, int num_cpus, std::vector<Level> levels)
       }
     }
   }
+  // Memoize cohort membership per level (counting sort into a CSR index: one pass to
+  // size the cohorts, one to deal the CPUs — id order within a cohort falls out of the
+  // ascending scan).
+  cohort_index_.resize(levels_.size());
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    const Level& level = levels_[i];
+    CohortIndex& index = cohort_index_[i];
+    index.offsets.assign(static_cast<size_t>(level.num_cohorts) + 1, 0);
+    for (int cohort : level.cpu_to_cohort) {
+      ++index.offsets[static_cast<size_t>(cohort) + 1];
+    }
+    for (size_t c = 1; c < index.offsets.size(); ++c) {
+      index.offsets[c] += index.offsets[c - 1];
+    }
+    index.members.resize(static_cast<size_t>(num_cpus_));
+    std::vector<int> next(index.offsets.begin(), index.offsets.end() - 1);
+    for (int cpu = 0; cpu < num_cpus_; ++cpu) {
+      index.members[static_cast<size_t>(next[level.cpu_to_cohort[cpu]]++)] = cpu;
+    }
+  }
   // Precompute the pairwise sharing-level matrix (see SharingLevel in the header).
   sharing_level_.assign(static_cast<size_t>(num_cpus_) * num_cpus_,
                         static_cast<int8_t>(num_levels() - 1));
@@ -80,6 +100,43 @@ Topology::Topology(std::string name, int num_cpus, std::vector<Level> levels)
       }
     }
   }
+  // Pack the per-CPU path signatures for the SharingLevel fast path (header comment).
+  // Field widths: bit_width(num_cohorts - 1) per level (0 bits for the single-cohort
+  // system level — equal everywhere, so it needs no representation), bit_width(cpus-1)
+  // for the bottom CPU-id field. Skipped if the total overflows 64 bits (the matrix
+  // then serves lookups directly).
+  {
+    auto width_for = [](int distinct) {
+      return distinct <= 1 ? 0 : 64 - __builtin_clzll(static_cast<uint64_t>(distinct) - 1);
+    };
+    int total_bits = width_for(num_cpus_);
+    for (const Level& level : levels_) {
+      total_bits += width_for(level.num_cohorts);
+    }
+    if (total_bits <= 64) {
+      path_sig_.assign(static_cast<size_t>(num_cpus_), 0);
+      int shift = 0;
+      const int cpu_bits = width_for(num_cpus_);
+      for (int bit = 0; bit < cpu_bits; ++bit) {
+        sig_bit_level_[shift + bit] = 0;  // differ only in CPU id: same bottom cohort
+      }
+      for (int cpu = 0; cpu < num_cpus_; ++cpu) {
+        path_sig_[cpu] = static_cast<uint64_t>(cpu);
+      }
+      shift = cpu_bits;
+      for (int i = 0; i < num_levels(); ++i) {
+        const int bits = width_for(levels_[i].num_cohorts);
+        for (int bit = 0; bit < bits; ++bit) {
+          // First difference in level i's field: cohorts diverge at i, join at i + 1.
+          sig_bit_level_[shift + bit] = static_cast<int8_t>(i + 1);
+        }
+        for (int cpu = 0; cpu < num_cpus_; ++cpu) {
+          path_sig_[cpu] |= static_cast<uint64_t>(levels_[i].cpu_to_cohort[cpu]) << shift;
+        }
+        shift += bits;
+      }
+    }
+  }
 }
 
 int Topology::LevelIndexByName(const std::string& level_name) const {
@@ -92,13 +149,8 @@ int Topology::LevelIndexByName(const std::string& level_name) const {
 }
 
 std::vector<int> Topology::CohortCpus(int level_index, int cohort) const {
-  std::vector<int> cpus;
-  for (int cpu = 0; cpu < num_cpus_; ++cpu) {
-    if (levels_[level_index].cpu_to_cohort[cpu] == cohort) {
-      cpus.push_back(cpu);
-    }
-  }
-  return cpus;
+  CpuSpan span = CohortMembers(level_index, cohort);
+  return std::vector<int>(span.begin(), span.end());
 }
 
 Topology Topology::PaperX86() {
@@ -134,6 +186,31 @@ Topology Topology::PaperArm() {
   levels.push_back(DivisorLevel("package", kCpus, 64));
   levels.push_back(DivisorLevel("system", kCpus, kCpus));
   return Topology("paper-arm", kCpus, std::move(levels));
+}
+
+Topology Topology::CxlPod1024() {
+  // 1024 CPUs: 4 consecutive CPUs share an L3 slice, 32 a NUMA node, 128 a socket,
+  // 512 a CXL pod (four sockets behind one switch), two pods per system.
+  constexpr int kCpus = 1024;
+  std::vector<Level> levels;
+  levels.push_back(DivisorLevel("cache", kCpus, 4));
+  levels.push_back(DivisorLevel("numa", kCpus, 32));
+  levels.push_back(DivisorLevel("package", kCpus, 128));
+  levels.push_back(DivisorLevel("pod", kCpus, 512));
+  levels.push_back(DivisorLevel("system", kCpus, kCpus));
+  return Topology("cxl-pod-1024", kCpus, std::move(levels));
+}
+
+Topology Topology::Dc4Level() {
+  // 1024 CPUs in the flattest data-center shape a depth-4 CLoF composition covers
+  // fully: 8 per cache group, 64 per NUMA node, 256 per pod, one system.
+  constexpr int kCpus = 1024;
+  std::vector<Level> levels;
+  levels.push_back(DivisorLevel("cache", kCpus, 8));
+  levels.push_back(DivisorLevel("numa", kCpus, 64));
+  levels.push_back(DivisorLevel("pod", kCpus, 256));
+  levels.push_back(DivisorLevel("system", kCpus, kCpus));
+  return Topology("dc-4level", kCpus, std::move(levels));
 }
 
 Topology Topology::Flat(int num_cpus, const std::string& name) {

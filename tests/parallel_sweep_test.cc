@@ -166,5 +166,47 @@ TEST(ParallelSweepTest, ConfigChangeBypassesCache) {
   EXPECT_EQ(cache.stores(), 2 * stores_after_first);
 }
 
+// The data-center shape: a 4-level hierarchy over all 1024 CPUs of the CXL-pod
+// preset. Worker parallelism must stay invisible here too — these cells run on the
+// shared per-cell engine chunk pool, so jobs=2/4 additionally exercises concurrent
+// chunk checkout/return across workers — and cached cells must replay bit-for-bit.
+TEST(ParallelSweepTest, FourLevelScaleSweepIsWorkerCountInvariantAndCacheable) {
+  auto machine = sim::Machine::CxlPod1024();
+  SweepConfig config;
+  config.spec.machine = &machine;
+  config.spec.hierarchy =
+      topo::Hierarchy::Select(machine.topology, {"cache", "numa", "pod", "system"});
+  config.spec.registry = &SimRegistry(false);
+  config.lock_names = {"mcs-mcs-mcs-mcs", "tkt-mcs-mcs-mcs", "clh-clh-mcs-tkt"};
+  config.thread_counts = {4, 64, 256};
+  config.duration_ms = 0.1;
+
+  config.jobs = 1;
+  SweepResult serial = RunScriptedBenchmark(config);
+  config.jobs = 2;
+  SweepResult two = RunScriptedBenchmark(config);
+  config.jobs = 4;
+  SweepResult four = RunScriptedBenchmark(config);
+  ExpectBitIdentical(serial, two, "4-level jobs=1 vs jobs=2");
+  ExpectBitIdentical(serial, four, "4-level jobs=1 vs jobs=4");
+
+  std::string dir = std::string(::testing::TempDir()) + "/clof_parallel_sweep_cache_4l";
+  std::filesystem::remove_all(dir);  // reruns must start cold
+  exec::ResultCache cache(dir);
+  config.cache = &cache;
+  config.jobs = 4;
+  SweepResult cold = RunScriptedBenchmark(config);
+  uint64_t cells =
+      static_cast<uint64_t>(config.lock_names.size() * config.thread_counts.size());
+  EXPECT_EQ(cache.misses(), cells);
+  EXPECT_EQ(cache.stores(), cells);
+  ExpectBitIdentical(serial, cold, "4-level computed with cache attached");
+
+  config.jobs = 2;
+  SweepResult warm = RunScriptedBenchmark(config);
+  EXPECT_EQ(cache.hits(), cells) << "second run must be fully cache-served";
+  ExpectBitIdentical(serial, warm, "4-level computed vs cache-served");
+}
+
 }  // namespace
 }  // namespace clof::select

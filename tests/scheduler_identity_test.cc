@@ -1,0 +1,160 @@
+// Ready-queue implementations must be result-invisible.
+//
+// The engine offers two schedulers (RunSpec::scheduler): the indexed binary heap and
+// the hierarchical timing wheel. Both pop runnable threads in the exact same total
+// order — (virtual time, FIFO admission stamp) — so every simulated result must be
+// byte-identical between them; the wheel is a wall-clock trade-off, never a model
+// change. That invariant is also why the sweep cache deliberately excludes the
+// scheduler from its fingerprint (like force_closure_api): a cached curve is valid
+// regardless of which queue produced it.
+//
+// This test runs full benchmark cells under both schedulers and compares a
+// fingerprint over every deterministic BenchResult field — throughput, per-thread
+// ops, coherence totals, per-level metrics, handover buckets, latency percentiles —
+// including a 4-level 1024-CPU cell whose thousand-waiter wakeup herds and long idle
+// gaps exercise the wheel's bulk filing, cascades, and multi-level advances.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/clof/registry.h"
+#include "src/harness/lock_bench.h"
+#include "src/sim/platform.h"
+#include "src/topo/topology.h"
+
+namespace clof {
+namespace {
+
+// FNV-1a over raw field bytes, sizes mixed in (same scheme as the golden test).
+class Fingerprint {
+ public:
+  void Bytes(const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 1099511628211ull;
+    }
+  }
+  void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
+  void Double(double v) { Bytes(&v, sizeof(v)); }
+  uint64_t hash() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 14695981039346656037ull;
+};
+
+uint64_t ResultFingerprint(const harness::BenchResult& r) {
+  Fingerprint f;
+  f.U64(r.total_ops);
+  f.Double(r.duration_ms);
+  f.Double(r.throughput_per_us);
+  f.U64(r.per_thread_ops.size());
+  for (uint64_t ops : r.per_thread_ops) {
+    f.U64(ops);
+  }
+  f.Double(r.fairness_index);
+  f.U64(r.total_accesses);
+  f.U64(r.total_line_transfers);
+  f.U64(r.level_metrics.size());
+  for (const trace::LevelMetrics& m : r.level_metrics) {
+    f.U64(m.line_transfers);
+    f.U64(m.invalidations);
+    f.U64(m.spin_wakeups);
+    f.U64(m.port_queue_ps);
+  }
+  f.U64(r.handovers_by_level.size());
+  for (uint64_t h : r.handovers_by_level) {
+    f.U64(h);
+  }
+  f.U64(r.total_handovers);
+  f.U64(r.lock_level_stats.size());
+  for (const LevelStats& s : r.lock_level_stats) {
+    f.U64(s.acquisitions);
+    f.U64(s.inherited);
+    f.U64(s.local_passes);
+    f.U64(s.climbs);
+    f.U64(s.threshold_climbs);
+  }
+  f.Double(r.acquire_p50_ns);
+  f.Double(r.acquire_p99_ns);
+  f.Double(r.acquire_p999_ns);
+  f.Double(r.max_acquire_ns);
+  f.U64(static_cast<uint64_t>(r.starved_threads));
+  return f.hash();
+}
+
+harness::BenchResult RunCell(const sim::Machine& machine,
+                             const std::vector<std::string>& levels, bool ctr_registry,
+                             const std::string& lock, int threads, double duration_ms,
+                             sim::SchedulerKind scheduler) {
+  harness::BenchConfig config;
+  config.spec.machine = &machine;
+  config.spec.hierarchy = topo::Hierarchy::Select(machine.topology, levels);
+  config.spec.registry = &SimRegistry(ctr_registry);
+  config.spec.scheduler = scheduler;
+  config.lock_name = lock;
+  config.num_threads = threads;
+  config.duration_ms = duration_ms;
+  return harness::RunLockBench(config);
+}
+
+struct Cell {
+  const sim::Machine* machine;
+  std::vector<std::string> levels;
+  bool ctr_registry;
+  std::string lock;
+  int threads;
+  double duration_ms;
+};
+
+void ExpectSchedulersAgree(const Cell& cell) {
+  harness::BenchResult heap =
+      RunCell(*cell.machine, cell.levels, cell.ctr_registry, cell.lock, cell.threads,
+              cell.duration_ms, sim::SchedulerKind::kIndexedHeap);
+  harness::BenchResult wheel =
+      RunCell(*cell.machine, cell.levels, cell.ctr_registry, cell.lock, cell.threads,
+              cell.duration_ms, sim::SchedulerKind::kTimingWheel);
+  // Spot-check the load-bearing scalars first so a mismatch reads as numbers, not as
+  // two opaque hashes.
+  EXPECT_EQ(heap.total_ops, wheel.total_ops) << cell.lock << " t=" << cell.threads;
+  EXPECT_EQ(heap.total_accesses, wheel.total_accesses)
+      << cell.lock << " t=" << cell.threads;
+  EXPECT_EQ(heap.per_thread_ops, wheel.per_thread_ops)
+      << cell.lock << " t=" << cell.threads;
+  EXPECT_EQ(ResultFingerprint(heap), ResultFingerprint(wheel))
+      << cell.lock << " t=" << cell.threads << " on " << cell.machine->topology.name();
+}
+
+TEST(SchedulerIdentityTest, PaperMachinesProduceIdenticalResults) {
+  const sim::Machine x86 = sim::Machine::PaperX86();
+  const sim::Machine arm = sim::Machine::PaperArm();
+  const std::vector<Cell> cells = {
+      {&x86, {"numa", "system"}, true, "mcs-mcs", 1, 0.3},
+      {&x86, {"numa", "system"}, true, "tkt-tkt", 16, 0.3},
+      {&x86, {"cache", "numa", "system"}, true, "clh-mcs-tkt", 24, 0.2},
+      {&arm, {"numa", "system"}, false, "hem-clh", 16, 0.2},
+  };
+  for (const Cell& cell : cells) {
+    ExpectSchedulersAgree(cell);
+  }
+}
+
+// The data-center scale case: 4 hierarchy levels over all 1024 CPUs. The uniform
+// ticket stack globally spins (herd wakeups land ~1024 entries into one wheel
+// bucket); the mcs stack keeps handovers local (long idle stretches force the wheel
+// through empty-slot scans and higher-level cascades).
+TEST(SchedulerIdentityTest, CxlPod1024FourLevelIdentical) {
+  const sim::Machine cxl = sim::Machine::CxlPod1024();
+  const std::vector<Cell> cells = {
+      {&cxl, {"cache", "numa", "pod", "system"}, true, "mcs-mcs-mcs-mcs", 64, 0.15},
+      {&cxl, {"cache", "numa", "pod", "system"}, true, "tkt-tkt-tkt-tkt", 1024, 0.1},
+  };
+  for (const Cell& cell : cells) {
+    ExpectSchedulersAgree(cell);
+  }
+}
+
+}  // namespace
+}  // namespace clof

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 namespace clof::topo {
 namespace {
@@ -108,6 +110,162 @@ TEST(TopologyTest, RejectsNonNestingLevels) {
 TEST(TopologyTest, RejectsMultiCohortTop) {
   Level a{.name = "a", .cpu_to_cohort = {0, 0, 1, 1}, .num_cohorts = 2};
   EXPECT_THROW(Topology("bad", 4, {a}), std::invalid_argument);
+}
+
+TEST(TopologyTest, CxlPod1024Shape) {
+  Topology t = Topology::CxlPod1024();
+  EXPECT_EQ(t.name(), "cxl-pod-1024");
+  EXPECT_EQ(t.num_cpus(), 1024);
+  ASSERT_EQ(t.num_levels(), 5);
+  EXPECT_EQ(t.level(0).name, "cache");
+  EXPECT_EQ(t.level(0).num_cohorts, 256);
+  EXPECT_EQ(t.level(1).name, "numa");
+  EXPECT_EQ(t.level(1).num_cohorts, 32);
+  EXPECT_EQ(t.level(2).name, "package");
+  EXPECT_EQ(t.level(2).num_cohorts, 8);
+  EXPECT_EQ(t.level(3).name, "pod");
+  EXPECT_EQ(t.level(3).num_cohorts, 2);
+  EXPECT_EQ(t.level(4).name, "system");
+  EXPECT_EQ(t.level(4).num_cohorts, 1);
+}
+
+TEST(TopologyTest, Dc4LevelShape) {
+  Topology t = Topology::Dc4Level();
+  EXPECT_EQ(t.name(), "dc-4level");
+  EXPECT_EQ(t.num_cpus(), 1024);
+  ASSERT_EQ(t.num_levels(), 4);
+  EXPECT_EQ(t.level(0).name, "cache");
+  EXPECT_EQ(t.level(0).num_cohorts, 128);
+  EXPECT_EQ(t.level(1).name, "numa");
+  EXPECT_EQ(t.level(1).num_cohorts, 16);
+  EXPECT_EQ(t.level(2).name, "pod");
+  EXPECT_EQ(t.level(2).num_cohorts, 4);
+  EXPECT_EQ(t.level(3).name, "system");
+  EXPECT_EQ(t.level(3).num_cohorts, 1);
+}
+
+// Every level's cohorts partition the CPU set, and successive levels nest: two CPUs
+// sharing a cohort at level i must also share one at every level above i. These are
+// the laws the engine's per-level cohort views and the CLoF tree construction rely on.
+void ExpectPartitionLaws(const Topology& t) {
+  for (int level = 0; level < t.num_levels(); ++level) {
+    std::vector<int> seen(static_cast<size_t>(t.num_cpus()), 0);
+    for (int cohort = 0; cohort < t.level(level).num_cohorts; ++cohort) {
+      std::vector<int> members = t.CohortCpus(level, cohort);
+      EXPECT_FALSE(members.empty()) << t.name() << " level " << level << " cohort "
+                                    << cohort << " is empty";
+      for (int cpu : members) {
+        ASSERT_GE(cpu, 0);
+        ASSERT_LT(cpu, t.num_cpus());
+        ++seen[static_cast<size_t>(cpu)];
+        EXPECT_EQ(t.CohortOf(cpu, level), cohort);
+      }
+    }
+    for (int cpu = 0; cpu < t.num_cpus(); ++cpu) {
+      EXPECT_EQ(seen[static_cast<size_t>(cpu)], 1)
+          << t.name() << " cpu " << cpu << " appears in " << seen[static_cast<size_t>(cpu)]
+          << " cohorts of level " << level;
+    }
+  }
+  for (int level = 0; level + 1 < t.num_levels(); ++level) {
+    for (int cohort = 0; cohort < t.level(level).num_cohorts; ++cohort) {
+      std::vector<int> members = t.CohortCpus(level, cohort);
+      int parent = t.CohortOf(members.front(), level + 1);
+      for (int cpu : members) {
+        EXPECT_EQ(t.CohortOf(cpu, level + 1), parent)
+            << t.name() << " level-" << level << " cohort " << cohort
+            << " straddles level-" << (level + 1) << " cohorts";
+      }
+    }
+  }
+}
+
+TEST(TopologyTest, DataCenterPresetsSatisfyPartitionLaws) {
+  ExpectPartitionLaws(Topology::CxlPod1024());
+  ExpectPartitionLaws(Topology::Dc4Level());
+}
+
+// SharingLevel is an ultrametric over the hierarchy: symmetric, kSameCpu exactly on
+// the diagonal, equal to the first level whose cohorts agree, and satisfying the
+// strong triangle inequality d(a,c) <= max(d(a,b), d(b,c)). The full 1024^2 pair scan
+// also pins the packed-signature fast path to the matrix it replaces.
+void ExpectSharingLevelLaws(const Topology& t) {
+  for (int a = 0; a < t.num_cpus(); ++a) {
+    for (int b = 0; b < t.num_cpus(); ++b) {
+      const int level = t.SharingLevel(a, b);
+      ASSERT_EQ(level, t.SharingLevelFromMatrix(a, b))
+          << t.name() << ": signature path diverges from matrix at (" << a << "," << b
+          << ")";
+      ASSERT_EQ(level, t.SharingLevel(b, a)) << t.name() << " (" << a << "," << b << ")";
+      if (a == b) {
+        ASSERT_EQ(level, Topology::kSameCpu);
+        continue;
+      }
+      ASSERT_GE(level, 0);
+      ASSERT_LT(level, t.num_levels());
+      // Lowest shared level: cohorts agree at `level` and disagree everywhere below.
+      ASSERT_EQ(t.CohortOf(a, level), t.CohortOf(b, level));
+      if (level > 0) {
+        ASSERT_NE(t.CohortOf(a, level - 1), t.CohortOf(b, level - 1));
+      }
+    }
+  }
+  // Triangle over a strided sample (the full cube is 2^30 triples). The stride is
+  // coprime to every cohort size so samples cross cohort boundaries at all levels.
+  constexpr int kStride = 37;
+  auto dist = [&t](int a, int b) { return t.SharingLevel(a, b); };
+  for (int a = 0; a < t.num_cpus(); a += kStride) {
+    for (int b = 0; b < t.num_cpus(); b += kStride) {
+      for (int c = 0; c < t.num_cpus(); c += kStride) {
+        ASSERT_LE(dist(a, c), std::max(dist(a, b), dist(b, c)))
+            << t.name() << " triangle (" << a << "," << b << "," << c << ")";
+      }
+    }
+  }
+}
+
+TEST(TopologyTest, CxlPod1024SharingLevelLaws) {
+  ExpectSharingLevelLaws(Topology::CxlPod1024());
+}
+
+TEST(TopologyTest, Dc4LevelSharingLevelLaws) { ExpectSharingLevelLaws(Topology::Dc4Level()); }
+
+TEST(TopologyTest, SignaturePathHandlesNonPowerOfTwoFields) {
+  // 96 CPUs with 3/12/48-wide groups: cohort counts 32/8/2 make every packed field a
+  // non-power-of-two range, so the signature's bit_width(n-1) packing is exercised off
+  // the easy power-of-two diagonal the 1024-CPU presets sit on.
+  Topology t = Topology::FromSpec("odd96:96;cache=3;numa=12;package=48");
+  ASSERT_EQ(t.num_levels(), 4);  // FromSpec appends the implicit system level
+  EXPECT_EQ(t.level(0).num_cohorts, 32);
+  EXPECT_EQ(t.level(1).num_cohorts, 8);
+  EXPECT_EQ(t.level(2).num_cohorts, 2);
+  ExpectPartitionLaws(t);
+  ExpectSharingLevelLaws(t);
+}
+
+TEST(TopologyTest, SignatureOverflowFallsBackToMatrix) {
+  // 2048 CPUs and ten levels need 11 + (10 + 9 + ... + 1) = 66 signature bits — past
+  // the 64-bit budget, so this topology must serve SharingLevel from the matrix. The
+  // laws have to hold identically; only the lookup path differs.
+  Topology t = Topology::FromSpec(
+      "deep2048:2048;l1=2;l2=4;l3=8;l4=16;l5=32;l6=64;l7=128;l8=256;l9=512;l10=1024");
+  ASSERT_EQ(t.num_cpus(), 2048);
+  ASSERT_EQ(t.num_levels(), 11);
+  ExpectPartitionLaws(t);
+  for (int a = 0; a < t.num_cpus(); a += 13) {
+    for (int b = 0; b < t.num_cpus(); b += 13) {
+      const int level = t.SharingLevel(a, b);
+      ASSERT_EQ(level, t.SharingLevel(b, a));
+      if (a == b) {
+        ASSERT_EQ(level, Topology::kSameCpu);
+      } else {
+        ASSERT_EQ(t.CohortOf(a, level), t.CohortOf(b, level));
+        if (level > 0) {
+          ASSERT_NE(t.CohortOf(a, level - 1), t.CohortOf(b, level - 1));
+        }
+      }
+    }
+  }
 }
 
 TEST(HierarchyTest, SelectByName) {

@@ -35,7 +35,9 @@
 //                                                   winner; --check exits nonzero unless
 //                                                   per-site selection holds its ground
 //
-// Common flags: --machine=x86|arm (default arm), --topology=<spec> (custom machine,
+// Common flags: --machine=x86|arm|cxl-pod-1024|dc-4level (default arm; the last two
+// are the 1024-CPU data-center presets, EXPERIMENTS.md "1024-CPU sweep"),
+// --topology=<spec> (custom machine,
 // see topo::Topology::FromSpec), --levels=<names,comma>, --duration_ms, --seed, --H.
 // --combining enrolls the combining locks (docs/COMBINING.md) — "ccsynch" plus one
 // "hsynch-<level>" per non-system hierarchy level — next to the queue-lock
@@ -287,8 +289,10 @@ int Run(const bench::Flags& flags) {
   }
   std::string machine_name = flags.GetString("machine", "arm");
   std::string topology_spec = flags.GetString("topology", "");
-  sim::Machine machine =
-      machine_name == "x86" ? sim::Machine::PaperX86() : sim::Machine::PaperArm();
+  sim::Machine machine = machine_name == "x86"            ? sim::Machine::PaperX86()
+                         : machine_name == "cxl-pod-1024" ? sim::Machine::CxlPod1024()
+                         : machine_name == "dc-4level"    ? sim::Machine::Dc4Level()
+                                                          : sim::Machine::PaperArm();
   if (!topology_spec.empty()) {
     machine.topology = topo::Topology::FromSpec(topology_spec);
     // Custom machines reuse the Arm cost model, one latency per level, scaled linearly.
